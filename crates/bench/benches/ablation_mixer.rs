@@ -1,0 +1,51 @@
+//! Ablation: pre-computed Hadamard-diagonalised X mixer vs gate-by-gate RX sweep.
+//!
+//! DESIGN.md §6.1.  Both evaluate the same `e^{-iβ ΣX_i}`; the purpose-built path uses
+//! two Walsh–Hadamard transforms around a phase multiplication with the pre-computed
+//! spectrum, the gate path applies n RX rotations.  The asymptotic cost is the same
+//! (`O(n·2ⁿ)`), so this ablation measures the constant-factor value of the
+//! pre-computation and fused kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juliqaoa_circuit::{Circuit, GateSimulator};
+use juliqaoa_linalg::{vector, Complex64};
+use juliqaoa_mixers::Mixer;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_x_mixer_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x_mixer_ablation");
+    for n in [10usize, 14, 16] {
+        // Purpose-built: WHT → phases → WHT with pre-computed eigenvalues.
+        let mixer = Mixer::transverse_field(n);
+        let mut psi = vec![Complex64::ZERO; 1 << n];
+        vector::fill_uniform(&mut psi);
+        let mut scratch = vec![Complex64::ZERO; 1 << n];
+        group.bench_with_input(BenchmarkId::new("precomputed_diagonal", n), &n, |b, _| {
+            b.iter(|| mixer.apply_evolution(0.43, black_box(&mut psi), &mut scratch));
+        });
+
+        // Gate-level: n RX(2β) rotations applied one qubit at a time.
+        let mut circuit = Circuit::new(n);
+        circuit.rx_layer(2.0 * 0.43);
+        let mut gate_sim = GateSimulator::new(n);
+        group.bench_with_input(BenchmarkId::new("rx_gate_sweep", n), &n, |b, _| {
+            b.iter(|| gate_sim.run(black_box(&circuit)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_x_mixer_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation: constrained simulation restricted to the Dicke subspace vs embedded in the
+//! full 2ⁿ space (DESIGN.md §6.2).
+//!
+//! The paper's constrained path works with `C(n,k)`-dimensional vectors and mixer
+//! matrices.  The alternative used by circuit-based tools is to stay in the full `2ⁿ`
+//! space with a penalised cost function; here we compare the per-evaluation cost of the
+//! subspace-restricted Clique-mixer QAOA against a full-space QAOA of the same size
+//! (transverse-field mixer on a penalised objective), which is what one would run
+//! without subspace support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juliqaoa_bench::instances::paper_maxcut_instance;
+use juliqaoa_combinatorics::DickeSubspace;
+use juliqaoa_core::{Angles, Simulator};
+use juliqaoa_mixers::Mixer;
+use juliqaoa_problems::{precompute_dicke, precompute_full, CostFunction, DensestKSubgraph};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_subspace_vs_fullspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constrained_subspace_ablation");
+    let angles = Angles::linear_ramp(3, 0.5);
+    for (n, k) in [(10usize, 5usize), (12, 6)] {
+        let graph = paper_maxcut_instance(n, 1);
+        let problem = DensestKSubgraph::new(graph, k);
+
+        // Subspace-restricted path: C(n,k)-dimensional state + Clique mixer.
+        let sub = DickeSubspace::new(n, k);
+        let obj_sub = precompute_dicke(&problem, &sub);
+        let sim_sub = Simulator::new(obj_sub, Mixer::clique(n, k)).expect("setup");
+        let mut ws_sub = sim_sub.workspace();
+        group.bench_with_input(
+            BenchmarkId::new("dicke_subspace_clique", format!("{n}_{k}")),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(sim_sub.expectation_with(&angles, &mut ws_sub).expect("setup")));
+            },
+        );
+
+        // Full-space penalty path: 2^n-dimensional state, penalised cost, X mixer.
+        let penalty = (n * n) as f64;
+        let obj_full: Vec<f64> = (0..(1u64 << n))
+            .map(|x| {
+                let infeasible = (x.count_ones() as i64 - k as i64).abs() as f64;
+                problem.evaluate(x) - penalty * infeasible
+            })
+            .collect();
+        let sim_full = Simulator::new(obj_full, Mixer::transverse_field(n)).expect("setup");
+        let mut ws_full = sim_full.workspace();
+        group.bench_with_input(
+            BenchmarkId::new("fullspace_penalty_x_mixer", format!("{n}_{k}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(sim_full.expectation_with(&angles, &mut ws_full).expect("setup"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_subspace_vs_fullspace
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmark behind Figure 5: a single gradient of ⟨C⟩ via adjoint
+//! (AD-equivalent) vs finite differences, as a function of p.
+//!
+//! The per-gradient cost separation (constant vs O(p) simulations) is the mechanism
+//! behind the full-optimization-time separation the figure shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juliqaoa_bench::instances::paper_maxcut_instance;
+use juliqaoa_core::{Angles, Simulator};
+use juliqaoa_mixers::Mixer;
+use juliqaoa_optim::{GradientMethod, Objective, QaoaObjective};
+use juliqaoa_problems::{precompute_full, MaxCut};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_gradient_methods(c: &mut Criterion) {
+    let n = 12;
+    let graph = paper_maxcut_instance(n, 0);
+    let obj_vals = precompute_full(&MaxCut::new(graph));
+    let sim = Simulator::new(obj_vals, Mixer::transverse_field(n)).expect("setup");
+
+    let mut group = c.benchmark_group("gradient_of_expectation");
+    for p in [1usize, 4, 8, 12] {
+        let angles = Angles::linear_ramp(p, 0.5).to_flat();
+        let mut grad = vec![0.0; 2 * p];
+
+        let mut adjoint = QaoaObjective::with_gradient_method(&sim, GradientMethod::Adjoint);
+        group.bench_with_input(BenchmarkId::new("adjoint", p), &p, |b, _| {
+            b.iter(|| black_box(adjoint.value_and_gradient(&angles, &mut grad)));
+        });
+
+        let mut fd = QaoaObjective::with_gradient_method(
+            &sim,
+            GradientMethod::FiniteDifference { eps: 1e-6 },
+        );
+        group.bench_with_input(BenchmarkId::new("finite_difference", p), &p, |b, _| {
+            b.iter(|| black_box(fd.value_and_gradient(&angles, &mut grad)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_gradient_methods
+}
+criterion_main!(benches);

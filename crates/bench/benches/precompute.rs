@@ -1,0 +1,49 @@
+//! Ablation: serial vs rayon-parallel cost-function pre-computation (DESIGN.md §6.5),
+//! plus the degeneracy-counting pre-computation of the Grover fast path.
+//!
+//! On multi-core machines the parallel path approaches linear speed-up because the
+//! evaluation of `C(x)` across states is embarrassingly parallel; on a single core the
+//! two coincide (rayon degenerates to the serial loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juliqaoa_bench::instances::paper_maxcut_instance;
+use juliqaoa_problems::{degeneracies_full, precompute_full, CostFunction, MaxCut};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_precomputation");
+    for n in [12usize, 16, 18] {
+        let cost = MaxCut::new(paper_maxcut_instance(n, 0));
+
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                let values: Vec<f64> = (0..(1u64 << n)).map(|x| cost.evaluate(x)).collect();
+                black_box(values)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("rayon_parallel", n), &n, |b, _| {
+            b.iter(|| black_box(precompute_full(&cost)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("degeneracy_counting", n), &n, |b, _| {
+            b.iter(|| black_box(degeneracies_full(&cost, rayon::current_num_threads())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_precompute
+}
+criterion_main!(benches);

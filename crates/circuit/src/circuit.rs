@@ -1,0 +1,103 @@
+//! Gate-level circuits.
+
+use crate::gate::Gate;
+
+/// An ordered list of gates over `n` qubits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    n: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Circuit { n, gates: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate sequence.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    /// Panics if the gate touches a qubit outside `0..n`.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        assert!(
+            gate.max_qubit() < self.n,
+            "gate {:?} touches a qubit outside 0..{}",
+            gate,
+            self.n
+        );
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends a layer of Hadamards on every qubit (the uniform-superposition prep).
+    pub fn hadamard_layer(&mut self) -> &mut Self {
+        for q in 0..self.n {
+            self.push(Gate::H(q));
+        }
+        self
+    }
+
+    /// Appends `RX(θ)` on every qubit (a transverse-field mixer layer).
+    pub fn rx_layer(&mut self, theta: f64) -> &mut Self {
+        for q in 0..self.n {
+            self.push(Gate::Rx(q, theta));
+        }
+        self
+    }
+
+    /// Total count of two-qubit gates (a common circuit-cost metric).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Rzz(..) | Gate::Cnot(..)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_and_counting() {
+        let mut c = Circuit::new(3);
+        assert!(c.is_empty());
+        c.hadamard_layer();
+        c.push(Gate::Rzz(0, 1, 0.4));
+        c.push(Gate::Cnot(1, 2));
+        c.rx_layer(0.3);
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 3 + 1 + 1 + 3);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.gates()[0], Gate::H(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_gate_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rx(2, 0.1));
+    }
+}

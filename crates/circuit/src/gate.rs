@@ -1,0 +1,79 @@
+//! Quantum gates for the baseline circuit simulator.
+//!
+//! Angle conventions follow the standard rotation-gate definitions:
+//! `RX(θ) = e^{-iθX/2}`, `RZ(θ) = e^{-iθZ/2}`, `RZZ(θ) = e^{-iθ(Z⊗Z)/2}`.
+
+/// A gate in a circuit over qubits `0..n`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard on one qubit.
+    H(usize),
+    /// Pauli-X on one qubit.
+    X(usize),
+    /// Pauli-Z on one qubit.
+    Z(usize),
+    /// `RX(θ) = e^{-iθX/2}` on one qubit.
+    Rx(usize, f64),
+    /// `RY(θ) = e^{-iθY/2}` on one qubit.
+    Ry(usize, f64),
+    /// `RZ(θ) = e^{-iθZ/2}` on one qubit.
+    Rz(usize, f64),
+    /// `RZZ(θ) = e^{-iθ(Z⊗Z)/2}` on a pair of qubits.
+    Rzz(usize, usize, f64),
+    /// Controlled-NOT with (control, target).
+    Cnot(usize, usize),
+}
+
+impl Gate {
+    /// The qubits the gate touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q) | Gate::X(q) | Gate::Z(q) | Gate::Rx(q, _) | Gate::Ry(q, _) | Gate::Rz(q, _) => {
+                vec![q]
+            }
+            Gate::Rzz(a, b, _) | Gate::Cnot(a, b) => vec![a, b],
+        }
+    }
+
+    /// Largest qubit index referenced (used to validate circuits).
+    pub fn max_qubit(&self) -> usize {
+        self.qubits().into_iter().max().expect("gates touch at least one qubit")
+    }
+
+    /// A human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Z(_) => "z",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Rz(..) => "rz",
+            Gate::Rzz(..) => "rzz",
+            Gate::Cnot(..) => "cnot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(Gate::Rx(1, 0.5).qubits(), vec![1]);
+        assert_eq!(Gate::Rzz(2, 5, 0.1).qubits(), vec![2, 5]);
+        assert_eq!(Gate::Cnot(4, 0).qubits(), vec![4, 0]);
+        assert_eq!(Gate::Cnot(4, 0).max_qubit(), 4);
+        assert_eq!(Gate::Rzz(2, 5, 0.1).max_qubit(), 5);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Gate::H(0).name(), "h");
+        assert_eq!(Gate::Rzz(0, 1, 0.3).name(), "rzz");
+        assert_eq!(Gate::Cnot(0, 1).name(), "cnot");
+        assert_eq!(Gate::Ry(0, 1.0).name(), "ry");
+    }
+}

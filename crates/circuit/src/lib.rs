@@ -1,0 +1,31 @@
+//! Baseline QAOA simulators used as comparators in the Figure 4 experiments.
+//!
+//! The packages the paper benchmarks against (QAOAKit, QAOA.jl) share one architecture:
+//! they *compose a gate-level circuit* for the QAOA and hand it to a general-purpose
+//! statevector simulator, re-doing that work for every evaluation.  This crate
+//! reproduces that architecture inside the same language/runtime so the comparison
+//! isolates the algorithmic difference rather than Python-vs-Rust overhead (see
+//! DESIGN.md §4):
+//!
+//! * [`gate_sim::GateSimulator`] — a generic gate-by-gate statevector simulator
+//!   (H/RX/RY/RZ/RZZ/CNOT), plus [`qaoa_circuit`] builders that translate a MaxCut QAOA
+//!   into a circuit per evaluation.  This stands in for the QAOA.jl / Yao.jl approach.
+//! * [`dense_sim::DenseSimulator`] — materialises the cost and mixer unitaries as dense
+//!   `2ⁿ×2ⁿ` matrices and multiplies the state by them, the heaviest generic approach
+//!   (QAOAKit/Qiskit-operator style).
+//!
+//! Both baselines agree with `juliqaoa-core` to machine precision (their tests check
+//! this); they just pay progressively more time and memory, which is exactly the axis
+//! Figure 4 measures.
+
+pub mod circuit;
+pub mod dense_sim;
+pub mod gate;
+pub mod gate_sim;
+pub mod qaoa_circuit;
+
+pub use circuit::Circuit;
+pub use dense_sim::DenseSimulator;
+pub use gate::Gate;
+pub use gate_sim::GateSimulator;
+pub use qaoa_circuit::{maxcut_qaoa_circuit, maxcut_qaoa_expectation_gate_sim};

@@ -1,0 +1,128 @@
+//! Binomial coefficients.
+//!
+//! Subspace dimensions `C(n,k)` and the combinatorial number system both need exact
+//! binomial coefficients.  Computation uses u128 intermediates and the multiplicative
+//! formula with interleaved division so every intermediate stays exact.
+
+/// Exact binomial coefficient `C(n, k)`.
+///
+/// Returns 0 when `k > n`.  Panics if the result does not fit in a `u64` (far beyond any
+/// subspace dimension a statevector simulator can hold).
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    u64::try_from(acc).expect("binomial coefficient overflows u64")
+}
+
+/// A row-by-row Pascal triangle up to `n`, i.e. `table[m][j] = C(m, j)`.
+///
+/// Useful when ranks/unranks are computed in a tight loop for fixed `n`.
+pub fn pascal_table(n: usize) -> Vec<Vec<u64>> {
+    let mut table = Vec::with_capacity(n + 1);
+    for m in 0..=n {
+        let mut row = vec![1u64; m + 1];
+        for j in 1..m {
+            let prev: &Vec<u64> = &table[m - 1];
+            row[j] = prev[j - 1] + prev[j];
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// Log base 2 of `C(n,k)`, used to estimate memory requirements without overflow.
+pub fn log2_binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(12, 6), 924);
+        assert_eq!(binomial(14, 7), 3432);
+        assert_eq!(binomial(18, 9), 48620);
+    }
+
+    #[test]
+    fn k_greater_than_n_is_zero() {
+        assert_eq!(binomial(3, 4), 0);
+        assert_eq!(binomial(0, 1), 0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..20 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_recurrence() {
+        for n in 1..25 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_powers_of_two() {
+        for n in 0..30 {
+            let sum: u64 = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(sum, 1u64 << n);
+        }
+    }
+
+    #[test]
+    fn large_values_exact() {
+        // C(60, 30) = 118264581564861424, fits in u64.
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+        // C(100, 2) = 4950 — paper-scale n=100 with small k is fine.
+        assert_eq!(binomial(100, 2), 4950);
+    }
+
+    #[test]
+    fn pascal_table_matches_binomial() {
+        let table = pascal_table(20);
+        for (m, row) in table.iter().enumerate() {
+            for (j, &val) in row.iter().enumerate() {
+                assert_eq!(val, binomial(m, j), "C({m},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn log2_binomial_tracks_exact_values() {
+        for (n, k) in [(10, 3), (20, 10), (30, 15), (64, 32)] {
+            let exact = (binomial(n, k) as f64).log2();
+            assert!((log2_binomial(n, k) - exact).abs() < 1e-9);
+        }
+        assert_eq!(log2_binomial(3, 5), f64::NEG_INFINITY);
+        // n = 100, k = 50 overflows u64 but the log estimate still works (~96.3 bits).
+        assert!(log2_binomial(100, 50) > 90.0);
+    }
+}

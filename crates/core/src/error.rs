@@ -1,0 +1,87 @@
+//! Error types for simulator construction and use.
+
+use std::fmt;
+
+/// Errors raised when assembling a QAOA simulation from mismatched pieces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QaoaError {
+    /// The objective-value vector and the mixer act on spaces of different dimension.
+    DimensionMismatch {
+        /// Length of the objective-value vector.
+        objective_len: usize,
+        /// Dimension the mixer acts on.
+        mixer_dim: usize,
+    },
+    /// The objective-value vector is empty.
+    EmptyObjective,
+    /// The number of per-layer mixers does not divide the requested rounds.
+    MixerScheduleMismatch {
+        /// Number of mixers supplied.
+        mixers: usize,
+        /// Number of rounds implied by the angles.
+        rounds: usize,
+    },
+    /// A custom initial state has the wrong dimension or zero norm.
+    InvalidInitialState(String),
+    /// The angle vector has an odd length or is empty.
+    InvalidAngles(String),
+}
+
+impl fmt::Display for QaoaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QaoaError::DimensionMismatch {
+                objective_len,
+                mixer_dim,
+            } => write!(
+                f,
+                "objective vector has {objective_len} entries but the mixer acts on a \
+                 {mixer_dim}-dimensional space"
+            ),
+            QaoaError::EmptyObjective => write!(f, "objective-value vector is empty"),
+            QaoaError::MixerScheduleMismatch { mixers, rounds } => write!(
+                f,
+                "{mixers} per-layer mixers were supplied but the angles describe {rounds} rounds"
+            ),
+            QaoaError::InvalidInitialState(msg) => write!(f, "invalid initial state: {msg}"),
+            QaoaError::InvalidAngles(msg) => write!(f, "invalid angles: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QaoaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_numbers() {
+        let e = QaoaError::DimensionMismatch {
+            objective_len: 10,
+            mixer_dim: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains("16"));
+
+        let e = QaoaError::MixerScheduleMismatch { mixers: 3, rounds: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+
+        assert!(QaoaError::EmptyObjective.to_string().contains("empty"));
+        assert!(QaoaError::InvalidInitialState("bad norm".into())
+            .to_string()
+            .contains("bad norm"));
+        assert!(QaoaError::InvalidAngles("odd length".into())
+            .to_string()
+            .contains("odd length"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(QaoaError::EmptyObjective, QaoaError::EmptyObjective);
+        assert_ne!(
+            QaoaError::EmptyObjective,
+            QaoaError::InvalidAngles("x".into())
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation results.
+//!
+//! The Julia package's `simulate()` returns "a special object, which stores the
+//! statevector as well as objective values, and can be used to extract the expectation
+//! value, amplitudes for each state, and ground state probability".
+//! [`SimulationResult`] is that object.
+
+use juliqaoa_linalg::{vector, Complex64};
+
+/// The outcome of simulating a QAOA at a fixed set of angles.
+#[derive(Clone, Debug)]
+pub struct SimulationResult {
+    statevector: Vec<Complex64>,
+    expectation: f64,
+    min_value: f64,
+    max_value: f64,
+    optimal_probability: f64,
+}
+
+impl SimulationResult {
+    /// Builds a result by measuring a final state against its objective values.
+    ///
+    /// # Panics
+    /// Panics if the state and objective vectors have different lengths or are empty.
+    pub fn from_state(statevector: Vec<Complex64>, obj_vals: &[f64]) -> Self {
+        assert_eq!(statevector.len(), obj_vals.len());
+        assert!(!obj_vals.is_empty());
+        let expectation = vector::diagonal_expectation(&statevector, obj_vals);
+        let max_value = obj_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min_value = obj_vals.iter().copied().fold(f64::INFINITY, f64::min);
+        // Probability mass on the optimal (maximum objective) states.
+        let optimal_probability = statevector
+            .iter()
+            .zip(obj_vals.iter())
+            .filter(|(_, &v)| v == max_value)
+            .map(|(z, _)| z.norm_sqr())
+            .sum();
+        SimulationResult {
+            statevector,
+            expectation,
+            min_value,
+            max_value,
+            optimal_probability,
+        }
+    }
+
+    /// The expectation value `⟨β,γ|C(x)|β,γ⟩` (the quantity the outer loop optimizes).
+    pub fn expectation_value(&self) -> f64 {
+        self.expectation
+    }
+
+    /// The final statevector over the feasible set.
+    pub fn statevector(&self) -> &[Complex64] {
+        &self.statevector
+    }
+
+    /// The amplitude of feasible state `i`.
+    pub fn amplitude(&self, i: usize) -> Complex64 {
+        self.statevector[i]
+    }
+
+    /// Measurement probabilities `|ψ_x|²` over the feasible set.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.statevector.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// Probability of measuring a state that attains the maximum objective value
+    /// ("ground state probability" in the paper's convention of maximizing `C`).
+    pub fn ground_state_probability(&self) -> f64 {
+        self.optimal_probability
+    }
+
+    /// The largest objective value over the feasible set.
+    pub fn optimal_value(&self) -> f64 {
+        self.max_value
+    }
+
+    /// The smallest objective value over the feasible set.
+    pub fn worst_value(&self) -> f64 {
+        self.min_value
+    }
+
+    /// Approximation ratio `⟨C⟩ / C_max`, the quantity plotted in Figures 2 and 3.
+    ///
+    /// Callers with mixed-sign objectives should prefer
+    /// [`SimulationResult::normalized_expectation`].
+    pub fn approximation_ratio(&self) -> f64 {
+        self.expectation / self.max_value
+    }
+
+    /// The shifted/normalised quality `(⟨C⟩ − C_min)/(C_max − C_min)`, which is 0 for
+    /// the worst possible state and 1 for the optimum regardless of sign conventions.
+    pub fn normalized_expectation(&self) -> f64 {
+        if self.max_value == self.min_value {
+            1.0
+        } else {
+            (self.expectation - self.min_value) / (self.max_value - self.min_value)
+        }
+    }
+
+    /// Total probability mass (should be 1 for a unitary simulation; exposed for tests
+    /// and sanity checks).
+    pub fn total_probability(&self) -> f64 {
+        vector::norm_sqr(&self.statevector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_uniform_result() -> SimulationResult {
+        let dim = 4;
+        let amp = 0.5;
+        let state = vec![Complex64::new(amp, 0.0); dim];
+        let obj = vec![0.0, 1.0, 2.0, 3.0];
+        SimulationResult::from_state(state, &obj)
+    }
+
+    #[test]
+    fn uniform_state_statistics() {
+        let r = make_uniform_result();
+        assert!((r.expectation_value() - 1.5).abs() < 1e-12);
+        assert!((r.ground_state_probability() - 0.25).abs() < 1e-12);
+        assert_eq!(r.optimal_value(), 3.0);
+        assert_eq!(r.worst_value(), 0.0);
+        assert!((r.approximation_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.normalized_expectation() - 0.5).abs() < 1e-12);
+        assert!((r.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_state_finds_optimum() {
+        let mut state = vec![Complex64::ZERO; 4];
+        state[3] = Complex64::ONE;
+        let obj = vec![0.0, 1.0, 2.0, 3.0];
+        let r = SimulationResult::from_state(state, &obj);
+        assert!((r.expectation_value() - 3.0).abs() < 1e-12);
+        assert!((r.ground_state_probability() - 1.0).abs() < 1e-12);
+        assert!((r.approximation_ratio() - 1.0).abs() < 1e-12);
+        assert!((r.normalized_expectation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_optimum_sums_probability() {
+        let amp = (0.5f64).sqrt();
+        let mut state = vec![Complex64::ZERO; 4];
+        state[1] = Complex64::new(amp, 0.0);
+        state[2] = Complex64::new(0.0, amp);
+        let obj = vec![0.0, 5.0, 5.0, 1.0];
+        let r = SimulationResult::from_state(state, &obj);
+        assert!((r.ground_state_probability() - 1.0).abs() < 1e-12);
+        assert!((r.expectation_value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_and_amplitudes() {
+        let r = make_uniform_result();
+        let probs = r.probabilities();
+        assert_eq!(probs.len(), 4);
+        assert!(probs.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+        assert!((r.amplitude(2) - Complex64::new(0.5, 0.0)).abs() < 1e-12);
+        assert_eq!(r.statevector().len(), 4);
+    }
+
+    #[test]
+    fn constant_objective_normalization() {
+        let state = vec![Complex64::new(0.5, 0.0); 4];
+        let obj = vec![2.0; 4];
+        let r = SimulationResult::from_state(state, &obj);
+        assert_eq!(r.normalized_expectation(), 1.0);
+        assert!((r.approximation_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = SimulationResult::from_state(vec![Complex64::ONE; 3], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,381 @@
+//! The QAOA statevector simulator.
+//!
+//! A [`Simulator`] is assembled from the two pre-computed ingredients of Figure 1 —
+//! the objective values `C(x)` over the feasible set and a [`Mixer`] — plus an initial
+//! state.  Evaluating the ansatz at a set of [`Angles`] then alternates two cheap
+//! kernels per round:
+//!
+//! 1. the phase separator `e^{-iγ H_C}`: an element-wise phase multiplication by the
+//!    pre-computed objective values;
+//! 2. the mixer `e^{-iβ H_M}`: Walsh–Hadamard-diagonalised for Pauli-X mixers, a rank-1
+//!    update for the Grover mixer, or two subspace mat-vecs for Clique/Ring mixers.
+//!
+//! Nothing in the hot loop allocates; all buffers live in a caller-held [`Workspace`].
+
+use crate::angles::Angles;
+use crate::error::QaoaError;
+use crate::result::SimulationResult;
+use crate::workspace::Workspace;
+use juliqaoa_linalg::{vector, Complex64};
+use juliqaoa_mixers::Mixer;
+
+/// The state the QAOA starts from.
+#[derive(Clone, Debug)]
+pub enum InitialState {
+    /// The uniform superposition over the feasible set (the default: `|+⟩^{⊗n}` for
+    /// unconstrained problems, the Dicke state `|D^n_k⟩` for weight-k problems).
+    Uniform,
+    /// A single feasible basis state, given by its dense index.
+    Basis(usize),
+    /// An arbitrary caller-supplied state (e.g. a warm start); normalised on use.
+    Custom(Vec<Complex64>),
+}
+
+/// An exact QAOA statevector simulator over a pre-computed problem.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    obj_vals: Vec<f64>,
+    mixers: Vec<Mixer>,
+    initial_state: InitialState,
+    dim: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator with a single mixer shared by every round — the common case
+    /// of Listing 1 (`simulate(angles, mixer, obj_vals)`).
+    pub fn new(obj_vals: Vec<f64>, mixer: Mixer) -> Result<Self, QaoaError> {
+        Self::with_mixers(obj_vals, vec![mixer])
+    }
+
+    /// Creates a simulator with one mixer per round (the `mixers` array option of §3);
+    /// the number of rounds simulated must then equal the number of mixers.
+    pub fn with_mixers(obj_vals: Vec<f64>, mixers: Vec<Mixer>) -> Result<Self, QaoaError> {
+        if obj_vals.is_empty() {
+            return Err(QaoaError::EmptyObjective);
+        }
+        assert!(!mixers.is_empty(), "at least one mixer is required");
+        let dim = obj_vals.len();
+        for m in &mixers {
+            if m.dim() != dim {
+                return Err(QaoaError::DimensionMismatch {
+                    objective_len: dim,
+                    mixer_dim: m.dim(),
+                });
+            }
+        }
+        Ok(Simulator {
+            obj_vals,
+            mixers,
+            initial_state: InitialState::Uniform,
+            dim,
+        })
+    }
+
+    /// Replaces the initial state (the `initial_state` keyword of `simulate()`); used for
+    /// warm starts and for starting constrained problems in specific feasible states.
+    pub fn with_initial_state(mut self, init: InitialState) -> Result<Self, QaoaError> {
+        match &init {
+            InitialState::Uniform => {}
+            InitialState::Basis(i) => {
+                if *i >= self.dim {
+                    return Err(QaoaError::InvalidInitialState(format!(
+                        "basis index {i} out of range for dimension {}",
+                        self.dim
+                    )));
+                }
+            }
+            InitialState::Custom(v) => {
+                if v.len() != self.dim {
+                    return Err(QaoaError::InvalidInitialState(format!(
+                        "custom state has length {} but the feasible set has {} states",
+                        v.len(),
+                        self.dim
+                    )));
+                }
+                if vector::norm(v) == 0.0 {
+                    return Err(QaoaError::InvalidInitialState(
+                        "custom state has zero norm".into(),
+                    ));
+                }
+            }
+        }
+        self.initial_state = init;
+        Ok(self)
+    }
+
+    /// Dimension of the feasible set (and of every statevector involved).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The pre-computed objective values.
+    pub fn objective_values(&self) -> &[f64] {
+        &self.obj_vals
+    }
+
+    /// The mixer used at a given round.
+    pub fn mixers(&self) -> &[Mixer] {
+        &self.mixers
+    }
+
+    /// Largest objective value (the optimum for maximization problems).
+    pub fn max_objective(&self) -> f64 {
+        self.obj_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest objective value.
+    pub fn min_objective(&self) -> f64 {
+        self.obj_vals.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Allocates a workspace matched to this simulator's dimension.
+    pub fn workspace(&self) -> Workspace {
+        Workspace::new(self.dim)
+    }
+
+    /// Writes the initial state into `state`.
+    pub fn prepare_initial(&self, state: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim);
+        match &self.initial_state {
+            InitialState::Uniform => vector::fill_uniform(state),
+            InitialState::Basis(i) => {
+                state.iter_mut().for_each(|z| *z = Complex64::ZERO);
+                state[*i] = Complex64::ONE;
+            }
+            InitialState::Custom(v) => {
+                state.copy_from_slice(v);
+                vector::normalize(state);
+            }
+        }
+    }
+
+    /// Returns the mixer to use for `round` out of `p`, validating the schedule.
+    pub(crate) fn mixer_for_round(&self, round: usize, p: usize) -> Result<&Mixer, QaoaError> {
+        if self.mixers.len() == 1 {
+            Ok(&self.mixers[0])
+        } else if self.mixers.len() == p {
+            Ok(&self.mixers[round])
+        } else {
+            Err(QaoaError::MixerScheduleMismatch {
+                mixers: self.mixers.len(),
+                rounds: p,
+            })
+        }
+    }
+
+    /// Evolves the initial state through all `p` rounds, leaving `|β,γ⟩` in `ws.state`.
+    pub fn evolve_into(&self, angles: &Angles, ws: &mut Workspace) -> Result<(), QaoaError> {
+        ws.resize(self.dim);
+        self.prepare_initial(&mut ws.state);
+        let p = angles.p();
+        for round in 0..p {
+            let (gamma, beta) = angles.round(round);
+            let mixer = self.mixer_for_round(round, p)?;
+            // Phase separator e^{-iγ H_C}.
+            vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
+            // Mixer e^{-iβ H_M}.
+            mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+        }
+        Ok(())
+    }
+
+    /// The expectation value `⟨β,γ|C|β,γ⟩` using a caller-held workspace (the zero
+    /// allocation path used inside the angle-finding loop).
+    pub fn expectation_with(&self, angles: &Angles, ws: &mut Workspace) -> Result<f64, QaoaError> {
+        self.evolve_into(angles, ws)?;
+        Ok(vector::diagonal_expectation(&ws.state, &self.obj_vals))
+    }
+
+    /// Convenience wrapper allocating a fresh workspace.
+    pub fn expectation(&self, angles: &Angles) -> Result<f64, QaoaError> {
+        let mut ws = self.workspace();
+        self.expectation_with(angles, &mut ws)
+    }
+
+    /// Full simulation returning a [`SimulationResult`] (Listing 1's `simulate`).
+    pub fn simulate(&self, angles: &Angles) -> Result<SimulationResult, QaoaError> {
+        let mut ws = self.workspace();
+        self.simulate_with(angles, &mut ws)
+    }
+
+    /// Full simulation re-using a workspace; the statevector is copied into the result.
+    pub fn simulate_with(
+        &self,
+        angles: &Angles,
+        ws: &mut Workspace,
+    ) -> Result<SimulationResult, QaoaError> {
+        self.evolve_into(angles, ws)?;
+        Ok(SimulationResult::from_state(ws.state.clone(), &self.obj_vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juliqaoa_graphs::{cycle_graph, erdos_renyi};
+    use juliqaoa_problems::{precompute_full, MaxCut};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn maxcut_simulator(n: usize) -> (Simulator, f64) {
+        let graph = cycle_graph(n);
+        let cost = MaxCut::new(graph);
+        let optimum = cost.optimal_value();
+        let obj = precompute_full(&cost);
+        let sim = Simulator::new(obj, Mixer::transverse_field(n)).unwrap();
+        (sim, optimum)
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let obj = vec![0.0; 8];
+        assert!(Simulator::new(obj.clone(), Mixer::transverse_field(3)).is_ok());
+        let err = Simulator::new(obj, Mixer::transverse_field(2)).unwrap_err();
+        assert!(matches!(err, QaoaError::DimensionMismatch { .. }));
+        assert!(matches!(
+            Simulator::new(vec![], Mixer::transverse_field(2)),
+            Err(QaoaError::EmptyObjective)
+        ));
+    }
+
+    #[test]
+    fn zero_rounds_reproduces_initial_expectation() {
+        let (sim, _) = maxcut_simulator(6);
+        // p = 0: expectation is the mean objective value over the uniform superposition.
+        let mean: f64 = sim.objective_values().iter().sum::<f64>() / sim.dim() as f64;
+        let e = sim.expectation(&Angles::zeros(0)).unwrap();
+        assert!((e - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_angles_leave_expectation_at_mean() {
+        let (sim, _) = maxcut_simulator(6);
+        let mean: f64 = sim.objective_values().iter().sum::<f64>() / sim.dim() as f64;
+        let e = sim.expectation(&Angles::zeros(3)).unwrap();
+        assert!((e - mean).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simulation_preserves_norm() {
+        let (sim, _) = maxcut_simulator(6);
+        let angles = Angles::random(4, &mut StdRng::seed_from_u64(7));
+        let res = sim.simulate(&angles).unwrap();
+        assert!((res.total_probability() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn single_round_qaoa_improves_over_random_guessing() {
+        // A modest p=1 QAOA with reasonable angles should beat the uniform-superposition
+        // mean for MaxCut on a cycle.
+        let (sim, optimum) = maxcut_simulator(8);
+        let mean: f64 = sim.objective_values().iter().sum::<f64>() / sim.dim() as f64;
+        let mut best = f64::NEG_INFINITY;
+        // Coarse grid over (β, γ) — the point is existence of an improving angle pair.
+        for ib in 0..12 {
+            for ig in 0..12 {
+                let beta = ib as f64 * std::f64::consts::PI / 12.0;
+                let gamma = ig as f64 * std::f64::consts::PI / 12.0;
+                let e = sim
+                    .expectation(&Angles::new(vec![beta], vec![gamma]))
+                    .unwrap();
+                best = best.max(e);
+            }
+        }
+        assert!(best > mean + 0.3, "best {best} should exceed mean {mean}");
+        assert!(best <= optimum + 1e-9);
+    }
+
+    #[test]
+    fn expectation_bounded_by_objective_range() {
+        let graph = erdos_renyi(7, 0.5, &mut StdRng::seed_from_u64(3));
+        let cost = MaxCut::new(graph);
+        let obj = precompute_full(&cost);
+        let sim = Simulator::new(obj, Mixer::transverse_field(7)).unwrap();
+        for seed in 0..5 {
+            let angles = Angles::random(3, &mut StdRng::seed_from_u64(seed));
+            let e = sim.expectation(&angles).unwrap();
+            assert!(e <= sim.max_objective() + 1e-9);
+            assert!(e >= sim.min_objective() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_allocation() {
+        let (sim, _) = maxcut_simulator(6);
+        let mut ws = sim.workspace();
+        let angles = Angles::random(3, &mut StdRng::seed_from_u64(11));
+        let with_ws = sim.expectation_with(&angles, &mut ws).unwrap();
+        let fresh = sim.expectation(&angles).unwrap();
+        assert!((with_ws - fresh).abs() < 1e-12);
+        // Re-using the same workspace again gives the same answer (state fully reset).
+        let again = sim.expectation_with(&angles, &mut ws).unwrap();
+        assert!((again - fresh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_round_mixers_schedule_is_validated() {
+        let n = 4;
+        let obj = vec![1.0; 1 << n];
+        let sim = Simulator::with_mixers(
+            obj,
+            vec![Mixer::transverse_field(n), Mixer::grover_full(n)],
+        )
+        .unwrap();
+        // Two mixers, two rounds: fine.
+        assert!(sim.expectation(&Angles::zeros(2)).is_ok());
+        // Two mixers, three rounds: schedule mismatch.
+        let err = sim.expectation(&Angles::zeros(3)).unwrap_err();
+        assert!(matches!(err, QaoaError::MixerScheduleMismatch { .. }));
+    }
+
+    #[test]
+    fn basis_initial_state() {
+        let (sim, _) = maxcut_simulator(5);
+        let sim = sim.with_initial_state(InitialState::Basis(3)).unwrap();
+        let res = sim.simulate(&Angles::zeros(0)).unwrap();
+        assert!((res.amplitude(3) - Complex64::ONE).abs() < 1e-12);
+        assert!((res.total_probability() - 1.0).abs() < 1e-12);
+        // Out-of-range index is rejected.
+        let (sim2, _) = maxcut_simulator(5);
+        assert!(sim2.with_initial_state(InitialState::Basis(1 << 5)).is_err());
+    }
+
+    #[test]
+    fn custom_initial_state_is_normalised() {
+        let (sim, _) = maxcut_simulator(4);
+        let mut custom = vec![Complex64::ZERO; 16];
+        custom[0] = Complex64::new(3.0, 0.0);
+        custom[1] = Complex64::new(0.0, 4.0);
+        let sim = sim
+            .with_initial_state(InitialState::Custom(custom))
+            .unwrap();
+        let res = sim.simulate(&Angles::zeros(0)).unwrap();
+        assert!((res.total_probability() - 1.0).abs() < 1e-12);
+        assert!((res.amplitude(0).abs() - 0.6).abs() < 1e-12);
+        assert!((res.amplitude(1).abs() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_initial_state_validation() {
+        let (sim, _) = maxcut_simulator(4);
+        assert!(sim
+            .clone()
+            .with_initial_state(InitialState::Custom(vec![Complex64::ZERO; 5]))
+            .is_err());
+        assert!(sim
+            .with_initial_state(InitialState::Custom(vec![Complex64::ZERO; 16]))
+            .is_err());
+    }
+
+    #[test]
+    fn grover_and_transverse_field_agree_at_p0() {
+        let n = 5;
+        let cost = MaxCut::new(cycle_graph(n));
+        let obj = precompute_full(&cost);
+        let sim_x = Simulator::new(obj.clone(), Mixer::transverse_field(n)).unwrap();
+        let sim_g = Simulator::new(obj, Mixer::grover_full(n)).unwrap();
+        let a = sim_x.expectation(&Angles::zeros(0)).unwrap();
+        let b = sim_g.expectation(&Angles::zeros(0)).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Pre-allocated simulation workspaces.
+//!
+//! §2.2: "we pre-allocate and re-use memory, allowing for functionally zero overhead."
+//! A [`Workspace`] owns every buffer a simulation (and its gradient) needs; the
+//! angle-finding outer loop creates one workspace and hands it to every expectation /
+//! gradient evaluation, so the hot loop performs no heap allocation at all.
+
+use juliqaoa_linalg::Complex64;
+
+/// Scratch buffers for repeated simulations of a fixed problem size.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// The evolving statevector (over the feasible set).
+    pub state: Vec<Complex64>,
+    /// Scratch for subspace mat-vecs.
+    pub scratch: Vec<Complex64>,
+    /// The adjoint (co-state) vector used by the gradient sweep.
+    pub lambda: Vec<Complex64>,
+    /// Temporary used to hold `H·ψ` during the gradient sweep.
+    pub tmp: Vec<Complex64>,
+}
+
+impl Workspace {
+    /// Allocates a workspace for statevectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        Workspace {
+            state: vec![Complex64::ZERO; dim],
+            scratch: vec![Complex64::ZERO; dim],
+            lambda: vec![Complex64::ZERO; dim],
+            tmp: vec![Complex64::ZERO; dim],
+        }
+    }
+
+    /// The statevector dimension this workspace serves.
+    pub fn dim(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Resizes all buffers (only reallocating when the dimension actually changes).
+    pub fn resize(&mut self, dim: usize) {
+        if dim != self.dim() {
+            self.state.resize(dim, Complex64::ZERO);
+            self.scratch.resize(dim, Complex64::ZERO);
+            self.lambda.resize(dim, Complex64::ZERO);
+            self.tmp.resize(dim, Complex64::ZERO);
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the memory-scaling benchmark).
+    pub fn bytes(&self) -> usize {
+        4 * self.state.capacity() * std::mem::size_of::<Complex64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_resize() {
+        let mut ws = Workspace::new(8);
+        assert_eq!(ws.dim(), 8);
+        assert_eq!(ws.scratch.len(), 8);
+        ws.resize(16);
+        assert_eq!(ws.dim(), 16);
+        assert_eq!(ws.lambda.len(), 16);
+        assert_eq!(ws.tmp.len(), 16);
+        // Resizing to the same size is a no-op.
+        let ptr = ws.state.as_ptr();
+        ws.resize(16);
+        assert_eq!(ws.state.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn bytes_accounts_for_all_buffers() {
+        let ws = Workspace::new(100);
+        assert!(ws.bytes() >= 4 * 100 * 16);
+    }
+}

@@ -1,0 +1,160 @@
+//! Small graph analyses used by cost functions, tests and the benchmark harness.
+
+use crate::graph::Graph;
+
+/// Degree sequence of the graph, indexed by vertex.
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    (0..g.num_vertices()).map(|v| g.degree(v)).collect()
+}
+
+/// Edge density `m / C(n,2)`, in `[0, 1]`.  Returns 0 for graphs with fewer than two
+/// vertices.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    if n < 2 {
+        return 0.0;
+    }
+    let max_edges = n * (n - 1) / 2;
+    g.num_edges() as f64 / max_edges as f64
+}
+
+/// Whether the graph is connected (the empty graph and single vertices count as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                count += 1;
+                stack.push(u);
+            }
+        }
+    }
+    count == n
+}
+
+/// Number of connected components.
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut components = 0;
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        components += 1;
+        let mut stack = vec![start];
+        visited[start] = true;
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if !visited[u] {
+                    visited[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Number of edges with both endpoints inside the vertex subset given by a bitmask
+/// (bit `v` set ⇔ vertex `v` selected).  This is the Densest-k-Subgraph objective.
+pub fn edges_within_subset(g: &Graph, subset_mask: u64) -> f64 {
+    g.edges()
+        .iter()
+        .filter(|e| (subset_mask >> e.u) & 1 == 1 && (subset_mask >> e.v) & 1 == 1)
+        .map(|e| e.weight)
+        .sum()
+}
+
+/// Number of edges with at least one endpoint in the subset (the k-Vertex-Cover
+/// objective).
+pub fn edges_covered_by_subset(g: &Graph, subset_mask: u64) -> f64 {
+    g.edges()
+        .iter()
+        .filter(|e| (subset_mask >> e.u) & 1 == 1 || (subset_mask >> e.v) & 1 == 1)
+        .map(|e| e.weight)
+        .sum()
+}
+
+/// Total weight of edges crossing the cut defined by the bitmask (the MaxCut objective).
+pub fn cut_weight(g: &Graph, cut_mask: u64) -> f64 {
+    g.edges()
+        .iter()
+        .filter(|e| ((cut_mask >> e.u) & 1) != ((cut_mask >> e.v) & 1))
+        .map(|e| e.weight)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn degree_sequence_of_star() {
+        let g = star_graph(5);
+        assert_eq!(degree_sequence(&g), vec![4, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert!((density(&complete_graph(6)) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&Graph::new(6)), 0.0);
+        assert_eq!(density(&Graph::new(1)), 0.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&cycle_graph(7)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+        let mut g = path_graph(4);
+        assert!(is_connected(&g));
+        g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g), 2);
+        assert_eq!(connected_components(&Graph::new(3)), 3);
+        assert_eq!(connected_components(&cycle_graph(5)), 1);
+    }
+
+    #[test]
+    fn subset_edge_counts() {
+        // Square 0-1-2-3-0 plus diagonal 0-2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        // Subset {0,1,2}: edges inside = (0,1),(1,2),(0,2) = 3.
+        assert_eq!(edges_within_subset(&g, 0b0111), 3.0);
+        // Subset {0}: nothing inside, but covers (0,1),(0,3),(0,2).
+        assert_eq!(edges_within_subset(&g, 0b0001), 0.0);
+        assert_eq!(edges_covered_by_subset(&g, 0b0001), 3.0);
+        // Full subset covers everything.
+        assert_eq!(edges_covered_by_subset(&g, 0b1111), 5.0);
+    }
+
+    #[test]
+    fn cut_weight_of_square() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        // Bipartition {0,2} vs {1,3} cuts all four edges.
+        assert_eq!(cut_weight(&g, 0b0101), 4.0);
+        // Trivial cut has weight 0.
+        assert_eq!(cut_weight(&g, 0b0000), 0.0);
+        // Cut isolating vertex 0 cuts its two incident edges.
+        assert_eq!(cut_weight(&g, 0b0001), 2.0);
+    }
+
+    #[test]
+    fn weighted_cut() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 3.0), (0, 2, 5.0)]);
+        assert!((cut_weight(&g, 0b001) - 7.0).abs() < 1e-12);
+        assert!((edges_covered_by_subset(&g, 0b010) - 5.0).abs() < 1e-12);
+        assert!((edges_within_subset(&g, 0b011) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,391 @@
+//! A minimal, `Copy`, double-precision complex number.
+//!
+//! The simulator only needs a handful of operations (add/sub/mul, conjugate, modulus,
+//! `e^{iθ}`), so rather than pulling in an external crate we define them here.  The type
+//! is `#[repr(C)]` with the real part first so a `&[Complex64]` can be reinterpreted by
+//! downstream FFI or GPU backends if one is ever added.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// This is the workhorse of the phase-separator kernel: the QAOA cost unitary
+    /// multiplies each amplitude by `cis(-γ·C(x))`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: c, im: s }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 {
+            re: r * c,
+            im: r * s,
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::from_polar(r, self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns true when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex64::new(1.0, 2.0).re, 1.0);
+        assert_eq!(Complex64::new(1.0, 2.0).im, 2.0);
+        assert_eq!(Complex64::ZERO, Complex64::new(0.0, 0.0));
+        assert_eq!(Complex64::ONE, Complex64::new(1.0, 0.0));
+        assert_eq!(Complex64::I, Complex64::new(0.0, 1.0));
+        assert_eq!(Complex64::from(3.5), Complex64::new(3.5, 0.0));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 4.0);
+        assert!(close(a + b, Complex64::new(0.5, 6.0)));
+        assert!(close(a - b, Complex64::new(1.5, -2.0)));
+        let mut c = a;
+        c += b;
+        assert!(close(c, a + b));
+        c -= b;
+        assert!(close(c, a));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert!(close(a * b, Complex64::new(5.0, 5.0)));
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn division_and_inverse() {
+        let a = Complex64::new(2.0, -3.0);
+        assert!(close(a * a.inv(), Complex64::ONE));
+        let b = Complex64::new(0.5, 0.25);
+        assert!(close((a / b) * b, a));
+        let mut c = a;
+        c /= b;
+        assert!(close(c * b, a));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Complex64::new(1.0, -2.0);
+        assert!(close(a * 2.0, Complex64::new(2.0, -4.0)));
+        assert!(close(2.0 * a, Complex64::new(2.0, -4.0)));
+        assert!(close(a / 2.0, Complex64::new(0.5, -1.0)));
+        assert!(close(-a, Complex64::new(-1.0, 2.0)));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let a = Complex64::new(3.0, 4.0);
+        assert!(close(a.conj(), Complex64::new(3.0, -4.0)));
+        assert!((a.norm_sqr() - 25.0).abs() < EPS);
+        assert!((a.abs() - 5.0).abs() < EPS);
+        assert!((a * a.conj()).im.abs() < EPS);
+    }
+
+    #[test]
+    fn cis_and_polar() {
+        let theta = 0.73;
+        let z = Complex64::cis(theta);
+        assert!((z.abs() - 1.0).abs() < EPS);
+        assert!((z.arg() - theta).abs() < EPS);
+        let w = Complex64::from_polar(2.0, -1.1);
+        assert!((w.abs() - 2.0).abs() < EPS);
+        assert!((w.arg() + 1.1).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex64::new(0.3, 1.2);
+        let e = z.exp();
+        let expected = Complex64::from_polar(0.3f64.exp(), 1.2);
+        assert!(close(e, expected));
+        // e^{iπ} = -1
+        assert!(close(
+            Complex64::new(0.0, std::f64::consts::PI).exp(),
+            -Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn cis_is_group_homomorphism() {
+        let a = 0.4;
+        let b = -1.3;
+        assert!(close(
+            Complex64::cis(a) * Complex64::cis(b),
+            Complex64::cis(a + b)
+        ));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -0.5),
+            Complex64::new(-3.0, 0.25),
+        ];
+        let by_val: Complex64 = v.iter().copied().sum();
+        let by_ref: Complex64 = v.iter().sum();
+        assert!(close(by_val, Complex64::new(0.0, 0.75)));
+        assert!(close(by_ref, by_val));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Complex64::new(1.0, 2.0).is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex64::new(0.0, f64::INFINITY).is_finite());
+    }
+}

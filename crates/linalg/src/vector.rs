@@ -1,0 +1,321 @@
+//! Vector kernels over complex statevectors.
+//!
+//! These are the inner loops of the simulator: phase multiplications (the cost unitary),
+//! inner products (expectation values, Grover-mixer overlaps) and axpy updates.  Every
+//! kernel has a serial and a rayon-parallel path chosen by [`crate::PAR_THRESHOLD`], and
+//! none of them allocate.
+
+use crate::{Complex64, PAR_THRESHOLD};
+use rayon::prelude::*;
+
+/// Squared 2-norm `Σ |ψ_x|²` of a complex vector.
+pub fn norm_sqr(v: &[Complex64]) -> f64 {
+    if v.len() >= PAR_THRESHOLD {
+        v.par_iter().map(|z| z.norm_sqr()).sum()
+    } else {
+        v.iter().map(|z| z.norm_sqr()).sum()
+    }
+}
+
+/// 2-norm of a complex vector.
+pub fn norm(v: &[Complex64]) -> f64 {
+    norm_sqr(v).sqrt()
+}
+
+/// Normalises `v` to unit 2-norm in place. Returns the original norm.
+///
+/// A zero vector is left untouched and `0.0` is returned.
+pub fn normalize(v: &mut [Complex64]) -> f64 {
+    let n = norm(v);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        scale(v, inv);
+    }
+    n
+}
+
+/// Scales every element of `v` by the real factor `s` in place.
+pub fn scale(v: &mut [Complex64], s: f64) {
+    if v.len() >= PAR_THRESHOLD {
+        v.par_iter_mut().for_each(|z| *z = z.scale(s));
+    } else {
+        v.iter_mut().for_each(|z| *z = z.scale(s));
+    }
+}
+
+/// Hermitian inner product `⟨a|b⟩ = Σ conj(a_x)·b_x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn inner(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "inner product of mismatched lengths");
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| x.conj() * *y)
+            .sum()
+    } else {
+        a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+    }
+}
+
+/// `y += alpha * x` (complex axpy).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    if x.len() >= PAR_THRESHOLD {
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .for_each(|(yi, xi)| *yi += alpha * *xi);
+    } else {
+        y.iter_mut()
+            .zip(x.iter())
+            .for_each(|(yi, xi)| *yi += alpha * *xi);
+    }
+}
+
+/// Multiplies each amplitude by the phase `e^{-i·angle·values[x]}`.
+///
+/// This is the QAOA phase separator `e^{-iγ H_C}` (with `values = C(x)`), and is also
+/// used for diagonalised mixers `e^{-iβ D}` where `values` holds the mixer eigenvalues.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn apply_phases(state: &mut [Complex64], values: &[f64], angle: f64) {
+    assert_eq!(
+        state.len(),
+        values.len(),
+        "phase kernel: state and value vectors must match"
+    );
+    if state.len() >= PAR_THRESHOLD {
+        state
+            .par_iter_mut()
+            .zip(values.par_iter())
+            .for_each(|(z, &c)| *z *= Complex64::cis(-angle * c));
+    } else {
+        state
+            .iter_mut()
+            .zip(values.iter())
+            .for_each(|(z, &c)| *z *= Complex64::cis(-angle * c));
+    }
+}
+
+/// Multiplies each amplitude by `-i·values[x]`, i.e. applies `-i·diag(values)`.
+///
+/// Used by the adjoint-gradient sweep, where differentiating `e^{-iγ H_C}` with respect
+/// to `γ` brings down a factor `-i H_C`.
+pub fn apply_neg_i_diag(state: &mut [Complex64], values: &[f64]) {
+    assert_eq!(state.len(), values.len());
+    let mul = |z: &mut Complex64, c: f64| {
+        // (-i·c)·z = c·(im, -re)
+        let w = Complex64::new(z.im * c, -z.re * c);
+        *z = w;
+    };
+    if state.len() >= PAR_THRESHOLD {
+        state
+            .par_iter_mut()
+            .zip(values.par_iter())
+            .for_each(|(z, &c)| mul(z, c));
+    } else {
+        state.iter_mut().zip(values.iter()).for_each(|(z, &c)| mul(z, c));
+    }
+}
+
+/// Weighted expectation `Σ values[x]·|ψ_x|²` of a diagonal observable.
+///
+/// For a normalised state this is `⟨ψ|diag(values)|ψ⟩`, i.e. the QAOA objective
+/// `⟨β,γ|C(x)|β,γ⟩`.
+pub fn diagonal_expectation(state: &[Complex64], values: &[f64]) -> f64 {
+    assert_eq!(state.len(), values.len());
+    if state.len() >= PAR_THRESHOLD {
+        state
+            .par_iter()
+            .zip(values.par_iter())
+            .map(|(z, &c)| z.norm_sqr() * c)
+            .sum()
+    } else {
+        state
+            .iter()
+            .zip(values.iter())
+            .map(|(z, &c)| z.norm_sqr() * c)
+            .sum()
+    }
+}
+
+/// Sum of all amplitudes `Σ ψ_x` (the un-normalised overlap with the uniform state).
+pub fn amplitude_sum(state: &[Complex64]) -> Complex64 {
+    if state.len() >= PAR_THRESHOLD {
+        state.par_iter().copied().sum()
+    } else {
+        state.iter().copied().sum()
+    }
+}
+
+/// Elementwise copy `dst ← src`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn copy_from(dst: &mut [Complex64], src: &[Complex64]) {
+    assert_eq!(dst.len(), src.len());
+    dst.copy_from_slice(src);
+}
+
+/// Fills the vector with the uniform superposition `1/√len`.
+pub fn fill_uniform(state: &mut [Complex64]) {
+    let amp = 1.0 / (state.len() as f64).sqrt();
+    let val = Complex64::from_real(amp);
+    if state.len() >= PAR_THRESHOLD {
+        state.par_iter_mut().for_each(|z| *z = val);
+    } else {
+        state.iter_mut().for_each(|z| *z = val);
+    }
+}
+
+/// Maximum absolute difference between two complex vectors.
+pub fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(n: usize, f: impl Fn(usize) -> Complex64) -> Vec<Complex64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn norm_of_unit_basis_vector() {
+        let mut v = vec![Complex64::ZERO; 8];
+        v[3] = Complex64::ONE;
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        assert!((norm_sqr(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec_of(16, |i| Complex64::new(i as f64, -(i as f64) * 0.5));
+        let old = normalize(&mut v);
+        assert!(old > 0.0);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![Complex64::ZERO; 4];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert!(v.iter().all(|z| *z == Complex64::ZERO));
+    }
+
+    #[test]
+    fn inner_product_hermitian_symmetry() {
+        let a = vec_of(10, |i| Complex64::new(i as f64 * 0.1, 1.0 - i as f64 * 0.2));
+        let b = vec_of(10, |i| Complex64::new(-(i as f64) * 0.3, i as f64 * 0.05));
+        let ab = inner(&a, &b);
+        let ba = inner(&b, &a);
+        assert!((ab - ba.conj()).abs() < 1e-12);
+        assert!((inner(&a, &a).im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let x = vec_of(5, |i| Complex64::new(i as f64, 1.0));
+        let mut y = vec_of(5, |i| Complex64::new(1.0, -(i as f64)));
+        let y0 = y.clone();
+        let alpha = Complex64::new(0.5, -2.0);
+        axpy(alpha, &x, &mut y);
+        for i in 0..5 {
+            assert!((y[i] - (y0[i] + alpha * x[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_phases_preserves_norm_and_sets_phase() {
+        let mut v = vec_of(8, |i| Complex64::new(1.0 + i as f64, -0.25 * i as f64));
+        let before = norm(&v);
+        let costs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let gamma = 0.7;
+        let orig = v.clone();
+        apply_phases(&mut v, &costs, gamma);
+        assert!((norm(&v) - before).abs() < 1e-12);
+        for i in 0..8 {
+            let expected = orig[i] * Complex64::cis(-gamma * costs[i]);
+            assert!((v[i] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn neg_i_diag_matches_multiplication() {
+        let mut v = vec_of(6, |i| Complex64::new(i as f64, 2.0 - i as f64));
+        let vals: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        let orig = v.clone();
+        apply_neg_i_diag(&mut v, &vals);
+        for i in 0..6 {
+            let expected = Complex64::new(0.0, -vals[i]) * orig[i];
+            assert!((v[i] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_expectation_uniform_state_is_mean() {
+        let n = 16;
+        let mut v = vec![Complex64::ZERO; n];
+        fill_uniform(&mut v);
+        let costs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mean = costs.iter().sum::<f64>() / n as f64;
+        assert!((diagonal_expectation(&v, &costs) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_sum_counts_uniform() {
+        let n = 32;
+        let mut v = vec![Complex64::ZERO; n];
+        fill_uniform(&mut v);
+        let s = amplitude_sum(&v);
+        assert!((s.re - (n as f64).sqrt()).abs() < 1e-12);
+        assert!(s.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_path() {
+        // Force the parallel branch with a large vector and compare against a serial fold.
+        let n = PAR_THRESHOLD * 2;
+        let v = vec_of(n, |i| {
+            Complex64::new((i % 17) as f64 * 0.01, ((i * 7) % 13) as f64 * 0.02)
+        });
+        let serial: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm_sqr(&v) - serial).abs() < 1e-9 * serial.max(1.0));
+
+        let costs: Vec<f64> = (0..n).map(|i| ((i * 31) % 23) as f64).collect();
+        let serial_exp: f64 = v
+            .iter()
+            .zip(costs.iter())
+            .map(|(z, &c)| z.norm_sqr() * c)
+            .sum();
+        let par_exp = diagonal_expectation(&v, &costs);
+        assert!((par_exp - serial_exp).abs() < 1e-6 * serial_exp.abs().max(1.0));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let a = vec_of(10, |i| Complex64::new(i as f64, 0.0));
+        let mut b = a.clone();
+        assert_eq!(max_abs_diff(&a, &b), 0.0);
+        b[7] += Complex64::new(0.0, 1e-3);
+        assert!((max_abs_diff(&a, &b) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_mismatched_lengths_panics() {
+        let a = vec![Complex64::ONE; 3];
+        let b = vec![Complex64::ONE; 4];
+        let _ = inner(&a, &b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Fast Walsh–Hadamard transforms (`H^{⊗n}`).
+//!
+//! Every Pauli-X product mixer Hamiltonian `f(X_i)` is diagonalised by the uniform
+//! Hadamard rotation: `e^{-iβ f(X_i)} = H^{⊗n} e^{-iβ f(Z_i)} H^{⊗n}` (Eq. 2 in the
+//! paper).  Applying `H^{⊗n}` to a statevector is the butterfly-structured fast
+//! Walsh–Hadamard transform, costing `O(n·2ⁿ)` — the "appropriate tensor contractions"
+//! of §2.2.  This module provides an in-place, normalised (unitary) transform with a
+//! rayon-parallel path for large states.
+
+use crate::{Complex64, PAR_THRESHOLD};
+use rayon::prelude::*;
+
+/// Applies the unitary transform `H^{⊗n}` to `state` in place.
+///
+/// `state.len()` must be a power of two; `n = log2(len)`.  The transform is normalised
+/// (an overall `2^{-n/2}` factor), so applying it twice returns the original state.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn walsh_hadamard(state: &mut [Complex64]) {
+    let len = state.len();
+    assert!(len.is_power_of_two(), "statevector length must be a power of two");
+    if len >= PAR_THRESHOLD {
+        walsh_hadamard_butterflies_parallel(state);
+    } else {
+        walsh_hadamard_butterflies_serial(state);
+    }
+    let scale = 1.0 / (len as f64).sqrt();
+    if len >= PAR_THRESHOLD {
+        state.par_iter_mut().for_each(|z| *z = z.scale(scale));
+    } else {
+        state.iter_mut().for_each(|z| *z = z.scale(scale));
+    }
+}
+
+/// Applies the *unnormalised* Walsh–Hadamard transform (all butterflies, no `2^{-n/2}`).
+///
+/// Useful when the caller folds the normalisation into another constant; applying it
+/// twice multiplies the state by `2ⁿ`.
+pub fn walsh_hadamard_unnormalized(state: &mut [Complex64]) {
+    let len = state.len();
+    assert!(len.is_power_of_two(), "statevector length must be a power of two");
+    if len >= PAR_THRESHOLD {
+        walsh_hadamard_butterflies_parallel(state);
+    } else {
+        walsh_hadamard_butterflies_serial(state);
+    }
+}
+
+fn walsh_hadamard_butterflies_serial(state: &mut [Complex64]) {
+    let len = state.len();
+    let mut h = 1;
+    while h < len {
+        let step = h * 2;
+        let mut start = 0;
+        while start < len {
+            for i in start..start + h {
+                let a = state[i];
+                let b = state[i + h];
+                state[i] = a + b;
+                state[i + h] = a - b;
+            }
+            start += step;
+        }
+        h = step;
+    }
+}
+
+fn walsh_hadamard_butterflies_parallel(state: &mut [Complex64]) {
+    let len = state.len();
+    let mut h = 1;
+    while h < len {
+        let step = h * 2;
+        let num_blocks = len / step;
+        if num_blocks >= rayon::current_num_threads() {
+            // Many independent blocks: parallelise across blocks.
+            state.par_chunks_mut(step).for_each(|block| {
+                let (lo, hi) = block.split_at_mut(h);
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let x = *a;
+                    let y = *b;
+                    *a = x + y;
+                    *b = x - y;
+                }
+            });
+        } else {
+            // Few large blocks: parallelise the pair loop inside each block.
+            for block in state.chunks_mut(step) {
+                let (lo, hi) = block.split_at_mut(h);
+                lo.par_iter_mut()
+                    .zip(hi.par_iter_mut())
+                    .for_each(|(a, b)| {
+                        let x = *a;
+                        let y = *b;
+                        *a = x + y;
+                        *b = x - y;
+                    });
+            }
+        }
+        h = step;
+    }
+}
+
+/// Evaluates the Walsh character `(-1)^{popcount(x & y)}`, i.e. the `(x, y)` entry of the
+/// unnormalised Hadamard matrix `H^{⊗n}·2^{n/2}`.  Used for spot-checking the transform.
+pub fn walsh_character(x: usize, y: usize) -> f64 {
+    if (x & y).count_ones() % 2 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn basis_state(len: usize, idx: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; len];
+        v[idx] = Complex64::ONE;
+        v
+    }
+
+    #[test]
+    fn hadamard_of_basis_zero_is_uniform() {
+        let n = 4;
+        let len = 1 << n;
+        let mut v = basis_state(len, 0);
+        walsh_hadamard(&mut v);
+        let amp = 1.0 / (len as f64).sqrt();
+        for z in &v {
+            assert!((z.re - amp).abs() < 1e-12);
+            assert!(z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_is_self_inverse() {
+        let len = 1 << 6;
+        let orig: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::new((i % 7) as f64 * 0.3 - 1.0, (i % 5) as f64 * 0.2))
+            .collect();
+        let mut v = orig.clone();
+        walsh_hadamard(&mut v);
+        walsh_hadamard(&mut v);
+        assert!(vector::max_abs_diff(&v, &orig) < 1e-12);
+    }
+
+    #[test]
+    fn transform_preserves_norm() {
+        let len = 1 << 7;
+        let mut v: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let before = vector::norm(&v);
+        walsh_hadamard(&mut v);
+        assert!((vector::norm(&v) - before).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matches_walsh_character_matrix() {
+        // H^{⊗n}|y⟩ should have amplitude 2^{-n/2}·(-1)^{x·y} at position x.
+        let n = 5;
+        let len = 1 << n;
+        let scale = 1.0 / (len as f64).sqrt();
+        for y in [0usize, 1, 7, 19, 31] {
+            let mut v = basis_state(len, y);
+            walsh_hadamard(&mut v);
+            for x in 0..len {
+                let expected = scale * walsh_character(x, y);
+                assert!((v[x].re - expected).abs() < 1e-12, "x={x} y={y}");
+                assert!(v[x].im.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unnormalized_twice_scales_by_length() {
+        let len = 1 << 5;
+        let orig: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut v = orig.clone();
+        walsh_hadamard_unnormalized(&mut v);
+        walsh_hadamard_unnormalized(&mut v);
+        for i in 0..len {
+            assert!((v[i] - orig[i].scale(len as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_path() {
+        let len = PAR_THRESHOLD * 4; // force the parallel branch
+        let orig: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::new(((i * 37) % 101) as f64 * 0.01, ((i * 13) % 17) as f64 * 0.05))
+            .collect();
+        let mut par = orig.clone();
+        walsh_hadamard(&mut par);
+        let mut ser = orig;
+        walsh_hadamard_butterflies_serial(&mut ser);
+        let scale = 1.0 / (len as f64).sqrt();
+        ser.iter_mut().for_each(|z| *z = z.scale(scale));
+        assert!(vector::max_abs_diff(&par, &ser) < 1e-9);
+    }
+
+    #[test]
+    fn single_element_transform_is_identity() {
+        let mut v = vec![Complex64::new(0.3, -0.4)];
+        walsh_hadamard(&mut v);
+        assert!((v[0] - Complex64::new(0.3, -0.4)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let mut v = vec![Complex64::ZERO; 6];
+        walsh_hadamard(&mut v);
+    }
+
+    #[test]
+    fn walsh_character_parity() {
+        assert_eq!(walsh_character(0b101, 0b100), -1.0);
+        assert_eq!(walsh_character(0b101, 0b101), 1.0);
+        assert_eq!(walsh_character(0, 12345), 1.0);
+    }
+}

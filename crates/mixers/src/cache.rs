@@ -1,0 +1,165 @@
+//! Disk caching of expensive mixer pre-computations.
+//!
+//! Eigendecomposing the Clique mixer is the dominant pre-computation cost for
+//! constrained problems (the paper notes it was the limiting factor at `n = 18`), so
+//! JuliQAOA lets the user pass a file path: if the file exists the decomposition is
+//! loaded, otherwise it is computed and stored for future re-use
+//! (`mixer_clique(n, k; file=...)` in Listing 2).  This module reproduces that workflow
+//! with JSON serialisation.
+
+use crate::custom::SubspaceMixerData;
+use crate::xy::SubspaceMixer;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from the mixer cache.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file exists but could not be parsed as mixer data.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "mixer cache I/O error: {e}"),
+            CacheError::Corrupt(msg) => write!(f, "mixer cache file is corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<io::Error> for CacheError {
+    fn from(e: io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// Saves a mixer's eigendecomposition to `path` as JSON.  Parent directories are created
+/// if necessary.
+pub fn save_mixer(mixer: &SubspaceMixer, path: impl AsRef<Path>) -> Result<(), CacheError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string(&mixer.to_data())
+        .map_err(|e| CacheError::Corrupt(e.to_string()))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a mixer's eigendecomposition from `path`.
+pub fn load_mixer(path: impl AsRef<Path>) -> Result<SubspaceMixer, CacheError> {
+    let json = fs::read_to_string(path)?;
+    let data: SubspaceMixerData =
+        serde_json::from_str(&json).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+    Ok(SubspaceMixer::from_data(data))
+}
+
+/// Loads the mixer from `path` if it exists, otherwise computes it with `build` and
+/// stores the result — the exact behaviour of `mixer_clique(n, k; file=...)`.
+pub fn load_or_compute(
+    path: impl AsRef<Path>,
+    build: impl FnOnce() -> SubspaceMixer,
+) -> Result<SubspaceMixer, CacheError> {
+    let path = path.as_ref();
+    if path.exists() {
+        load_mixer(path)
+    } else {
+        let mixer = build();
+        save_mixer(&mixer, path)?;
+        Ok(mixer)
+    }
+}
+
+/// Convenience: the Clique mixer with file caching (Listing 2).
+pub fn clique_mixer_cached(n: usize, k: usize, path: impl AsRef<Path>) -> Result<SubspaceMixer, CacheError> {
+    load_or_compute(path, || crate::xy::clique_mixer(n, k))
+}
+
+/// Convenience: the Ring mixer with file caching.
+pub fn ring_mixer_cached(n: usize, k: usize, path: impl AsRef<Path>) -> Result<SubspaceMixer, CacheError> {
+    load_or_compute(path, || crate::xy::ring_mixer(n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xy::clique_mixer;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!("juliqaoa_mixer_cache_{name}_{}_{id}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let path = temp_path("roundtrip");
+        let mixer = clique_mixer(5, 2);
+        save_mixer(&mixer, &path).unwrap();
+        let loaded = load_mixer(&path).unwrap();
+        assert_eq!(loaded.name(), mixer.name());
+        assert_eq!(loaded.eigenvalues(), mixer.eigenvalues());
+        assert_eq!(loaded.eigenvectors().frobenius_diff(mixer.eigenvectors()), 0.0);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_or_compute_computes_once_then_loads() {
+        let path = temp_path("compute_once");
+        let mut builds = 0;
+        let first = load_or_compute(&path, || {
+            builds += 1;
+            clique_mixer(4, 2)
+        })
+        .unwrap();
+        assert_eq!(builds, 1);
+        // Second call must load from disk, not rebuild.
+        let second = load_or_compute(&path, || {
+            builds += 1;
+            clique_mixer(4, 2)
+        })
+        .unwrap();
+        assert_eq!(builds, 1);
+        assert_eq!(first.eigenvalues(), second.eigenvalues());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cached_clique_and_ring_helpers() {
+        let path = temp_path("clique_helper");
+        let m = clique_mixer_cached(4, 2, &path).unwrap();
+        assert_eq!(m.dim(), 6);
+        assert!(path.exists());
+        fs::remove_file(&path).unwrap();
+
+        let path = temp_path("ring_helper");
+        let m = ring_mixer_cached(5, 2, &path).unwrap();
+        assert_eq!(m.dim(), 10);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loading_missing_file_is_an_io_error() {
+        let err = load_mixer("/definitely/not/a/real/path.json").unwrap_err();
+        assert!(matches!(err, CacheError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn loading_corrupt_file_reports_corrupt() {
+        let path = temp_path("corrupt");
+        fs::write(&path, "this is not json").unwrap();
+        let err = load_mixer(&path).unwrap_err();
+        assert!(matches!(err, CacheError::Corrupt(_)));
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! The Grover mixer `H_G = |ψ₀⟩⟨ψ₀|`.
+//!
+//! `|ψ₀⟩` is the uniform superposition over the feasible set (all `2ⁿ` states for
+//! unconstrained problems, the Dicke state for Hamming-weight-k problems).  Because
+//! `H_G` is a rank-1 projector, its evolution has the closed form
+//!
+//! `e^{-iβ H_G} = 1 + (e^{-iβ} − 1)·|ψ₀⟩⟨ψ₀|`,
+//!
+//! so one round costs a single reduction (`⟨ψ₀|ψ⟩`) plus a single axpy — no transforms,
+//! no matrices.  The mixer also conserves Hamming weight and gives fair sampling, which
+//! is what the compressed large-n simulation in `juliqaoa-core::grover` exploits.
+
+use juliqaoa_linalg::{vector, Complex64};
+
+/// The Grover mixer over a feasible set of `dim` states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroverMixer {
+    dim: usize,
+}
+
+impl GroverMixer {
+    /// Creates the Grover mixer over a feasible set with `dim` states.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "Grover mixer needs a non-empty feasible set");
+        GroverMixer { dim }
+    }
+
+    /// Grover mixer over the full `2ⁿ` computational basis.
+    pub fn full_space(n: usize) -> Self {
+        assert!(n < 64);
+        GroverMixer { dim: 1 << n }
+    }
+
+    /// Grover mixer over the weight-`k` Dicke subspace of `n` qubits.
+    pub fn dicke(n: usize, k: usize) -> Self {
+        GroverMixer {
+            dim: juliqaoa_combinatorics::binomial(n, k) as usize,
+        }
+    }
+
+    /// Dimension of the feasible set.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies `e^{-iβ H_G}` to the state in place.
+    ///
+    /// # Panics
+    /// Panics if the state length does not match the mixer dimension.
+    pub fn apply_evolution(&self, beta: f64, state: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim, "state dimension mismatch");
+        let inv_sqrt = 1.0 / (self.dim as f64).sqrt();
+        // ⟨ψ₀|ψ⟩ = (Σ_x ψ_x)/√dim
+        let overlap = vector::amplitude_sum(state).scale(inv_sqrt);
+        // ψ += (e^{-iβ} − 1)·⟨ψ₀|ψ⟩·|ψ₀⟩, and |ψ₀⟩ has amplitude 1/√dim everywhere.
+        let factor = (Complex64::cis(-beta) - Complex64::ONE) * overlap.scale(inv_sqrt);
+        if state.len() >= juliqaoa_linalg::PAR_THRESHOLD {
+            use rayon::prelude::*;
+            state.par_iter_mut().for_each(|z| *z += factor);
+        } else {
+            state.iter_mut().for_each(|z| *z += factor);
+        }
+    }
+
+    /// Applies the Hamiltonian `H_G` itself (not its exponential): `ψ ← |ψ₀⟩⟨ψ₀|ψ⟩`.
+    ///
+    /// Needed by the adjoint-gradient sweep.
+    pub fn apply_hamiltonian(&self, state: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim, "state dimension mismatch");
+        let inv_dim = 1.0 / self.dim as f64;
+        // (|ψ₀⟩⟨ψ₀|ψ)_x = (Σ_y ψ_y)/dim for every x.
+        let value = vector::amplitude_sum(state).scale(inv_dim);
+        state.iter_mut().for_each(|z| *z = value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juliqaoa_linalg::vector::{fill_uniform, norm};
+
+    fn uniform(dim: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; dim];
+        fill_uniform(&mut v);
+        v
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(GroverMixer::full_space(5).dim(), 32);
+        assert_eq!(GroverMixer::dicke(6, 3).dim(), 20);
+        assert_eq!(GroverMixer::new(7).dim(), 7);
+    }
+
+    #[test]
+    fn uniform_state_acquires_global_phase_only() {
+        // |ψ₀⟩ is an eigenvector of H_G with eigenvalue 1, so evolution multiplies it by
+        // e^{-iβ}.
+        let dim = 16;
+        let mixer = GroverMixer::new(dim);
+        let mut state = uniform(dim);
+        let beta = 0.9;
+        mixer.apply_evolution(beta, &mut state);
+        let expected = Complex64::cis(-beta).scale(1.0 / (dim as f64).sqrt());
+        for z in &state {
+            assert!((*z - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthogonal_state_is_untouched() {
+        // A state orthogonal to |ψ₀⟩ (amplitudes summing to zero) is in the kernel of H_G.
+        let dim = 8;
+        let mixer = GroverMixer::new(dim);
+        let mut state = vec![Complex64::ZERO; dim];
+        state[0] = Complex64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        state[1] = Complex64::new(-std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let orig = state.clone();
+        mixer.apply_evolution(1.3, &mut state);
+        for (a, b) in state.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evolution_is_unitary() {
+        let dim = 12;
+        let mixer = GroverMixer::new(dim);
+        let mut state: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        vector::normalize(&mut state);
+        mixer.apply_evolution(2.1, &mut state);
+        assert!((norm(&state) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_angle_is_identity() {
+        let dim = 10;
+        let mixer = GroverMixer::new(dim);
+        let mut state: Vec<Complex64> =
+            (0..dim).map(|i| Complex64::new(i as f64, -0.5 * i as f64)).collect();
+        let orig = state.clone();
+        mixer.apply_evolution(0.0, &mut state);
+        for (a, b) in state.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_is_projection_onto_uniform() {
+        let dim = 6;
+        let mixer = GroverMixer::new(dim);
+        let mut state: Vec<Complex64> =
+            (0..dim).map(|i| Complex64::new(1.0 + i as f64, i as f64)).collect();
+        let sum = vector::amplitude_sum(&state);
+        mixer.apply_hamiltonian(&mut state);
+        for z in &state {
+            assert!((*z - sum.scale(1.0 / dim as f64)).abs() < 1e-12);
+        }
+        // Applying the projector twice is the same as once.
+        let after_one = state.clone();
+        mixer.apply_hamiltonian(&mut state);
+        for (a, b) in state.iter().zip(after_one.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evolution_matches_projector_formula() {
+        // Compare against explicit ψ + (e^{-iβ}−1)·ψ₀·⟨ψ₀|ψ⟩ computed by hand.
+        let dim = 5;
+        let mixer = GroverMixer::new(dim);
+        let state: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new(0.3 * i as f64 - 0.5, 0.1 * i as f64))
+            .collect();
+        let beta = 0.77;
+        let inv_sqrt = 1.0 / (dim as f64).sqrt();
+        let overlap = state.iter().copied().sum::<Complex64>().scale(inv_sqrt);
+        let expected: Vec<Complex64> = state
+            .iter()
+            .map(|&z| z + (Complex64::cis(-beta) - Complex64::ONE) * overlap.scale(inv_sqrt))
+            .collect();
+        let mut got = state;
+        mixer.apply_evolution(beta, &mut got);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mixer = GroverMixer::new(4);
+        let mut state = vec![Complex64::ZERO; 5];
+        mixer.apply_evolution(0.1, &mut state);
+    }
+}

@@ -1,0 +1,258 @@
+//! The unified mixer type consumed by the simulator.
+//!
+//! [`Mixer`] wraps the three pre-computed mixer families behind one interface:
+//! `apply_evolution` applies `e^{-iβ H_M}` in place and `apply_hamiltonian` applies
+//! `H_M` itself (needed by the adjoint gradient).  Both take a caller-provided scratch
+//! buffer so repeated simulation rounds never allocate — the "pre-allocate and re-use
+//! memory, allowing for functionally zero overhead" point of §2.2.
+
+use crate::grover::GroverMixer;
+use crate::pauli_x::PauliXMixer;
+use crate::xy::SubspaceMixer;
+use juliqaoa_linalg::{vector, walsh, Complex64};
+
+/// A pre-computed mixer Hamiltonian, ready to apply to a statevector.
+#[derive(Clone, Debug)]
+pub enum Mixer {
+    /// Sum of Pauli-X strings on the full `2ⁿ` space, diagonalised by `H^{⊗n}`.
+    PauliX(PauliXMixer),
+    /// The Grover mixer `|ψ₀⟩⟨ψ₀|` on a feasible set of any dimension.
+    Grover(GroverMixer),
+    /// A mixer on a feasible subspace applied through its eigendecomposition
+    /// (Clique, Ring, or custom).
+    Subspace(SubspaceMixer),
+}
+
+impl Mixer {
+    /// The transverse-field mixer `Σ_i X_i` (Listing 1's `mixer_X([1], n)`).
+    pub fn transverse_field(n: usize) -> Self {
+        Mixer::PauliX(PauliXMixer::transverse_field(n))
+    }
+
+    /// The Grover mixer over the full `2ⁿ` space.
+    pub fn grover_full(n: usize) -> Self {
+        Mixer::Grover(GroverMixer::full_space(n))
+    }
+
+    /// The Grover mixer over the weight-k Dicke subspace.
+    pub fn grover_dicke(n: usize, k: usize) -> Self {
+        Mixer::Grover(GroverMixer::dicke(n, k))
+    }
+
+    /// The Clique mixer on the weight-k subspace (Listing 2's `mixer_clique(n, k)`).
+    pub fn clique(n: usize, k: usize) -> Self {
+        Mixer::Subspace(crate::xy::clique_mixer(n, k))
+    }
+
+    /// The Ring mixer on the weight-k subspace.
+    pub fn ring(n: usize, k: usize) -> Self {
+        Mixer::Subspace(crate::xy::ring_mixer(n, k))
+    }
+
+    /// Dimension of the space the mixer acts on (and of the statevectors it accepts).
+    pub fn dim(&self) -> usize {
+        match self {
+            Mixer::PauliX(m) => m.dim(),
+            Mixer::Grover(m) => m.dim(),
+            Mixer::Subspace(m) => m.dim(),
+        }
+    }
+
+    /// A short descriptive name for logs and benchmark output.
+    pub fn name(&self) -> String {
+        match self {
+            Mixer::PauliX(m) => format!("pauli_x({} terms, n={})", m.terms().len(), m.n()),
+            Mixer::Grover(m) => format!("grover(dim={})", m.dim()),
+            Mixer::Subspace(m) => m.name().to_string(),
+        }
+    }
+
+    /// Applies `e^{-iβ H_M}` to the state in place.  `scratch` must have the same length
+    /// as `state`; it is only written to for subspace mixers but is always required so
+    /// callers can use a single uniform loop.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn apply_evolution(&self, beta: f64, state: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim(), "state dimension mismatch");
+        match self {
+            Mixer::PauliX(m) => {
+                // e^{-iβ f(X)} = H^{⊗n}·e^{-iβ f(Z)}·H^{⊗n}  (Eq. 2)
+                walsh::walsh_hadamard(state);
+                vector::apply_phases(state, m.eigenvalues(), beta);
+                walsh::walsh_hadamard(state);
+            }
+            Mixer::Grover(m) => m.apply_evolution(beta, state),
+            Mixer::Subspace(m) => {
+                assert_eq!(scratch.len(), m.dim(), "scratch dimension mismatch");
+                m.apply_evolution(beta, state, scratch);
+            }
+        }
+    }
+
+    /// Applies the mixer Hamiltonian `H_M` itself to the state in place (no exponential).
+    /// Used by the adjoint-mode gradient.
+    pub fn apply_hamiltonian(&self, state: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim(), "state dimension mismatch");
+        match self {
+            Mixer::PauliX(m) => {
+                walsh::walsh_hadamard(state);
+                for (z, &lambda) in state.iter_mut().zip(m.eigenvalues().iter()) {
+                    *z = z.scale(lambda);
+                }
+                walsh::walsh_hadamard(state);
+            }
+            Mixer::Grover(m) => m.apply_hamiltonian(state),
+            Mixer::Subspace(m) => {
+                assert_eq!(scratch.len(), m.dim(), "scratch dimension mismatch");
+                m.apply_hamiltonian(state, scratch);
+            }
+        }
+    }
+
+    /// Applies the inverse evolution `e^{+iβ H_M}`; used by the adjoint gradient's
+    /// backward sweep.
+    pub fn apply_inverse_evolution(
+        &self,
+        beta: f64,
+        state: &mut [Complex64],
+        scratch: &mut [Complex64],
+    ) {
+        self.apply_evolution(-beta, state, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juliqaoa_linalg::vector::{fill_uniform, norm, normalize};
+
+    fn random_like_state(dim: usize) -> Vec<Complex64> {
+        let mut v: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new((i as f64 * 0.61).sin(), (i as f64 * 0.37).cos()))
+            .collect();
+        normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn constructors_and_dims() {
+        assert_eq!(Mixer::transverse_field(4).dim(), 16);
+        assert_eq!(Mixer::grover_full(4).dim(), 16);
+        assert_eq!(Mixer::grover_dicke(6, 3).dim(), 20);
+        assert_eq!(Mixer::clique(5, 2).dim(), 10);
+        assert_eq!(Mixer::ring(5, 2).dim(), 10);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert!(Mixer::transverse_field(3).name().contains("pauli_x"));
+        assert!(Mixer::grover_full(3).name().contains("grover"));
+        assert!(Mixer::clique(4, 2).name().contains("clique"));
+    }
+
+    #[test]
+    fn all_mixers_preserve_norm() {
+        for mixer in [
+            Mixer::transverse_field(5),
+            Mixer::grover_full(5),
+            Mixer::clique(5, 2),
+            Mixer::ring(5, 2),
+        ] {
+            let dim = mixer.dim();
+            let mut state = random_like_state(dim);
+            let mut scratch = vec![Complex64::ZERO; dim];
+            mixer.apply_evolution(0.83, &mut state, &mut scratch);
+            assert!((norm(&state) - 1.0).abs() < 1e-9, "{}", mixer.name());
+        }
+    }
+
+    #[test]
+    fn inverse_evolution_undoes_evolution() {
+        for mixer in [
+            Mixer::transverse_field(4),
+            Mixer::grover_full(4),
+            Mixer::clique(6, 3),
+        ] {
+            let dim = mixer.dim();
+            let orig = random_like_state(dim);
+            let mut state = orig.clone();
+            let mut scratch = vec![Complex64::ZERO; dim];
+            mixer.apply_evolution(1.7, &mut state, &mut scratch);
+            mixer.apply_inverse_evolution(1.7, &mut state, &mut scratch);
+            assert!(vector::max_abs_diff(&state, &orig) < 1e-9, "{}", mixer.name());
+        }
+    }
+
+    #[test]
+    fn transverse_field_evolution_matches_single_qubit_rotations() {
+        // e^{-iβ ΣX_i} factorises into per-qubit RX(2β) rotations; check against the
+        // explicit 1-qubit formula applied qubit by qubit.
+        let n = 3;
+        let mixer = Mixer::transverse_field(n);
+        let dim = 1 << n;
+        let mut state = random_like_state(dim);
+        let reference = {
+            let mut s = state.clone();
+            let beta: f64 = 0.41;
+            for q in 0..n {
+                let mut out = vec![Complex64::ZERO; dim];
+                let (c, ms) = (beta.cos(), -beta.sin());
+                for (x, amp) in s.iter().enumerate() {
+                    let flipped = x ^ (1 << q);
+                    // e^{-iβX} = cosβ·I − i·sinβ·X
+                    out[x] += amp.scale(c);
+                    out[flipped] += Complex64::new(0.0, ms) * *amp;
+                }
+                s = out;
+            }
+            s
+        };
+        let mut scratch = vec![Complex64::ZERO; dim];
+        mixer.apply_evolution(0.41, &mut state, &mut scratch);
+        assert!(vector::max_abs_diff(&state, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn hamiltonian_application_matches_expectation_identity() {
+        // ⟨ψ|H_M|ψ⟩ computed via apply_hamiltonian must be real for Hermitian mixers.
+        for mixer in [
+            Mixer::transverse_field(4),
+            Mixer::grover_full(4),
+            Mixer::ring(5, 2),
+        ] {
+            let dim = mixer.dim();
+            let state = random_like_state(dim);
+            let mut h_psi = state.clone();
+            let mut scratch = vec![Complex64::ZERO; dim];
+            mixer.apply_hamiltonian(&mut h_psi, &mut scratch);
+            let expectation = vector::inner(&state, &h_psi);
+            assert!(expectation.im.abs() < 1e-9, "{}", mixer.name());
+        }
+    }
+
+    #[test]
+    fn grover_and_transverse_field_agree_on_uniform_fixed_point_phase() {
+        // Both mixers leave the uniform superposition invariant up to a global phase.
+        for mixer in [Mixer::grover_full(4), Mixer::transverse_field(4)] {
+            let dim = mixer.dim();
+            let mut state = vec![Complex64::ZERO; dim];
+            fill_uniform(&mut state);
+            let mut scratch = vec![Complex64::ZERO; dim];
+            mixer.apply_evolution(0.6, &mut state, &mut scratch);
+            // All amplitudes still equal.
+            for w in state.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-10, "{}", mixer.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mixer = Mixer::transverse_field(3);
+        let mut state = vec![Complex64::ZERO; 4];
+        let mut scratch = vec![Complex64::ZERO; 4];
+        mixer.apply_evolution(0.1, &mut state, &mut scratch);
+    }
+}

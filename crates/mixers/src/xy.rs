@@ -1,0 +1,351 @@
+//! XY-model mixers (Clique and Ring) restricted to the Dicke subspace.
+//!
+//! The Clique mixer `Σ_{i<j} (X_iX_j + Y_iY_j)` and the Ring mixer
+//! `Σ_i (X_iX_{i+1} + Y_iY_{i+1})` conserve Hamming weight, so for weight-k constrained
+//! problems the paper never represents them as `2ⁿ×2ⁿ` operators: the Hamiltonian is
+//! built directly as a `C(n,k)×C(n,k)` real symmetric matrix on the feasible subspace and
+//! eigendecomposed once (`H_M = V D Vᵀ`).  Evolution afterwards costs two dense
+//! mat-vecs and one phase multiplication per round.
+
+use crate::custom::SubspaceMixerData;
+use juliqaoa_combinatorics::DickeSubspace;
+use juliqaoa_linalg::{symmetric_eigen, vector, Complex64, RealMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Which pairs of qubits the XY coupling acts on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XYCoupling {
+    /// All pairs `i < j` (the "Clique" or complete-graph mixer).
+    Clique,
+    /// Cyclically adjacent pairs `(i, i+1 mod n)` (the "Ring" mixer).
+    Ring,
+}
+
+impl XYCoupling {
+    /// The list of coupled qubit pairs for `n` qubits.
+    pub fn pairs(&self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            XYCoupling::Clique => {
+                let mut v = Vec::with_capacity(n * (n - 1) / 2);
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        v.push((i, j));
+                    }
+                }
+                v
+            }
+            XYCoupling::Ring => {
+                if n < 2 {
+                    return Vec::new();
+                }
+                if n == 2 {
+                    return vec![(0, 1)];
+                }
+                (0..n).map(|i| (i, (i + 1) % n)).collect()
+            }
+        }
+    }
+}
+
+/// A mixer acting on a feasible subspace through a pre-computed eigendecomposition.
+///
+/// Built either from an XY coupling ([`clique_mixer`], [`ring_mixer`]), from a custom
+/// Hermitian matrix ([`crate::CustomMixer`]), or loaded from a cache file
+/// ([`crate::cache`]).
+#[derive(Clone, Debug)]
+pub struct SubspaceMixer {
+    name: String,
+    eigenvalues: Vec<f64>,
+    /// Columns are eigenvectors; `H = V·diag(λ)·Vᵀ`.
+    eigenvectors: RealMatrix,
+}
+
+impl SubspaceMixer {
+    /// Builds the mixer by eigendecomposing a real symmetric Hamiltonian defined on the
+    /// feasible subspace.  This is the "costly but done once" pre-computation.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square/symmetric.
+    pub fn from_hamiltonian(name: impl Into<String>, hamiltonian: &RealMatrix) -> Self {
+        assert!(
+            hamiltonian.is_symmetric(1e-9),
+            "subspace mixer Hamiltonians must be real symmetric"
+        );
+        let eig = symmetric_eigen(hamiltonian);
+        SubspaceMixer {
+            name: name.into(),
+            eigenvalues: eig.eigenvalues,
+            eigenvectors: eig.eigenvectors,
+        }
+    }
+
+    /// Reconstructs a mixer from cached eigendecomposition data.
+    pub fn from_data(data: SubspaceMixerData) -> Self {
+        assert_eq!(
+            data.eigenvalues.len(),
+            data.eigenvectors.nrows(),
+            "cached mixer data is inconsistent"
+        );
+        SubspaceMixer {
+            name: data.name,
+            eigenvalues: data.eigenvalues,
+            eigenvectors: data.eigenvectors,
+        }
+    }
+
+    /// Extracts the serialisable eigendecomposition (for [`crate::cache`]).
+    pub fn to_data(&self) -> SubspaceMixerData {
+        SubspaceMixerData {
+            name: self.name.clone(),
+            eigenvalues: self.eigenvalues.clone(),
+            eigenvectors: self.eigenvectors.clone(),
+        }
+    }
+
+    /// Mixer name (e.g. `"clique(6,3)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimension of the feasible subspace the mixer acts on.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// The eigenvalues of the mixer Hamiltonian.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The orthogonal eigenvector matrix `V` (columns are eigenvectors).
+    pub fn eigenvectors(&self) -> &RealMatrix {
+        &self.eigenvectors
+    }
+
+    /// Applies `e^{-iβ H_M} = V·e^{-iβD}·Vᵀ` to the state, using `scratch` as workspace.
+    ///
+    /// # Panics
+    /// Panics if `state` or `scratch` do not match the mixer dimension.
+    pub fn apply_evolution(&self, beta: f64, state: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim(), "state dimension mismatch");
+        assert_eq!(scratch.len(), self.dim(), "scratch dimension mismatch");
+        // scratch ← Vᵀ ψ
+        self.eigenvectors.matvec_transpose_complex(state, scratch);
+        // scratch ← e^{-iβD}·scratch
+        vector::apply_phases(scratch, &self.eigenvalues, beta);
+        // ψ ← V·scratch
+        self.eigenvectors.matvec_complex(scratch, state);
+    }
+
+    /// Applies the Hamiltonian itself: `ψ ← V·diag(λ)·Vᵀ·ψ` (for gradient sweeps).
+    pub fn apply_hamiltonian(&self, state: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim());
+        assert_eq!(scratch.len(), self.dim());
+        self.eigenvectors.matvec_transpose_complex(state, scratch);
+        for (z, &lambda) in scratch.iter_mut().zip(self.eigenvalues.iter()) {
+            *z = z.scale(lambda);
+        }
+        self.eigenvectors.matvec_complex(scratch, state);
+    }
+}
+
+/// Builds the XY mixer Hamiltonian as a dense real symmetric matrix on the weight-k
+/// subspace.  `X_iX_j + Y_iY_j` contributes a matrix element `2` between any two
+/// feasible states related by hopping a single excitation between qubits `i` and `j`.
+pub fn build_xy_hamiltonian(subspace: &DickeSubspace, coupling: XYCoupling) -> RealMatrix {
+    let dim = subspace.dim();
+    let pairs = coupling.pairs(subspace.n());
+    let mut h = RealMatrix::zeros(dim, dim);
+    for (a, state) in subspace.iter() {
+        for &(i, j) in &pairs {
+            let bi = (state >> i) & 1;
+            let bj = (state >> j) & 1;
+            if bi == bj {
+                continue;
+            }
+            let hopped = state ^ ((1u64 << i) | (1u64 << j));
+            let b = subspace.index_of(hopped);
+            h[(a, b)] += 2.0;
+        }
+    }
+    h
+}
+
+/// The Clique mixer `Σ_{i<j} X_iX_j + Y_iY_j` on the weight-k subspace of `n` qubits,
+/// eigendecomposed and ready to apply.  Matches `mixer_clique(n, k)` from Listing 2.
+pub fn clique_mixer(n: usize, k: usize) -> SubspaceMixer {
+    let subspace = DickeSubspace::new(n, k);
+    let h = build_xy_hamiltonian(&subspace, XYCoupling::Clique);
+    SubspaceMixer::from_hamiltonian(format!("clique({n},{k})"), &h)
+}
+
+/// The Ring mixer `Σ_i X_iX_{i+1} + Y_iY_{i+1}` (cyclic) on the weight-k subspace.
+pub fn ring_mixer(n: usize, k: usize) -> SubspaceMixer {
+    let subspace = DickeSubspace::new(n, k);
+    let h = build_xy_hamiltonian(&subspace, XYCoupling::Ring);
+    SubspaceMixer::from_hamiltonian(format!("ring({n},{k})"), &h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juliqaoa_linalg::vector::{fill_uniform, norm};
+
+    #[test]
+    fn coupling_pair_counts() {
+        assert_eq!(XYCoupling::Clique.pairs(6).len(), 15);
+        assert_eq!(XYCoupling::Ring.pairs(6).len(), 6);
+        assert_eq!(XYCoupling::Ring.pairs(2).len(), 1);
+        assert_eq!(XYCoupling::Ring.pairs(1).len(), 0);
+    }
+
+    #[test]
+    fn xy_hamiltonian_is_symmetric_with_zero_diagonal() {
+        let sub = DickeSubspace::new(6, 3);
+        for coupling in [XYCoupling::Clique, XYCoupling::Ring] {
+            let h = build_xy_hamiltonian(&sub, coupling);
+            assert!(h.is_symmetric(1e-12));
+            for a in 0..sub.dim() {
+                assert_eq!(h[(a, a)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_row_sums_equal_2k_times_n_minus_k() {
+        // Every weight-k state has k·(n−k) hop neighbours under the Clique coupling, each
+        // contributing 2, so every row sums to 2·k·(n−k).
+        let n = 6;
+        let k = 2;
+        let sub = DickeSubspace::new(n, k);
+        let h = build_xy_hamiltonian(&sub, XYCoupling::Clique);
+        for a in 0..sub.dim() {
+            let row_sum: f64 = (0..sub.dim()).map(|b| h[(a, b)]).sum();
+            assert_eq!(row_sum, 2.0 * (k * (n - k)) as f64);
+        }
+    }
+
+    #[test]
+    fn dicke_state_is_clique_eigenvector() {
+        // The uniform superposition over the subspace is the top eigenvector of the
+        // Clique mixer with eigenvalue 2k(n−k).
+        let n = 6;
+        let k = 3;
+        let mixer = clique_mixer(n, k);
+        let top = *mixer
+            .eigenvalues()
+            .last()
+            .expect("non-empty spectrum");
+        assert!((top - 2.0 * (k * (n - k)) as f64).abs() < 1e-9);
+
+        let mut state = vec![Complex64::ZERO; mixer.dim()];
+        fill_uniform(&mut state);
+        let mut scratch = vec![Complex64::ZERO; mixer.dim()];
+        let mut evolved = state.clone();
+        let beta = 0.63;
+        mixer.apply_evolution(beta, &mut evolved, &mut scratch);
+        // Should equal e^{-iβ·top}·state.
+        let phase = Complex64::cis(-beta * top);
+        for (a, b) in evolved.iter().zip(state.iter()) {
+            assert!((*a - phase * *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn evolution_is_unitary_for_both_mixers() {
+        for mixer in [clique_mixer(6, 3), ring_mixer(6, 3)] {
+            let dim = mixer.dim();
+            let mut state: Vec<Complex64> = (0..dim)
+                .map(|i| Complex64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+                .collect();
+            vector::normalize(&mut state);
+            let mut scratch = vec![Complex64::ZERO; dim];
+            mixer.apply_evolution(1.234, &mut state, &mut scratch);
+            assert!((norm(&state) - 1.0).abs() < 1e-9, "{}", mixer.name());
+        }
+    }
+
+    #[test]
+    fn zero_angle_evolution_is_identity() {
+        let mixer = ring_mixer(5, 2);
+        let dim = mixer.dim();
+        let orig: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new(i as f64 * 0.2 - 0.5, 0.3 * i as f64))
+            .collect();
+        let mut state = orig.clone();
+        let mut scratch = vec![Complex64::ZERO; dim];
+        mixer.apply_evolution(0.0, &mut state, &mut scratch);
+        for (a, b) in state.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_hamiltonian_matches_dense_matrix() {
+        let n = 5;
+        let k = 2;
+        let sub = DickeSubspace::new(n, k);
+        let h = build_xy_hamiltonian(&sub, XYCoupling::Ring);
+        let mixer = SubspaceMixer::from_hamiltonian("ring-test", &h);
+        let dim = sub.dim();
+        let state: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new(0.1 * i as f64, 1.0 - 0.05 * i as f64))
+            .collect();
+        // Dense reference: H·ψ.
+        let mut expected = vec![Complex64::ZERO; dim];
+        h.matvec_complex(&state, &mut expected);
+        let mut got = state;
+        let mut scratch = vec![Complex64::ZERO; dim];
+        mixer.apply_hamiltonian(&mut got, &mut scratch);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hamming_weight_conservation_under_hops() {
+        // Every nonzero off-diagonal entry connects two states of the same weight by
+        // construction; verify indices map to weight-k states.
+        let sub = DickeSubspace::new(6, 2);
+        let h = build_xy_hamiltonian(&sub, XYCoupling::Clique);
+        for a in 0..sub.dim() {
+            for b in 0..sub.dim() {
+                if h[(a, b)] != 0.0 {
+                    assert_eq!(sub.state_at(a).count_ones(), 2);
+                    assert_eq!(sub.state_at(b).count_ones(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_is_sparser_than_clique() {
+        let sub = DickeSubspace::new(7, 3);
+        let clique = build_xy_hamiltonian(&sub, XYCoupling::Clique);
+        let ring = build_xy_hamiltonian(&sub, XYCoupling::Ring);
+        let nnz = |m: &RealMatrix| {
+            let mut c = 0;
+            for i in 0..m.nrows() {
+                for j in 0..m.ncols() {
+                    if m[(i, j)] != 0.0 {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert!(nnz(&ring) < nnz(&clique));
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let mixer = clique_mixer(5, 2);
+        let rebuilt = SubspaceMixer::from_data(mixer.to_data());
+        assert_eq!(rebuilt.name(), mixer.name());
+        assert_eq!(rebuilt.eigenvalues(), mixer.eigenvalues());
+        assert_eq!(
+            rebuilt.eigenvectors().frobenius_diff(mixer.eigenvectors()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! The Broyden–Fletcher–Goldfarb–Shanno quasi-Newton minimizer.
+//!
+//! BFGS is the local optimizer used throughout the paper: it drives the random
+//! local-minima exploration of Lotshaw et al. (Listing 3), the basin-hopping polish of
+//! the iterative angle finder, and the gradient-method comparison of Figure 5.  This is
+//! a dense-inverse-Hessian implementation — the angle space has dimension `2p ≤ ~40`, so
+//! the `O(d²)` update is negligible next to a single statevector simulation.
+
+use crate::linesearch::{backtracking_line_search, LineSearchOptions};
+use crate::objective::{Objective, OptimizeResult};
+
+/// Options controlling the BFGS run.
+#[derive(Clone, Copy, Debug)]
+pub struct BfgsOptions {
+    /// Stop when the gradient's infinity norm drops below this.
+    pub gradient_tolerance: f64,
+    /// Stop when the objective improvement between iterations drops below this.
+    pub value_tolerance: f64,
+    /// Maximum number of quasi-Newton iterations.
+    pub max_iterations: usize,
+    /// Line-search parameters.
+    pub line_search: LineSearchOptions,
+}
+
+impl Default for BfgsOptions {
+    fn default() -> Self {
+        BfgsOptions {
+            gradient_tolerance: 1e-6,
+            value_tolerance: 1e-10,
+            max_iterations: 200,
+            line_search: LineSearchOptions::default(),
+        }
+    }
+}
+
+/// Minimises `objective` starting from `x0` with BFGS.
+pub fn bfgs<O: Objective + ?Sized>(
+    objective: &mut O,
+    x0: &[f64],
+    opts: &BfgsOptions,
+) -> OptimizeResult {
+    let d = x0.len();
+    let mut x = x0.to_vec();
+    let mut grad = vec![0.0; d];
+    let mut fx = objective.value_and_gradient(&x, &mut grad);
+    let mut gradient_evals = 1;
+    let mut function_evals = 0;
+
+    // Inverse Hessian approximation, row-major, starts as the identity.
+    let mut h_inv = identity(d);
+    let mut direction = vec![0.0; d];
+    let mut x_new = vec![0.0; d];
+    let mut grad_new = vec![0.0; d];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    if d == 0 {
+        return OptimizeResult {
+            x,
+            value: fx,
+            iterations: 0,
+            function_evals,
+            gradient_evals,
+            converged: true,
+        };
+    }
+
+    for iter in 0..opts.max_iterations {
+        iterations = iter + 1;
+        if inf_norm(&grad) < opts.gradient_tolerance {
+            converged = true;
+            break;
+        }
+
+        // direction = −H⁻¹·∇f
+        matvec(&h_inv, &grad, &mut direction);
+        direction.iter_mut().for_each(|v| *v = -*v);
+        let mut slope = dot(&grad, &direction);
+        if slope >= 0.0 {
+            // Numerical breakdown: reset to steepest descent.
+            h_inv = identity(d);
+            for (di, &gi) in direction.iter_mut().zip(grad.iter()) {
+                *di = -gi;
+            }
+            slope = dot(&grad, &direction);
+            if slope >= 0.0 {
+                converged = true; // gradient is (numerically) zero
+                break;
+            }
+        }
+
+        let ls = backtracking_line_search(objective, &x, fx, &direction, slope, &opts.line_search);
+        function_evals += ls.evals;
+        let alpha = ls.alpha;
+        for ((xn, &xi), &di) in x_new.iter_mut().zip(x.iter()).zip(direction.iter()) {
+            *xn = xi + alpha * di;
+        }
+        let fx_new = objective.value_and_gradient(&x_new, &mut grad_new);
+        gradient_evals += 1;
+
+        let improvement = fx - fx_new;
+        // BFGS update with s = x_new − x, y = ∇f_new − ∇f.
+        let s: Vec<f64> = x_new.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = grad_new.iter().zip(grad.iter()).map(|(a, b)| a - b).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-12 {
+            bfgs_update(&mut h_inv, &s, &y, sy);
+        }
+
+        x.copy_from_slice(&x_new);
+        grad.copy_from_slice(&grad_new);
+        fx = fx_new;
+
+        if improvement.abs() < opts.value_tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    OptimizeResult {
+        x,
+        value: fx,
+        iterations,
+        function_evals,
+        gradient_evals,
+        converged,
+    }
+}
+
+fn identity(d: usize) -> Vec<f64> {
+    let mut m = vec![0.0; d * d];
+    for i in 0..d {
+        m[i * d + i] = 1.0;
+    }
+    m
+}
+
+fn matvec(m: &[f64], v: &[f64], out: &mut [f64]) {
+    let d = v.len();
+    for i in 0..d {
+        let row = &m[i * d..(i + 1) * d];
+        out[i] = dot(row, v);
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+}
+
+/// Sherman–Morrison style BFGS inverse-Hessian update:
+/// `H ← (I − ρ·s·yᵀ)·H·(I − ρ·y·sᵀ) + ρ·s·sᵀ` with `ρ = 1/(sᵀy)`.
+fn bfgs_update(h: &mut [f64], s: &[f64], y: &[f64], sy: f64) {
+    let d = s.len();
+    let rho = 1.0 / sy;
+    // t = H·y
+    let mut t = vec![0.0; d];
+    matvec(h, y, &mut t);
+    let yty_h = dot(&t, y); // yᵀ·H·y
+    // H ← H − ρ(s·tᵀ + t·sᵀ) + ρ²·(yᵀHy)·s·sᵀ + ρ·s·sᵀ
+    for i in 0..d {
+        for j in 0..d {
+            h[i * d + j] += -rho * (s[i] * t[j] + t[i] * s[j])
+                + (rho * rho * yty_h + rho) * s[i] * s[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn minimises_convex_quadratic_exactly() {
+        // f(x) = (x0 − 1)² + 10·(x1 + 2)²
+        let mut obj = FnObjective::with_gradient(
+            2,
+            |x: &[f64]| (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2),
+            |x: &[f64], g: &mut [f64]| {
+                g[0] = 2.0 * (x[0] - 1.0);
+                g[1] = 20.0 * (x[1] + 2.0);
+                (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2)
+            },
+        );
+        let res = bfgs(&mut obj, &[5.0, 5.0], &BfgsOptions::default());
+        assert!(res.converged);
+        assert!((res.x[0] - 1.0).abs() < 1e-5);
+        assert!((res.x[1] + 2.0).abs() < 1e-5);
+        assert!(res.value < 1e-9);
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut obj = FnObjective::with_gradient(
+            2,
+            rosen,
+            move |x: &[f64], g: &mut [f64]| {
+                g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
+                g[1] = 200.0 * (x[1] - x[0] * x[0]);
+                rosen(x)
+            },
+        );
+        let res = bfgs(
+            &mut obj,
+            &[-1.2, 1.0],
+            &BfgsOptions {
+                max_iterations: 500,
+                ..Default::default()
+            },
+        );
+        assert!(res.value < 1e-7, "Rosenbrock value {}", res.value);
+        assert!((res.x[0] - 1.0).abs() < 1e-3);
+        assert!((res.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn works_without_analytic_gradient() {
+        let mut obj = FnObjective::new(3, |x: &[f64]| x.iter().map(|v| (v - 0.5).powi(2)).sum());
+        let res = bfgs(&mut obj, &[2.0, -1.0, 4.0], &BfgsOptions::default());
+        for xi in &res.x {
+            assert!((xi - 0.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn already_optimal_start_converges_immediately() {
+        let mut obj = FnObjective::with_gradient(
+            1,
+            |x: &[f64]| x[0] * x[0],
+            |x: &[f64], g: &mut [f64]| {
+                g[0] = 2.0 * x[0];
+                x[0] * x[0]
+            },
+        );
+        let res = bfgs(&mut obj, &[0.0], &BfgsOptions::default());
+        assert!(res.converged);
+        assert!(res.iterations <= 1);
+        assert_eq!(res.value, 0.0);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let mut obj = FnObjective::new(2, |x: &[f64]| x[0].powi(2) + x[1].powi(2));
+        let res = bfgs(
+            &mut obj,
+            &[100.0, -50.0],
+            &BfgsOptions {
+                max_iterations: 1,
+                gradient_tolerance: 0.0,
+                value_tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.iterations, 1);
+    }
+
+    #[test]
+    fn zero_dimensional_problem() {
+        let mut obj = FnObjective::new(0, |_: &[f64]| 7.0);
+        let res = bfgs(&mut obj, &[], &BfgsOptions::default());
+        assert!(res.converged);
+        assert_eq!(res.value, 7.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Brute-force grid search over the angle hypercube.
+//!
+//! One of the "other common angle-finding methods" the paper lists.  Only practical at
+//! very small `p` (the grid has `resolution^{2p}` points), but useful as a ground truth
+//! for `p = 1` landscapes and in tests.
+
+use crate::objective::{Objective, OptimizeResult};
+
+/// Evaluates the objective on a regular grid over `[lo, hi)^dim` with `resolution`
+/// points per axis, returning the best grid point.
+///
+/// # Panics
+/// Panics if `resolution == 0`, `dim == 0`, or the grid would exceed `10^8` points.
+pub fn grid_search<O: Objective + ?Sized>(
+    objective: &mut O,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+    resolution: usize,
+) -> OptimizeResult {
+    assert!(resolution > 0, "grid resolution must be positive");
+    assert!(dim > 0, "grid search needs at least one dimension");
+    let total = (resolution as u128).pow(dim as u32);
+    assert!(total <= 100_000_000, "grid of {total} points is too large");
+
+    let step = (hi - lo) / resolution as f64;
+    let mut best_x = vec![lo; dim];
+    let mut best_value = f64::INFINITY;
+    let mut point = vec![lo; dim];
+    let mut indices = vec![0usize; dim];
+    let mut function_evals = 0usize;
+
+    loop {
+        for (p, &idx) in point.iter_mut().zip(indices.iter()) {
+            *p = lo + (idx as f64 + 0.5) * step;
+        }
+        let v = objective.value(&point);
+        function_evals += 1;
+        if v < best_value {
+            best_value = v;
+            best_x.copy_from_slice(&point);
+        }
+        // Odometer increment.
+        let mut carry = true;
+        for idx in indices.iter_mut() {
+            if carry {
+                *idx += 1;
+                if *idx == resolution {
+                    *idx = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+
+    OptimizeResult {
+        x: best_x,
+        value: best_value,
+        iterations: function_evals,
+        function_evals,
+        gradient_evals: 0,
+        converged: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn finds_minimum_of_separable_quadratic() {
+        let mut obj = FnObjective::new(2, |x: &[f64]| (x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2));
+        let res = grid_search(&mut obj, 2, -1.0, 1.0, 20);
+        assert!((res.x[0] - 0.5).abs() < 0.1);
+        assert!((res.x[1] + 0.5).abs() < 0.1);
+        assert_eq!(res.function_evals, 400);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let mut obj = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let res = grid_search(&mut obj, 1, 0.0, 2.0, 1);
+        assert_eq!(res.function_evals, 1);
+        assert_eq!(res.x, vec![1.0]); // midpoint of the only cell
+    }
+
+    #[test]
+    fn resolution_refines_accuracy() {
+        let f = |x: &[f64]| (x[0] - 0.123).powi(2);
+        let mut coarse = FnObjective::new(1, f);
+        let mut fine = FnObjective::new(1, f);
+        let c = grid_search(&mut coarse, 1, 0.0, 1.0, 4);
+        let g = grid_search(&mut fine, 1, 0.0, 1.0, 200);
+        assert!(g.value <= c.value);
+        assert!((g.x[0] - 0.123).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_grid_panics() {
+        let mut obj = FnObjective::new(6, |_: &[f64]| 0.0);
+        let _ = grid_search(&mut obj, 6, 0.0, 1.0, 100);
+    }
+}

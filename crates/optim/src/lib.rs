@@ -1,0 +1,42 @@
+//! Classical angle-finding for QAOA (the outer loop of Figure 1).
+//!
+//! The quantum simulation in `juliqaoa-core` evaluates `⟨β,γ|C|β,γ⟩` (and, through the
+//! adjoint method, its gradient) at a point; everything that decides *where* to evaluate
+//! lives here:
+//!
+//! * [`objective`] — the minimisation interface and the [`objective::QaoaObjective`]
+//!   adapter that exposes a [`juliqaoa_core::Simulator`] to the optimizers (with either
+//!   adjoint or finite-difference gradients — the comparison of Figure 5).
+//! * [`bfgs`] / [`linesearch`] — the BFGS quasi-Newton local minimizer used by every
+//!   search strategy.
+//! * [`neldermead`] — a derivative-free simplex minimizer, for objectives whose gradient
+//!   is unavailable.
+//! * [`basinhopping`] — the global strategy of Wales & Doye the paper adopts
+//!   for its iterative angle finding.
+//! * [`random_restart`] — the "random local minima exploration" baseline of Lotshaw et
+//!   al. (Listing 3's `find_angles_rand`).
+//! * [`gridsearch`] — brute-force grid evaluation at small `p`.
+//! * [`median`] — the "median angles" heuristic across instances.
+//! * [`iterative`] — the paper's `find_angles`: extrapolate good `(p−1)`-round angles to
+//!   seed round `p`, polish with basin-hopping, persist every step ([`persistence`]) and
+//!   resume after interruption.
+
+pub mod basinhopping;
+pub mod bfgs;
+pub mod gridsearch;
+pub mod iterative;
+pub mod linesearch;
+pub mod median;
+pub mod neldermead;
+pub mod objective;
+pub mod persistence;
+pub mod random_restart;
+
+pub use basinhopping::{basinhopping, BasinHoppingOptions};
+pub use bfgs::{bfgs, BfgsOptions};
+pub use gridsearch::grid_search;
+pub use iterative::{find_angles, IterativeOptions, IterativeResult};
+pub use median::median_angles;
+pub use neldermead::{nelder_mead, NelderMeadOptions};
+pub use objective::{FnObjective, GradientMethod, Objective, OptimizeResult, QaoaObjective};
+pub use random_restart::{random_restart, RandomRestartOptions};

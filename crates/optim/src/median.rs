@@ -1,0 +1,79 @@
+//! The median-angles heuristic.
+//!
+//! The third baseline of Figure 3: run the random local-minima search over a large
+//! number of problem instances, then take the coordinate-wise median of the resulting
+//! angle vectors and use those fixed angles for every new instance.  The appeal is that
+//! no per-instance optimization is needed at all; the cost is a lower and
+//! instance-agnostic quality.
+
+/// Coordinate-wise median of a set of equally long angle vectors.
+///
+/// # Panics
+/// Panics if the set is empty or the vectors have inconsistent lengths.
+pub fn median_angles(angle_sets: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!angle_sets.is_empty(), "median of an empty angle collection");
+    let dim = angle_sets[0].len();
+    for set in angle_sets {
+        assert_eq!(set.len(), dim, "angle vectors have inconsistent lengths");
+    }
+    (0..dim)
+        .map(|i| {
+            let mut column: Vec<f64> = angle_sets.iter().map(|s| s[i]).collect();
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let m = column.len();
+            if m % 2 == 1 {
+                column[m / 2]
+            } else {
+                0.5 * (column[m / 2 - 1] + column[m / 2])
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_count_takes_middle_element() {
+        let sets = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![2.0, 20.0]];
+        assert_eq!(median_angles(&sets), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn even_count_averages_middle_pair() {
+        let sets = vec![vec![1.0], vec![2.0], vec![3.0], vec![10.0]];
+        assert_eq!(median_angles(&sets), vec![2.5]);
+    }
+
+    #[test]
+    fn single_set_is_its_own_median() {
+        let sets = vec![vec![0.4, 0.7, -1.0]];
+        assert_eq!(median_angles(&sets), vec![0.4, 0.7, -1.0]);
+    }
+
+    #[test]
+    fn robust_to_outliers() {
+        let sets = vec![
+            vec![0.5],
+            vec![0.52],
+            vec![0.48],
+            vec![0.51],
+            vec![100.0], // outlier
+        ];
+        let m = median_angles(&sets);
+        assert!((m[0] - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_collection_panics() {
+        let _ = median_angles(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_lengths_panic() {
+        let _ = median_angles(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

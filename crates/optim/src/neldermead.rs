@@ -1,0 +1,247 @@
+//! The Nelder–Mead downhill-simplex minimizer.
+//!
+//! A derivative-free local optimizer, included for user-defined objectives whose
+//! gradients are unavailable or unreliable and as an alternative local searcher inside
+//! basin hopping.  Standard reflection/expansion/contraction/shrink rules.
+
+use crate::objective::{Objective, OptimizeResult};
+
+/// Options controlling the Nelder–Mead run.
+#[derive(Clone, Copy, Debug)]
+pub struct NelderMeadOptions {
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+    /// Stop when the spread of simplex values falls below this.
+    pub value_tolerance: f64,
+    /// Stop only when, additionally, the simplex diameter falls below this (guards
+    /// against premature convergence when vertices straddle a minimum symmetrically).
+    pub point_tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            initial_step: 0.5,
+            value_tolerance: 1e-10,
+            point_tolerance: 1e-7,
+            max_iterations: 2000,
+        }
+    }
+}
+
+/// Minimises `objective` from `x0` using the Nelder–Mead simplex algorithm.
+pub fn nelder_mead<O: Objective + ?Sized>(
+    objective: &mut O,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptimizeResult {
+    let d = x0.len();
+    let mut function_evals = 0;
+    if d == 0 {
+        let v = objective.value(x0);
+        return OptimizeResult {
+            x: x0.to_vec(),
+            value: v,
+            iterations: 0,
+            function_evals: 1,
+            gradient_evals: 0,
+            converged: true,
+        };
+    }
+
+    // Standard coefficients.
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
+    for i in 0..d {
+        let mut v = x0.to_vec();
+        v[i] += opts.initial_step;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex
+        .iter()
+        .map(|v| {
+            function_evals += 1;
+            objective.value(v)
+        })
+        .collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    for iter in 0..opts.max_iterations {
+        iterations = iter + 1;
+        // Order the simplex by value.
+        let mut order: Vec<usize> = (0..=d).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        let best = order[0];
+        let worst = order[d];
+        let second_worst = order[d - 1];
+
+        let diameter = simplex
+            .iter()
+            .flat_map(|a| {
+                simplex.iter().map(move |b| {
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| (x - y).abs())
+                        .fold(0.0f64, f64::max)
+                })
+            })
+            .fold(0.0f64, f64::max);
+        if (values[worst] - values[best]).abs() < opts.value_tolerance
+            && diameter < opts.point_tolerance
+        {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all points except the worst.
+        let mut centroid = vec![0.0; d];
+        for &idx in order.iter().take(d) {
+            for (c, &xi) in centroid.iter_mut().zip(simplex[idx].iter()) {
+                *c += xi / d as f64;
+            }
+        }
+
+        // Reflection.
+        let reflected: Vec<f64> = centroid
+            .iter()
+            .zip(simplex[worst].iter())
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let f_reflected = objective.value(&reflected);
+        function_evals += 1;
+
+        if f_reflected < values[best] {
+            // Expansion.
+            let expanded: Vec<f64> = centroid
+                .iter()
+                .zip(reflected.iter())
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let f_expanded = objective.value(&expanded);
+            function_evals += 1;
+            if f_expanded < f_reflected {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+        } else if f_reflected < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+        } else {
+            // Contraction (towards the better of worst/reflected).
+            let (toward, f_toward) = if f_reflected < values[worst] {
+                (&reflected, f_reflected)
+            } else {
+                (&simplex[worst].clone(), values[worst])
+            };
+            let contracted: Vec<f64> = centroid
+                .iter()
+                .zip(toward.iter())
+                .map(|(c, t)| c + rho * (t - c))
+                .collect();
+            let f_contracted = objective.value(&contracted);
+            function_evals += 1;
+            if f_contracted < f_toward {
+                simplex[worst] = contracted;
+                values[worst] = f_contracted;
+            } else {
+                // Shrink towards the best vertex.
+                let best_point = simplex[best].clone();
+                for idx in 0..=d {
+                    if idx == best {
+                        continue;
+                    }
+                    for (xi, &bi) in simplex[idx].iter_mut().zip(best_point.iter()) {
+                        *xi = bi + sigma * (*xi - bi);
+                    }
+                    values[idx] = objective.value(&simplex[idx]);
+                    function_evals += 1;
+                }
+            }
+        }
+    }
+
+    let (best_idx, &best_value) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("simplex is non-empty");
+    OptimizeResult {
+        x: simplex[best_idx].clone(),
+        value: best_value,
+        iterations,
+        function_evals,
+        gradient_evals: 0,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let mut obj = FnObjective::new(2, |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2));
+        let res = nelder_mead(&mut obj, &[0.0, 0.0], &NelderMeadOptions::default());
+        assert!(res.converged);
+        assert!((res.x[0] - 3.0).abs() < 1e-4);
+        assert!((res.x[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimises_rosenbrock_without_gradients() {
+        let mut obj = FnObjective::new(2, |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        });
+        let res = nelder_mead(
+            &mut obj,
+            &[-1.2, 1.0],
+            &NelderMeadOptions {
+                max_iterations: 5000,
+                ..Default::default()
+            },
+        );
+        assert!(res.value < 1e-6, "value {}", res.value);
+    }
+
+    #[test]
+    fn handles_one_dimensional_problems() {
+        let mut obj = FnObjective::new(1, |x: &[f64]| (x[0] - 0.25).powi(2) + 2.0);
+        let res = nelder_mead(&mut obj, &[10.0], &NelderMeadOptions::default());
+        assert!((res.x[0] - 0.25).abs() < 1e-4);
+        assert!((res.value - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let mut obj = FnObjective::new(2, |x: &[f64]| x[0].powi(2) + x[1].powi(2));
+        let res = nelder_mead(
+            &mut obj,
+            &[50.0, 50.0],
+            &NelderMeadOptions {
+                max_iterations: 3,
+                value_tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.iterations, 3);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn zero_dimensional_problem() {
+        let mut obj = FnObjective::new(0, |_: &[f64]| -1.5);
+        let res = nelder_mead(&mut obj, &[], &NelderMeadOptions::default());
+        assert_eq!(res.value, -1.5);
+        assert!(res.converged);
+    }
+}

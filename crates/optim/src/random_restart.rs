@@ -1,0 +1,146 @@
+//! Random local-minima exploration (the `find_angles_rand` of Listing 3).
+//!
+//! The baseline of Lotshaw et al. that Figure 3 compares against: start BFGS from many
+//! uniformly random angle vectors in `[0, 2π)^{2p}`, keep the best local minimum.
+
+use crate::bfgs::{bfgs, BfgsOptions};
+use crate::objective::{Objective, OptimizeResult};
+use rand::Rng;
+
+/// Options for random-restart local minimisation.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomRestartOptions {
+    /// Number of random starting points (the paper's baseline uses 100).
+    pub restarts: usize,
+    /// Lower bound of the uniform sampling box.
+    pub lo: f64,
+    /// Upper bound of the uniform sampling box.
+    pub hi: f64,
+    /// Options for the inner BFGS minimizer.
+    pub bfgs: BfgsOptions,
+}
+
+impl Default for RandomRestartOptions {
+    fn default() -> Self {
+        RandomRestartOptions {
+            restarts: 100,
+            lo: 0.0,
+            hi: 2.0 * std::f64::consts::PI,
+            bfgs: BfgsOptions::default(),
+        }
+    }
+}
+
+/// Runs BFGS from `restarts` random points in the box and returns the best minimum.
+pub fn random_restart<O: Objective + ?Sized, R: Rng + ?Sized>(
+    objective: &mut O,
+    dim: usize,
+    opts: &RandomRestartOptions,
+    rng: &mut R,
+) -> OptimizeResult {
+    assert!(opts.restarts > 0, "at least one restart is required");
+    let mut best: Option<OptimizeResult> = None;
+    let mut function_evals = 0;
+    let mut gradient_evals = 0;
+    for _ in 0..opts.restarts {
+        let x0: Vec<f64> = (0..dim).map(|_| rng.gen_range(opts.lo..opts.hi)).collect();
+        let res = bfgs(objective, &x0, &opts.bfgs);
+        function_evals += res.function_evals;
+        gradient_evals += res.gradient_evals;
+        let better = best.as_ref().map(|b| res.value < b.value).unwrap_or(true);
+        if better {
+            best = Some(res);
+        }
+    }
+    let mut best = best.expect("restarts > 0 guarantees a result");
+    best.function_evals = function_evals;
+    best.gradient_evals = gradient_evals;
+    best.iterations = opts.restarts;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A rugged 1-D function on [0, 2π) with global minimum at x* ≈ 4.28 (value ≈ −1.27).
+    fn rugged(x: &[f64]) -> f64 {
+        (3.0 * x[0]).sin() + 0.3 * (x[0] - 4.0).powi(2)
+    }
+
+    #[test]
+    fn beats_single_start_on_rugged_landscape() {
+        let mut single = FnObjective::new(1, rugged);
+        let one = bfgs(&mut single, &[0.3], &BfgsOptions::default());
+
+        let mut multi = FnObjective::new(1, rugged);
+        let many = random_restart(
+            &mut multi,
+            1,
+            &RandomRestartOptions {
+                restarts: 30,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert!(many.value <= one.value + 1e-9);
+        // Global minimum is ≈ −0.968 near x ≈ 3.67.
+        assert!(many.value < -0.9, "global minimum not found: {}", many.value);
+        assert!((many.x[0] - 3.67).abs() < 0.3);
+    }
+
+    #[test]
+    fn single_restart_is_just_bfgs_from_a_random_point() {
+        let mut obj = FnObjective::new(2, |x: &[f64]| x[0].powi(2) + x[1].powi(2));
+        let res = random_restart(
+            &mut obj,
+            2,
+            &RandomRestartOptions {
+                restarts: 1,
+                lo: -1.0,
+                hi: 1.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert!(res.value < 1e-8);
+        assert_eq!(res.iterations, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut obj = FnObjective::new(1, rugged);
+            random_restart(
+                &mut obj,
+                1,
+                &RandomRestartOptions {
+                    restarts: 10,
+                    ..Default::default()
+                },
+                &mut StdRng::seed_from_u64(seed),
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_restarts_panics() {
+        let mut obj = FnObjective::new(1, |x: &[f64]| x[0]);
+        let _ = random_restart(
+            &mut obj,
+            1,
+            &RandomRestartOptions {
+                restarts: 0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Maximum Independent Set (penalty formulation).
+//!
+//! An example of how traditional circuit-based QAOA handles constraints: infeasible
+//! states are allowed but penalised in the cost function.  Included both as an extra
+//! problem and to contrast with the subspace-restricted approach the paper advocates
+//! (compare with [`crate::DensestKSubgraph`], which never leaves the feasible set).
+
+use crate::cost::CostFunction;
+use juliqaoa_graphs::Graph;
+
+/// MIS objective `|S| − penalty·(edges inside S)`.
+///
+/// With `penalty > 1` every maximizer of the objective is an independent set, so the
+/// penalty formulation and the exact problem agree on their optima.
+pub struct MaxIndependentSet {
+    graph: Graph,
+    penalty: f64,
+}
+
+impl MaxIndependentSet {
+    /// Creates the penalised MIS cost function.  A `penalty` of at least 1 guarantees
+    /// that removing a conflicting vertex never decreases the objective.
+    pub fn new(graph: Graph, penalty: f64) -> Self {
+        assert!(penalty > 0.0, "penalty must be positive");
+        MaxIndependentSet { graph, penalty }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether the selected set is a genuine independent set.
+    pub fn is_independent(&self, state: u64) -> bool {
+        juliqaoa_graphs::analysis::edges_within_subset(&self.graph, state) == 0.0
+    }
+
+    /// Brute-force size of the maximum independent set.
+    pub fn optimal_value(&self) -> f64 {
+        let n = self.graph.num_vertices();
+        assert!(n <= 30, "brute-force optimum limited to n ≤ 30");
+        (0..(1u64 << n))
+            .filter(|&x| self.is_independent(x))
+            .map(|x| x.count_ones() as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl CostFunction for MaxIndependentSet {
+    fn num_qubits(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn evaluate(&self, state: u64) -> f64 {
+        let size = state.count_ones() as f64;
+        let conflicts = juliqaoa_graphs::analysis::edges_within_subset(&self.graph, state);
+        size - self.penalty * conflicts
+    }
+
+    fn name(&self) -> &str {
+        "max_independent_set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juliqaoa_graphs::{complete_graph, cycle_graph, Graph};
+
+    #[test]
+    fn independent_sets_score_their_size() {
+        let c = MaxIndependentSet::new(cycle_graph(6), 2.0);
+        assert_eq!(c.evaluate(0b010101), 3.0);
+        assert!(c.is_independent(0b010101));
+        assert_eq!(c.evaluate(0b000101), 2.0);
+    }
+
+    #[test]
+    fn conflicts_are_penalised() {
+        let c = MaxIndependentSet::new(complete_graph(4), 2.0);
+        // Two adjacent vertices: size 2, one conflict.
+        assert_eq!(c.evaluate(0b0011), 2.0 - 2.0);
+        // All four vertices of K4: size 4, six conflicts.
+        assert_eq!(c.evaluate(0b1111), 4.0 - 12.0);
+    }
+
+    #[test]
+    fn optimum_of_cycle() {
+        let c = MaxIndependentSet::new(cycle_graph(5), 1.5);
+        assert_eq!(c.optimal_value(), 2.0);
+        let c6 = MaxIndependentSet::new(cycle_graph(6), 1.5);
+        assert_eq!(c6.optimal_value(), 3.0);
+    }
+
+    #[test]
+    fn penalised_optimum_matches_exact_optimum_when_penalty_large() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let c = MaxIndependentSet::new(g, 3.0);
+        let exact = c.optimal_value();
+        let penalised = (0..(1u64 << 6)).map(|x| c.evaluate(x)).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(exact, penalised);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_penalty_panics() {
+        let _ = MaxIndependentSet::new(cycle_graph(4), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Comparing angle-finding strategies (Listing 3 and Figure 3 in miniature).
+//!
+//! Runs three strategies on the same MaxCut instance:
+//!
+//! 1. the paper's iterative extrapolation + basin hopping (`find_angles`),
+//! 2. random local-minima exploration (`find_angles_rand`, i.e. repeated BFGS from
+//!    random starts),
+//! 3. median angles taken from the random searches of several other instances.
+//!
+//! Run with: `cargo run --release --example angle_finding`
+
+use juliqaoa::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 8;
+    let p = 4;
+
+    let graph = erdos_renyi(n, 0.5, &mut rng);
+    let cost = MaxCut::new(graph);
+    let obj_vals = precompute_full(&cost);
+    let best = obj_vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let sim = Simulator::new(obj_vals, Mixer::transverse_field(n)).expect("consistent setup");
+
+    // --- Strategy 1: iterative extrapolated basin hopping --------------------------------
+    let iterative = find_angles(
+        &sim,
+        &IterativeOptions {
+            target_p: p,
+            basinhopping: BasinHoppingOptions {
+                n_hops: 12,
+                step_size: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    // --- Strategy 2: random local minima (100 BFGS restarts, as in Lotshaw et al.) -------
+    let mut objective = QaoaObjective::new(&sim);
+    let random = random_restart(
+        &mut objective,
+        2 * p,
+        &RandomRestartOptions {
+            restarts: 100,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    // --- Strategy 3: median angles from random searches on other instances ---------------
+    let mut other_instance_angles = Vec::new();
+    for seed in 0..10u64 {
+        let g = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(500 + seed));
+        let obj = precompute_full(&MaxCut::new(g));
+        let s = Simulator::new(obj, Mixer::transverse_field(n)).expect("consistent setup");
+        let mut o = QaoaObjective::new(&s);
+        let r = random_restart(
+            &mut o,
+            2 * p,
+            &RandomRestartOptions {
+                restarts: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        other_instance_angles.push(r.x);
+    }
+    let median = median_angles(&other_instance_angles);
+    let median_expectation = sim.expectation(&Angles::from_flat(&median)).expect("consistent setup");
+
+    println!("MaxCut, n = {n}, p = {p}, optimal cut = {best}\n");
+    println!("strategy                         <C>        approximation ratio   simulations");
+    println!(
+        "iterative basin hopping        {:8.4}        {:.4}              {}",
+        iterative.best_expectation(),
+        iterative.best_expectation() / best,
+        iterative.simulations
+    );
+    println!(
+        "random local minima (100x)     {:8.4}        {:.4}              {}",
+        random.maximized_value(),
+        random.maximized_value() / best,
+        objective.simulation_count()
+    );
+    println!(
+        "median angles (10 instances)   {:8.4}        {:.4}              1",
+        median_expectation,
+        median_expectation / best
+    );
+}
