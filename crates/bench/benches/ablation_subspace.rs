@@ -13,7 +13,7 @@ use juliqaoa_bench::instances::paper_maxcut_instance;
 use juliqaoa_combinatorics::DickeSubspace;
 use juliqaoa_core::{Angles, Simulator};
 use juliqaoa_mixers::Mixer;
-use juliqaoa_problems::{precompute_dicke, precompute_full, CostFunction, DensestKSubgraph};
+use juliqaoa_problems::{precompute_dicke, CostFunction, DensestKSubgraph};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -40,7 +40,13 @@ fn bench_subspace_vs_fullspace(c: &mut Criterion) {
             BenchmarkId::new("dicke_subspace_clique", format!("{n}_{k}")),
             &n,
             |b, _| {
-                b.iter(|| black_box(sim_sub.expectation_with(&angles, &mut ws_sub).expect("setup")));
+                b.iter(|| {
+                    black_box(
+                        sim_sub
+                            .expectation_with(&angles, &mut ws_sub)
+                            .expect("setup"),
+                    )
+                });
             },
         );
 
@@ -59,7 +65,11 @@ fn bench_subspace_vs_fullspace(c: &mut Criterion) {
             &n,
             |b, _| {
                 b.iter(|| {
-                    black_box(sim_full.expectation_with(&angles, &mut ws_full).expect("setup"))
+                    black_box(
+                        sim_full
+                            .expectation_with(&angles, &mut ws_full)
+                            .expect("setup"),
+                    )
                 });
             },
         );

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the phase-class table kernels.
+//!
+//! Two comparisons back the PR's performance claims:
+//!
+//! 1. **dense vs table-driven phase separator** — `apply_phases` (one `sin_cos` per
+//!    amplitude) against `build_phase_table` + `apply_phases_indexed` (one `sin_cos`
+//!    per *distinct* objective value, then a gather-multiply sweep), on MaxCut
+//!    objectives at n ∈ {16, 20, 24};
+//! 2. **fused vs unfused GM-QAOA round** — `Simulator::evolve_into` with phase-class
+//!    compression (two sweeps per round) against the dense fallback (three sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juliqaoa_bench::instances::paper_maxcut_instance;
+use juliqaoa_core::{Angles, Simulator};
+use juliqaoa_linalg::{vector, Complex64};
+use juliqaoa_mixers::Mixer;
+use juliqaoa_problems::{precompute_full, MaxCut, PhaseClasses};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn state(n: usize) -> Vec<Complex64> {
+    let mut v = vec![Complex64::ZERO; 1 << n];
+    vector::fill_uniform(&mut v);
+    v
+}
+
+fn bench_phase_separator_dense_vs_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_separator");
+    for n in [16usize, 20, 24] {
+        let graph = paper_maxcut_instance(n, 0);
+        let obj = precompute_full(&MaxCut::new(graph));
+        let classes = PhaseClasses::build(&obj).expect("MaxCut compresses");
+        let mut psi = state(n);
+        group.bench_with_input(BenchmarkId::new("dense_cis", n), &n, |b, _| {
+            b.iter(|| vector::apply_phases(black_box(&mut psi), black_box(&obj), 0.37));
+        });
+        let mut psi = state(n);
+        let mut table = Vec::new();
+        group.bench_with_input(BenchmarkId::new("table_driven", n), &n, |b, _| {
+            b.iter(|| {
+                vector::build_phase_table(classes.distinct_values(), 0.37, &mut table);
+                vector::apply_phases_indexed(black_box(&mut psi), classes.class_indices(), &table);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grover_round_fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover_round_p3");
+    for n in [16usize, 20] {
+        let graph = paper_maxcut_instance(n, 0);
+        let obj = precompute_full(&MaxCut::new(graph));
+        let angles = Angles::linear_ramp(3, 0.5);
+
+        let fused = Simulator::new(obj.clone(), Mixer::grover_full(n)).expect("setup");
+        assert!(fused.phase_classes().is_some());
+        let mut ws = fused.workspace();
+        group.bench_with_input(BenchmarkId::new("fused_table", n), &n, |b, _| {
+            b.iter(|| black_box(fused.expectation_with(&angles, &mut ws).expect("setup")));
+        });
+
+        let unfused = fused.clone().with_dense_phases();
+        let mut ws = unfused.workspace();
+        group.bench_with_input(BenchmarkId::new("unfused_dense", n), &n, |b, _| {
+            b.iter(|| black_box(unfused.expectation_with(&angles, &mut ws).expect("setup")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_phase_separator_dense_vs_table, bench_grover_round_fused_vs_unfused
+}
+criterion_main!(benches);

@@ -72,13 +72,7 @@ fn quality(expectation: f64, min: f64, max: f64) -> f64 {
     }
 }
 
-fn run_problem(
-    label: &str,
-    obj: Vec<f64>,
-    mixer: Mixer,
-    cfg: &Config,
-    rng: &mut StdRng,
-) -> Series {
+fn run_problem(label: &str, obj: Vec<f64>, mixer: Mixer, cfg: &Config, rng: &mut StdRng) -> Series {
     let min = obj.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = obj.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let sim = Simulator::new(obj, mixer).expect("consistent problem setup");
@@ -115,7 +109,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2);
 
     println!("# Figure 2 reproduction: optimized QAOA quality vs rounds");
-    println!("# n = {n}, k = {k}, p = 1..{}, iterative basin-hopping ({} hops)", cfg.p_max, cfg.hops);
+    println!(
+        "# n = {n}, k = {k}, p = 1..{}, iterative basin-hopping ({} hops)",
+        cfg.p_max, cfg.hops
+    );
     println!("# quality = (<C> - C_min)/(C_max - C_min); 1.0 is the optimal solution\n");
 
     let mut all = Vec::new();

@@ -125,9 +125,8 @@ fn main() {
         let mut per_instance_angles = Vec::new();
         for (idx, sim) in sims.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(9000 + (p * 97 + idx) as u64);
-            let mut objective = QaoaObjective::new(sim);
             let res = random_restart(
-                &mut objective,
+                || QaoaObjective::new(sim),
                 2 * p,
                 &RandomRestartOptions {
                     restarts: cfg.restarts,

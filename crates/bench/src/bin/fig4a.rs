@@ -56,7 +56,10 @@ fn main() {
     let cfg = parse_args();
     const DENSE_MAX_N: usize = 11; // the dense baseline needs O(4^n) memory
     println!("# Figure 4a reproduction: p = 1 MaxCut QAOA, scaling in qubits");
-    println!("# time per evaluation (seconds, min of {} repetitions) and working-set memory (bytes)", cfg.repetitions);
+    println!(
+        "# time per evaluation (seconds, min of {} repetitions) and working-set memory (bytes)",
+        cfg.repetitions
+    );
     println!("# juliqaoa = purpose-built simulator; gate-circuit / dense-operator = baselines\n");
 
     let timer = BenchTimer::new(cfg.repetitions);
@@ -125,13 +128,17 @@ fn main() {
 
     if let Some((core, gate, dense)) = headline {
         println!("## headline single-point comparison (paper: n = 6, p = 1 MaxCut)");
-        println!("#  paper reports JuliQAOA ~2000x faster than QAOAKit and ~70x faster than QAOA.jl");
+        println!(
+            "#  paper reports JuliQAOA ~2000x faster than QAOAKit and ~70x faster than QAOA.jl"
+        );
         println!(
             "#  here: juliqaoa vs gate-circuit baseline: {:.1}x, vs dense-operator baseline: {:.1}x",
             gate / core,
             dense / core
         );
         println!("#  (absolute factors differ because the original baselines carry Python/Julia");
-        println!("#   package overhead; the reproduced shape is purpose-built << circuit << dense)");
+        println!(
+            "#   package overhead; the reproduced shape is purpose-built << circuit << dense)"
+        );
     }
 }

@@ -53,8 +53,14 @@ fn parse_args() -> Config {
 fn main() {
     let cfg = parse_args();
     const DENSE_MAX_N: usize = 11;
-    println!("# Figure 4b reproduction: MaxCut QAOA, scaling in rounds at n = {}", cfg.n);
-    println!("# time per evaluation (seconds, min of {} repetitions)\n", cfg.repetitions);
+    println!(
+        "# Figure 4b reproduction: MaxCut QAOA, scaling in rounds at n = {}",
+        cfg.n
+    );
+    println!(
+        "# time per evaluation (seconds, min of {} repetitions)\n",
+        cfg.repetitions
+    );
 
     let graph = paper_maxcut_instance(cfg.n, 0);
     let obj = precompute_full(&MaxCut::new(graph.clone()));
@@ -82,7 +88,9 @@ fn main() {
         t_core.push(p as f64, core_min.as_secs_f64());
 
         let (gate_min, _) = timer.measure(|| {
-            black_box(maxcut_qaoa_expectation_gate_sim(&graph, &betas, &gammas, &obj));
+            black_box(maxcut_qaoa_expectation_gate_sim(
+                &graph, &betas, &gammas, &obj,
+            ));
         });
         t_gate.push(p as f64, gate_min.as_secs_f64());
 

@@ -74,8 +74,11 @@ fn main() {
     let sims: Vec<Simulator> = (0..cfg.instances)
         .map(|idx| {
             let graph = paper_maxcut_instance(cfg.n, idx as u64);
-            Simulator::new(precompute_full(&MaxCut::new(graph)), Mixer::transverse_field(cfg.n))
-                .expect("setup")
+            Simulator::new(
+                precompute_full(&MaxCut::new(graph)),
+                Mixer::transverse_field(cfg.n),
+            )
+            .expect("setup")
         })
         .collect();
 

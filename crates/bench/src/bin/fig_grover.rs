@@ -13,10 +13,10 @@
 //! Run with: `cargo run -p juliqaoa-bench --release --bin fig_grover`
 
 use juliqaoa_bench::{BenchTimer, Series};
+use juliqaoa_combinatorics::binomial::log2_binomial;
 use juliqaoa_core::{Angles, CompressedGroverSimulator, Simulator};
 use juliqaoa_mixers::Mixer;
 use juliqaoa_problems::{degeneracies_full, precompute_full, HammingRamp};
-use juliqaoa_combinatorics::binomial::log2_binomial;
 use std::hint::black_box;
 
 fn main() {

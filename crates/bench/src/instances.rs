@@ -12,13 +12,16 @@ use rand::SeedableRng;
 /// The `G(n, 0.5)` MaxCut instance with a fixed per-index seed, as used throughout the
 /// paper's evaluation.
 pub fn paper_maxcut_instance(n: usize, instance_index: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (instance_index.wrapping_mul(0x9E37_79B9)) ^ (n as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(
+        0xC0FFEE ^ (instance_index.wrapping_mul(0x9E37_79B9)) ^ (n as u64) << 32,
+    );
     erdos_renyi(n, 0.5, &mut rng)
 }
 
 /// The clause-density-6 random 3-SAT instance of Figure 2.
 pub fn paper_sat_instance(n: usize, instance_index: u64) -> KSat {
-    let mut rng = StdRng::seed_from_u64(0x5A7 ^ instance_index.wrapping_mul(0x9E37_79B9) ^ (n as u64) << 32);
+    let mut rng =
+        StdRng::seed_from_u64(0x5A7 ^ instance_index.wrapping_mul(0x9E37_79B9) ^ (n as u64) << 32);
     KSat::random_with_density(n, 3, 6.0, &mut rng)
 }
 

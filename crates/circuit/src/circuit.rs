@@ -12,7 +12,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit on `n` qubits.
     pub fn new(n: usize) -> Self {
-        Circuit { n, gates: Vec::new() }
+        Circuit {
+            n,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of qubits.

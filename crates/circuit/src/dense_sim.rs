@@ -23,8 +23,15 @@ impl DenseSimulator {
     /// # Panics
     /// Panics if `obj_vals.len() != 2ⁿ` or `n` is too large for dense operators.
     pub fn new(n: usize, obj_vals: Vec<f64>) -> Self {
-        assert!(n <= 14, "dense-operator baseline limited to n ≤ 14 (O(4ⁿ) memory)");
-        assert_eq!(obj_vals.len(), 1 << n, "objective vector must cover the full space");
+        assert!(
+            n <= 14,
+            "dense-operator baseline limited to n ≤ 14 (O(4ⁿ) memory)"
+        );
+        assert_eq!(
+            obj_vals.len(),
+            1 << n,
+            "objective vector must cover the full space"
+        );
         DenseSimulator { n, obj_vals }
     }
 
@@ -95,9 +102,9 @@ impl DenseSimulator {
 mod tests {
     use super::*;
     use juliqaoa_core::{Angles, Simulator};
+    use juliqaoa_graphs::erdos_renyi;
     use juliqaoa_mixers::Mixer;
     use juliqaoa_problems::{precompute_full, MaxCut};
-    use juliqaoa_graphs::erdos_renyi;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -28,7 +28,12 @@ impl Gate {
     /// The qubits the gate touches.
     pub fn qubits(&self) -> Vec<usize> {
         match *self {
-            Gate::H(q) | Gate::X(q) | Gate::Z(q) | Gate::Rx(q, _) | Gate::Ry(q, _) | Gate::Rz(q, _) => {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Z(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => {
                 vec![q]
             }
             Gate::Rzz(a, b, _) | Gate::Cnot(a, b) => vec![a, b],
@@ -37,7 +42,10 @@ impl Gate {
 
     /// Largest qubit index referenced (used to validate circuits).
     pub fn max_qubit(&self) -> usize {
-        self.qubits().into_iter().max().expect("gates touch at least one qubit")
+        self.qubits()
+            .into_iter()
+            .max()
+            .expect("gates touch at least one qubit")
     }
 
     /// A human-readable name.

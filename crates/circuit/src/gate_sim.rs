@@ -48,7 +48,11 @@ impl GateSimulator {
     /// # Panics
     /// Panics if the circuit is defined on a different number of qubits.
     pub fn run(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.n, "circuit/simulator qubit mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            self.n,
+            "circuit/simulator qubit mismatch"
+        );
         for gate in circuit.gates() {
             self.apply(*gate);
         }

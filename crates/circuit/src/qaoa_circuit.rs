@@ -51,9 +51,9 @@ pub fn maxcut_qaoa_expectation_gate_sim(
 mod tests {
     use super::*;
     use juliqaoa_core::{Angles, Simulator};
+    use juliqaoa_graphs::{cycle_graph, erdos_renyi};
     use juliqaoa_mixers::Mixer;
     use juliqaoa_problems::{precompute_full, MaxCut};
-    use juliqaoa_graphs::{cycle_graph, erdos_renyi};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -78,12 +78,8 @@ mod tests {
             let core_sim = Simulator::new(obj.clone(), Mixer::transverse_field(n)).unwrap();
             let angles = Angles::random(3, &mut StdRng::seed_from_u64(100 + seed));
             let e_core = core_sim.expectation(&angles).unwrap();
-            let e_gate = maxcut_qaoa_expectation_gate_sim(
-                &graph,
-                angles.betas(),
-                angles.gammas(),
-                &obj,
-            );
+            let e_gate =
+                maxcut_qaoa_expectation_gate_sim(&graph, angles.betas(), angles.gammas(), &obj);
             assert!(
                 (e_core - e_gate).abs() < 1e-9,
                 "seed {seed}: core {e_core} vs gate {e_gate}"

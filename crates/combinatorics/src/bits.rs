@@ -47,7 +47,7 @@ pub fn hamming_weight(x: u64) -> u32 {
 /// the mask, used when diagonalising Pauli-X mixers in the Hadamard basis.
 #[inline]
 pub fn parity_sign(x: u64) -> f64 {
-    if x.count_ones() % 2 == 0 {
+    if x.count_ones().is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -75,7 +75,10 @@ pub fn write_bit_array(x: u64, n: usize, buf: &mut [u8]) {
 /// # Panics
 /// Panics if the array is longer than 64 bits or contains values other than 0/1.
 pub fn from_bit_array(bits: &[u8]) -> u64 {
-    assert!(bits.len() <= 64, "bitstrings longer than 64 qubits are not supported");
+    assert!(
+        bits.len() <= 64,
+        "bitstrings longer than 64 qubits are not supported"
+    );
     let mut x = 0u64;
     for (i, &b) in bits.iter().enumerate() {
         match b {

@@ -16,7 +16,7 @@ pub fn next_same_weight(x: u64) -> u64 {
     debug_assert!(x != 0, "Gosper's hack is undefined for zero");
     let c = x & x.wrapping_neg(); // lowest set bit
     let r = x + c; // ripple the carry
-    // Shift the trailing ones back to the bottom.
+                   // Shift the trailing ones back to the bottom.
     (((x ^ r) >> 2) / c) | r
 }
 
@@ -151,7 +151,9 @@ mod tests {
     fn matches_filtered_enumeration() {
         let n = 9;
         let k = 3;
-        let brute: Vec<u64> = (0..(1u64 << n)).filter(|x| x.count_ones() as usize == k).collect();
+        let brute: Vec<u64> = (0..(1u64 << n))
+            .filter(|x| x.count_ones() as usize == k)
+            .collect();
         let gosper: Vec<u64> = GosperIter::new(n, k).collect();
         assert_eq!(brute, gosper);
     }

@@ -89,11 +89,7 @@ pub fn dicke_chunk_iter(start_word: u64, count: u64) -> impl Iterator<Item = u64
 }
 
 /// Convenience: enumerate the whole weight-k subspace as chunk iterators, one per worker.
-pub fn dicke_worker_iters(
-    n: usize,
-    k: usize,
-    workers: usize,
-) -> Vec<impl Iterator<Item = u64>> {
+pub fn dicke_worker_iters(n: usize, k: usize, workers: usize) -> Vec<impl Iterator<Item = u64>> {
     partition_dicke_space(n, k, workers)
         .into_iter()
         .map(|(start, count)| dicke_chunk_iter(start, count))

@@ -54,7 +54,11 @@ pub fn unrank_combination(mut rank: u64, k: usize) -> u64 {
 /// [`rank_combination`] but asserts the word fits and has the expected weight.
 pub fn rank_in_subspace(word: u64, n: usize, k: usize) -> u64 {
     debug_assert!(word < (1u64 << n), "word does not fit in {n} bits");
-    debug_assert_eq!(word.count_ones() as usize, k, "word does not have weight {k}");
+    debug_assert_eq!(
+        word.count_ones() as usize,
+        k,
+        "word does not have weight {k}"
+    );
     rank_combination(word)
 }
 

@@ -34,7 +34,10 @@ impl Angles {
     /// # Panics
     /// Panics if the slice has odd length.
     pub fn from_flat(flat: &[f64]) -> Self {
-        assert!(flat.len() % 2 == 0, "flat angle vector must have even length");
+        assert!(
+            flat.len().is_multiple_of(2),
+            "flat angle vector must have even length"
+        );
         let p = flat.len() / 2;
         Angles {
             betas: flat[..p].to_vec(),

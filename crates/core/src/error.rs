@@ -64,7 +64,10 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("10") && msg.contains("16"));
 
-        let e = QaoaError::MixerScheduleMismatch { mixers: 3, rounds: 5 };
+        let e = QaoaError::MixerScheduleMismatch {
+            mixers: 3,
+            rounds: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
 
         assert!(QaoaError::EmptyObjective.to_string().contains("empty"));

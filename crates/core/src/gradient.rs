@@ -91,9 +91,27 @@ pub fn adjoint_gradient(
             *z = z.scale(c);
         }
         grad_gammas[round] = 2.0 * vector::inner(&ws.lambda, &ws.tmp).im;
-        // Roll both vectors back through the phase separator.
-        vector::apply_phases(&mut ws.state, obj, -gamma);
-        vector::apply_phases(&mut ws.lambda, obj, -gamma);
+        // Roll both vectors back through the phase separator, table-driven when the
+        // objective is compressible (the table is built once and applied twice).
+        match sim.phase_classes() {
+            Some(classes) => {
+                vector::build_phase_table(classes.distinct_values(), -gamma, &mut ws.phase_table);
+                vector::apply_phases_indexed(
+                    &mut ws.state,
+                    classes.class_indices(),
+                    &ws.phase_table,
+                );
+                vector::apply_phases_indexed(
+                    &mut ws.lambda,
+                    classes.class_indices(),
+                    &ws.phase_table,
+                );
+            }
+            None => {
+                vector::apply_phases(&mut ws.state, obj, -gamma);
+                vector::apply_phases(&mut ws.lambda, obj, -gamma);
+            }
+        }
     }
 
     Ok(AdjointGradient {
@@ -106,10 +124,10 @@ pub fn adjoint_gradient(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use juliqaoa_combinatorics::DickeSubspace;
     use juliqaoa_graphs::erdos_renyi;
     use juliqaoa_mixers::Mixer;
     use juliqaoa_problems::{precompute_dicke, precompute_full, DensestKSubgraph, MaxCut};
-    use juliqaoa_combinatorics::DickeSubspace;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -183,7 +183,9 @@ mod tests {
     use crate::simulator::Simulator;
     use juliqaoa_graphs::erdos_renyi;
     use juliqaoa_mixers::Mixer;
-    use juliqaoa_problems::{degeneracies_full, precompute_full, HammingRamp, MarkedStates, MaxCut};
+    use juliqaoa_problems::{
+        degeneracies_full, precompute_full, HammingRamp, MarkedStates, MaxCut,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -249,7 +251,10 @@ mod tests {
         let angles = Angles::new(vec![std::f64::consts::PI], vec![std::f64::consts::PI]);
         let res = sim.simulate(&angles);
         let p_marked = res.probability_of_value(1.0);
-        assert!(p_marked > 3.0 / 16.0, "marked probability {p_marked} not amplified");
+        assert!(
+            p_marked > 3.0 / 16.0,
+            "marked probability {p_marked} not amplified"
+        );
         assert!((res.total_probability() - 1.0).abs() < 1e-12);
         assert_eq!(res.ground_state_probability(), p_marked);
     }
@@ -262,7 +267,10 @@ mod tests {
         let ramp = HammingRamp::new(n);
         let entries: Vec<(f64, f64)> = (0..=n)
             .map(|w| {
-                (w as f64, juliqaoa_combinatorics::binomial::log2_binomial(n, w).exp2())
+                (
+                    w as f64,
+                    juliqaoa_combinatorics::binomial::log2_binomial(n, w).exp2(),
+                )
             })
             .collect();
         let sim = CompressedGroverSimulator::from_entries(entries);
@@ -285,7 +293,7 @@ mod tests {
         for seed in 0..5 {
             let angles = Angles::random(4, &mut StdRng::seed_from_u64(seed));
             let e = sim.expectation(&angles);
-            assert!(e >= 0.0 - 1e-9 && e <= 10.0 + 1e-9);
+            assert!((0.0 - 1e-9..=10.0 + 1e-9).contains(&e));
         }
     }
 

@@ -182,8 +182,7 @@ mod tests {
     fn angle_structure_is_validated() {
         let n = 4;
         let obj = maxcut_obj(n, 1);
-        let multi =
-            MultiAngleSimulator::new(obj, vec![vec![Mixer::transverse_field(n)]]).unwrap();
+        let multi = MultiAngleSimulator::new(obj, vec![vec![Mixer::transverse_field(n)]]).unwrap();
         // Wrong number of layers.
         assert!(matches!(
             multi.simulate(&MultiAngles {

@@ -18,6 +18,7 @@ use crate::result::SimulationResult;
 use crate::workspace::Workspace;
 use juliqaoa_linalg::{vector, Complex64};
 use juliqaoa_mixers::Mixer;
+use juliqaoa_problems::PhaseClasses;
 
 /// The state the QAOA starts from.
 #[derive(Clone, Debug)]
@@ -35,6 +36,10 @@ pub enum InitialState {
 #[derive(Clone, Debug)]
 pub struct Simulator {
     obj_vals: Vec<f64>,
+    /// Phase-class compression of `obj_vals`, built once at construction.  `Some` for
+    /// the paper's objectives (which take `O(m)` distinct values over `2ⁿ` states);
+    /// `None` for effectively-injective objectives, which keep the dense `cis` path.
+    phase_classes: Option<PhaseClasses>,
     mixers: Vec<Mixer>,
     initial_state: InitialState,
     dim: usize,
@@ -63,12 +68,30 @@ impl Simulator {
                 });
             }
         }
+        let phase_classes = PhaseClasses::build(&obj_vals);
         Ok(Simulator {
             obj_vals,
+            phase_classes,
             mixers,
             initial_state: InitialState::Uniform,
             dim,
         })
+    }
+
+    /// Disables phase-class compression, forcing the dense per-amplitude `cis` kernel.
+    ///
+    /// The table-driven path is equivalent to within machine precision (the same
+    /// `cis(-γ·value)` factors are applied, computed once per distinct value); this
+    /// toggle exists for benchmarking the two paths against each other and as an
+    /// escape hatch.
+    pub fn with_dense_phases(mut self) -> Self {
+        self.phase_classes = None;
+        self
+    }
+
+    /// The phase-class compression in use, if the objective was compressible.
+    pub fn phase_classes(&self) -> Option<&PhaseClasses> {
+        self.phase_classes.as_ref()
     }
 
     /// Replaces the initial state (the `initial_state` keyword of `simulate()`); used for
@@ -120,7 +143,10 @@ impl Simulator {
 
     /// Largest objective value (the optimum for maximization problems).
     pub fn max_objective(&self) -> f64 {
-        self.obj_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.obj_vals
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest objective value.
@@ -164,17 +190,54 @@ impl Simulator {
     }
 
     /// Evolves the initial state through all `p` rounds, leaving `|β,γ⟩` in `ws.state`.
+    ///
+    /// With a compressible objective each round's phase separator is table-driven
+    /// (`O(#distinct)` trigonometry plus one gather-multiply sweep), and Grover-mixer
+    /// rounds fuse the separator with the mixer's overlap reduction so a full GM-QAOA
+    /// round costs two passes over the state instead of three.  The dense per-amplitude
+    /// `cis` path remains for non-compressible objectives; both paths agree to within
+    /// `1e-12` (the phase factors are bit-identical, only reduction order can differ).
     pub fn evolve_into(&self, angles: &Angles, ws: &mut Workspace) -> Result<(), QaoaError> {
         ws.resize(self.dim);
         self.prepare_initial(&mut ws.state);
         let p = angles.p();
-        for round in 0..p {
-            let (gamma, beta) = angles.round(round);
-            let mixer = self.mixer_for_round(round, p)?;
-            // Phase separator e^{-iγ H_C}.
-            vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
-            // Mixer e^{-iβ H_M}.
-            mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+        match &self.phase_classes {
+            Some(classes) => {
+                let class_idx = classes.class_indices();
+                for round in 0..p {
+                    let (gamma, beta) = angles.round(round);
+                    let mixer = self.mixer_for_round(round, p)?;
+                    // One cis per distinct objective value, into the reusable table.
+                    vector::build_phase_table(
+                        classes.distinct_values(),
+                        gamma,
+                        &mut ws.phase_table,
+                    );
+                    if let Mixer::Grover(grover) = mixer {
+                        // Fused GM-QAOA round: the phase sweep also accumulates the
+                        // amplitude sum the Grover rank-1 update needs.
+                        let sum = vector::apply_phases_indexed_sum(
+                            &mut ws.state,
+                            class_idx,
+                            &ws.phase_table,
+                        );
+                        grover.apply_evolution_with_sum(beta, &mut ws.state, sum);
+                    } else {
+                        vector::apply_phases_indexed(&mut ws.state, class_idx, &ws.phase_table);
+                        mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+                    }
+                }
+            }
+            None => {
+                for round in 0..p {
+                    let (gamma, beta) = angles.round(round);
+                    let mixer = self.mixer_for_round(round, p)?;
+                    // Phase separator e^{-iγ H_C}.
+                    vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
+                    // Mixer e^{-iβ H_M}.
+                    mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+                }
+            }
         }
         Ok(())
     }
@@ -205,7 +268,10 @@ impl Simulator {
         ws: &mut Workspace,
     ) -> Result<SimulationResult, QaoaError> {
         self.evolve_into(angles, ws)?;
-        Ok(SimulationResult::from_state(ws.state.clone(), &self.obj_vals))
+        Ok(SimulationResult::from_state(
+            ws.state.clone(),
+            &self.obj_vals,
+        ))
     }
 }
 
@@ -316,11 +382,9 @@ mod tests {
     fn per_round_mixers_schedule_is_validated() {
         let n = 4;
         let obj = vec![1.0; 1 << n];
-        let sim = Simulator::with_mixers(
-            obj,
-            vec![Mixer::transverse_field(n), Mixer::grover_full(n)],
-        )
-        .unwrap();
+        let sim =
+            Simulator::with_mixers(obj, vec![Mixer::transverse_field(n), Mixer::grover_full(n)])
+                .unwrap();
         // Two mixers, two rounds: fine.
         assert!(sim.expectation(&Angles::zeros(2)).is_ok());
         // Two mixers, three rounds: schedule mismatch.
@@ -337,7 +401,9 @@ mod tests {
         assert!((res.total_probability() - 1.0).abs() < 1e-12);
         // Out-of-range index is rejected.
         let (sim2, _) = maxcut_simulator(5);
-        assert!(sim2.with_initial_state(InitialState::Basis(1 << 5)).is_err());
+        assert!(sim2
+            .with_initial_state(InitialState::Basis(1 << 5))
+            .is_err());
     }
 
     #[test]
@@ -365,6 +431,65 @@ mod tests {
         assert!(sim
             .with_initial_state(InitialState::Custom(vec![Complex64::ZERO; 16]))
             .is_err());
+    }
+
+    #[test]
+    fn table_driven_path_matches_dense_path() {
+        // MaxCut on a cycle is heavily compressible; the two phase-separator paths
+        // must agree to machine precision for every mixer family.
+        for mixer in [Mixer::transverse_field(6), Mixer::grover_full(6)] {
+            let (base, _) = maxcut_simulator(6);
+            let table_sim =
+                Simulator::new(base.objective_values().to_vec(), mixer.clone()).unwrap();
+            assert!(
+                table_sim.phase_classes().is_some(),
+                "cycle MaxCut compresses"
+            );
+            let dense_sim = table_sim.clone().with_dense_phases();
+            assert!(dense_sim.phase_classes().is_none());
+            for seed in 0..4 {
+                let angles = Angles::random(3, &mut StdRng::seed_from_u64(seed));
+                let mut ws_t = table_sim.workspace();
+                let mut ws_d = dense_sim.workspace();
+                table_sim.evolve_into(&angles, &mut ws_t).unwrap();
+                dense_sim.evolve_into(&angles, &mut ws_d).unwrap();
+                let diff = juliqaoa_linalg::vector::max_abs_diff(&ws_t.state, &ws_d.state);
+                assert!(diff < 1e-12, "{}: diff {diff}", mixer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_objective_falls_back_to_dense() {
+        // An injective objective cannot be phase-class compressed; the simulator must
+        // still work through the dense kernel.
+        let n = 5;
+        let obj: Vec<f64> = (0..(1usize << n)).map(|x| x as f64 * 0.618).collect();
+        let sim = Simulator::new(obj, Mixer::transverse_field(n)).unwrap();
+        assert!(sim.phase_classes().is_none());
+        let angles = Angles::random(3, &mut StdRng::seed_from_u64(2));
+        let res = sim.simulate(&angles).unwrap();
+        assert!((res.total_probability() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fused_grover_round_matches_unfused() {
+        // The fused GM-QAOA round (phase+sum sweep, then rank-1 update) must agree
+        // with the dense three-sweep evolution.
+        let n = 7;
+        let graph = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(17));
+        let obj = precompute_full(&MaxCut::new(graph));
+        let fused = Simulator::new(obj.clone(), Mixer::grover_full(n)).unwrap();
+        assert!(fused.phase_classes().is_some());
+        let unfused = fused.clone().with_dense_phases();
+        for seed in 0..5 {
+            let angles = Angles::random(4, &mut StdRng::seed_from_u64(100 + seed));
+            let mut ws_f = fused.workspace();
+            let mut ws_u = unfused.workspace();
+            fused.evolve_into(&angles, &mut ws_f).unwrap();
+            unfused.evolve_into(&angles, &mut ws_u).unwrap();
+            assert!(juliqaoa_linalg::vector::max_abs_diff(&ws_f.state, &ws_u.state) < 1e-12);
+        }
     }
 
     #[test]

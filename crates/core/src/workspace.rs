@@ -18,6 +18,10 @@ pub struct Workspace {
     pub lambda: Vec<Complex64>,
     /// Temporary used to hold `H·ψ` during the gradient sweep.
     pub tmp: Vec<Complex64>,
+    /// Per-round phase factors `e^{-iγ·value}` for the table-driven phase separator —
+    /// one entry per *distinct* objective value, so it is tiny compared to the state
+    /// buffers and its allocation is reused across rounds and simulations.
+    pub phase_table: Vec<Complex64>,
 }
 
 impl Workspace {
@@ -28,6 +32,7 @@ impl Workspace {
             scratch: vec![Complex64::ZERO; dim],
             lambda: vec![Complex64::ZERO; dim],
             tmp: vec![Complex64::ZERO; dim],
+            phase_table: Vec::new(),
         }
     }
 
@@ -48,7 +53,7 @@ impl Workspace {
 
     /// Approximate heap footprint in bytes (used by the memory-scaling benchmark).
     pub fn bytes(&self) -> usize {
-        4 * self.state.capacity() * std::mem::size_of::<Complex64>()
+        (4 * self.state.capacity() + self.phase_table.capacity()) * std::mem::size_of::<Complex64>()
     }
 }
 

@@ -12,7 +12,10 @@ use rand::Rng;
 ///
 /// The paper's Figure 2–5 instances all use `G(n, 0.5)`.
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must lie in [0, 1]"
+    );
     let mut g = Graph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -51,14 +54,17 @@ pub fn erdos_renyi_weighted<R: Rng + ?Sized>(
 /// Panics if `n·d` is odd or `d ≥ n`.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
     assert!(d < n, "degree must be smaller than the number of vertices");
-    assert!((n * d) % 2 == 0, "n·d must be even for a d-regular graph to exist");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n·d must be even for a d-regular graph to exist"
+    );
     if d == 0 {
         return Graph::new(n);
     }
     // Retry the pairing model until a simple graph comes out; for the modest n and d the
     // benchmarks use this converges in a handful of attempts.
     'attempt: loop {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut g = Graph::new(n);
         for pair in stubs.chunks(2) {

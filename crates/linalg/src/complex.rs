@@ -212,6 +212,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }
@@ -365,7 +366,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let v = vec![
+        let v = [
             Complex64::new(1.0, 1.0),
             Complex64::new(2.0, -0.5),
             Complex64::new(-3.0, 0.25),

@@ -71,7 +71,11 @@ impl SymmetricEigen {
 /// lower triangle; only the values actually stored are used, so a slightly asymmetric
 /// input (from floating-point noise) is effectively symmetrised.
 pub fn symmetric_eigen(a: &RealMatrix) -> SymmetricEigen {
-    assert_eq!(a.nrows(), a.ncols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "eigendecomposition requires a square matrix"
+    );
     let n = a.nrows();
     if n == 0 {
         return SymmetricEigen {
@@ -98,6 +102,7 @@ pub fn symmetric_eigen(a: &RealMatrix) -> SymmetricEigen {
 ///
 /// On exit `d` holds the diagonal, `e` the sub-diagonal (with `e[0] = 0`), and `v` the
 /// accumulated orthogonal transformation.
+#[allow(clippy::needless_range_loop)] // index-coupled EISPACK loops, kept close to the reference
 fn tred2(v: &mut [Vec<f64>], d: &mut [f64], e: &mut [f64]) {
     let n = d.len();
     d.copy_from_slice(&v[n - 1]);
@@ -201,6 +206,7 @@ fn tred2(v: &mut [Vec<f64>], d: &mut [f64], e: &mut [f64]) {
 
 /// Implicit-shift QL iteration on a symmetric tridiagonal matrix with eigenvector
 /// accumulation, plus a final ascending sort of the eigenpairs.
+#[allow(clippy::needless_range_loop)] // index-coupled EISPACK loops, kept close to the reference
 fn tql2(v: &mut [Vec<f64>], d: &mut [f64], e: &mut [f64]) {
     let n = d.len();
     for i in 1..n {

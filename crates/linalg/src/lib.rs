@@ -24,15 +24,14 @@
 pub mod complex;
 pub mod eigen;
 pub mod matrix;
+pub mod parallel;
 pub mod vector;
 pub mod walsh;
 
 pub use complex::Complex64;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use matrix::{ComplexMatrix, RealMatrix};
-
-/// Number of elements below which vector kernels stay serial.
-///
-/// Parallelising tiny statevectors costs more in rayon scheduling than it saves; the
-/// threshold corresponds to roughly `n = 12` qubits.
-pub const PAR_THRESHOLD: usize = 1 << 12;
+pub use parallel::{
+    enter_outer_parallelism, in_outer_parallelism, par_threshold, parallel_kernels_enabled,
+    OuterParallelGuard, DEFAULT_PAR_THRESHOLD,
+};

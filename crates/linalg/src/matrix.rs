@@ -6,7 +6,7 @@
 //! matrix–vector products against complex vectors.  [`ComplexMatrix`] supports custom
 //! user-supplied unitary mixers that are not real symmetric.
 
-use crate::{Complex64, PAR_THRESHOLD};
+use crate::{parallel_kernels_enabled, Complex64};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -148,7 +148,7 @@ impl RealMatrix {
         assert_eq!(x.len(), self.ncols, "matvec input length mismatch");
         assert_eq!(out.len(), self.nrows, "matvec output length mismatch");
         let work = self.nrows * self.ncols;
-        if work >= PAR_THRESHOLD {
+        if parallel_kernels_enabled(work) {
             out.par_iter_mut()
                 .zip(self.data.par_chunks(self.ncols))
                 .for_each(|(o, row)| {
@@ -169,7 +169,7 @@ impl RealMatrix {
         assert_eq!(x.len(), self.nrows, "matvecᵀ input length mismatch");
         assert_eq!(out.len(), self.ncols, "matvecᵀ output length mismatch");
         let work = self.nrows * self.ncols;
-        if work >= PAR_THRESHOLD {
+        if parallel_kernels_enabled(work) {
             // Parallelise over output entries: out[j] = Σ_i self[i][j] * x[i].
             // Column access strides, but each task is independent and allocation-free.
             out.par_iter_mut().enumerate().for_each(|(j, o)| {
@@ -302,7 +302,7 @@ impl ComplexMatrix {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(out.len(), self.nrows);
         let work = self.nrows * self.ncols;
-        if work >= PAR_THRESHOLD {
+        if parallel_kernels_enabled(work) {
             out.par_iter_mut()
                 .zip(self.data.par_chunks(self.ncols))
                 .for_each(|(o, row)| {
@@ -353,7 +353,11 @@ impl ComplexMatrix {
         let mut max = 0.0f64;
         for i in 0..prod.nrows {
             for j in 0..prod.ncols {
-                let expected = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expected = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 max = max.max((prod[(i, j)] - expected).abs());
             }
         }
@@ -461,19 +465,37 @@ mod tests {
 
     #[test]
     fn large_parallel_matvec_matches_serial() {
-        let n = 80; // 80*80 = 6400 > PAR_THRESHOLD, exercises the parallel path
+        // 256×256 ⇒ work = 65536 ≥ the default par_threshold, so this drives the
+        // rayon branch of matvec (and the transpose matvec); the serial branch is
+        // forced on the same inputs via the outer-parallelism guard.
+        let n = 256;
+        assert!(
+            n * n >= crate::par_threshold(),
+            "must reach the parallel branch"
+        );
         let m = RealMatrix::from_fn(n, n, |i, j| ((i + 2 * j) % 7) as f64 * 0.25 - 0.5);
         let x: Vec<Complex64> = (0..n)
             .map(|i| Complex64::new((i % 5) as f64, (i % 3) as f64 - 1.0))
             .collect();
         let mut y = vec![Complex64::ZERO; n];
         m.matvec_complex(&x, &mut y);
+        let mut yt = vec![Complex64::ZERO; n];
+        m.matvec_transpose_complex(&x, &mut yt);
+
+        let (mut y_serial, mut yt_serial) = (vec![Complex64::ZERO; n], vec![Complex64::ZERO; n]);
+        {
+            let _guard = crate::enter_outer_parallelism();
+            m.matvec_complex(&x, &mut y_serial);
+            m.matvec_transpose_complex(&x, &mut yt_serial);
+        }
         for i in 0..n {
             let mut acc = Complex64::ZERO;
             for j in 0..n {
                 acc += x[j] * m[(i, j)];
             }
             assert!((y[i] - acc).abs() < 1e-9);
+            assert!((y[i] - y_serial[i]).abs() < 1e-9);
+            assert!((yt[i] - yt_serial[i]).abs() < 1e-9);
         }
     }
 

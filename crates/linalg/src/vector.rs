@@ -2,15 +2,21 @@
 //!
 //! These are the inner loops of the simulator: phase multiplications (the cost unitary),
 //! inner products (expectation values, Grover-mixer overlaps) and axpy updates.  Every
-//! kernel has a serial and a rayon-parallel path chosen by [`crate::PAR_THRESHOLD`], and
-//! none of them allocate.
+//! kernel has a serial and a rayon-parallel path chosen by
+//! [`crate::parallel_kernels_enabled`] (size threshold plus the outer-parallelism
+//! guard), and none of them allocate.
+//!
+//! The *indexed* phase kernels ([`build_phase_table`], [`apply_phases_indexed`],
+//! [`apply_phases_indexed_sum`]) are the table-driven fast path for objectives with few
+//! distinct values: one `cis` evaluation per distinct value instead of one per
+//! amplitude, with the per-amplitude sweep reduced to a gather-and-multiply.
 
-use crate::{Complex64, PAR_THRESHOLD};
+use crate::{parallel_kernels_enabled, Complex64};
 use rayon::prelude::*;
 
 /// Squared 2-norm `Σ |ψ_x|²` of a complex vector.
 pub fn norm_sqr(v: &[Complex64]) -> f64 {
-    if v.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(v.len()) {
         v.par_iter().map(|z| z.norm_sqr()).sum()
     } else {
         v.iter().map(|z| z.norm_sqr()).sum()
@@ -36,7 +42,7 @@ pub fn normalize(v: &mut [Complex64]) -> f64 {
 
 /// Scales every element of `v` by the real factor `s` in place.
 pub fn scale(v: &mut [Complex64], s: f64) {
-    if v.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(v.len()) {
         v.par_iter_mut().for_each(|z| *z = z.scale(s));
     } else {
         v.iter_mut().for_each(|z| *z = z.scale(s));
@@ -49,7 +55,7 @@ pub fn scale(v: &mut [Complex64], s: f64) {
 /// Panics if the slices have different lengths.
 pub fn inner(a: &[Complex64], b: &[Complex64]) -> Complex64 {
     assert_eq!(a.len(), b.len(), "inner product of mismatched lengths");
-    if a.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(a.len()) {
         a.par_iter()
             .zip(b.par_iter())
             .map(|(x, y)| x.conj() * *y)
@@ -65,7 +71,7 @@ pub fn inner(a: &[Complex64], b: &[Complex64]) -> Complex64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: Complex64, x: &[Complex64], y: &mut [Complex64]) {
     assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
-    if x.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(x.len()) {
         y.par_iter_mut()
             .zip(x.par_iter())
             .for_each(|(yi, xi)| *yi += alpha * *xi);
@@ -89,7 +95,7 @@ pub fn apply_phases(state: &mut [Complex64], values: &[f64], angle: f64) {
         values.len(),
         "phase kernel: state and value vectors must match"
     );
-    if state.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(state.len()) {
         state
             .par_iter_mut()
             .zip(values.par_iter())
@@ -99,6 +105,84 @@ pub fn apply_phases(state: &mut [Complex64], values: &[f64], angle: f64) {
             .iter_mut()
             .zip(values.iter())
             .for_each(|(z, &c)| *z *= Complex64::cis(-angle * c));
+    }
+}
+
+/// Fills `table` with the phase factors `e^{-i·angle·distinct[k]}`.
+///
+/// This is the per-round trigonometry of the table-driven phase separator: one `cis`
+/// per *distinct* objective value, instead of one per amplitude.  `table` is resized to
+/// `distinct.len()`, reusing its allocation across rounds.
+pub fn build_phase_table(distinct: &[f64], angle: f64, table: &mut Vec<Complex64>) {
+    table.clear();
+    table.extend(distinct.iter().map(|&c| Complex64::cis(-angle * c)));
+}
+
+/// Multiplies each amplitude by its class's phase factor: `ψ_x *= table[class_idx[x]]`.
+///
+/// Together with [`build_phase_table`] this is the table-driven phase separator
+/// `e^{-iγ H_C}`: the per-amplitude work is a gather and a complex multiply, with no
+/// trigonometry in the sweep.  Produces bit-identical results to [`apply_phases`] for
+/// the same `(value, angle)` pairs, because each factor is computed by the same
+/// `cis(-angle·value)` expression.
+///
+/// # Panics
+/// Panics if `state` and `class_idx` lengths differ, or if an index is out of range
+/// for `table` (debug builds; release builds bound-check via the slice index).
+pub fn apply_phases_indexed(state: &mut [Complex64], class_idx: &[u16], table: &[Complex64]) {
+    assert_eq!(
+        state.len(),
+        class_idx.len(),
+        "phase kernel: state and class-index vectors must match"
+    );
+    if parallel_kernels_enabled(state.len()) {
+        state
+            .par_iter_mut()
+            .zip(class_idx.par_iter())
+            .for_each(|(z, &k)| *z *= table[k as usize]);
+    } else {
+        state
+            .iter_mut()
+            .zip(class_idx.iter())
+            .for_each(|(z, &k)| *z *= table[k as usize]);
+    }
+}
+
+/// Applies the phase table and accumulates `Σ_x ψ_x` in the same memory sweep.
+///
+/// This fuses the phase separator with the Grover mixer's overlap reduction: a
+/// GM-QAOA round needs `⟨ψ₀|e^{-iγ H_C}ψ⟩ ∝ Σ_x (e^{-iγ C(x)}ψ_x)`, and computing the
+/// sum while the amplitudes are already in registers saves one full pass over the
+/// statevector per round.
+///
+/// # Panics
+/// Panics if `state` and `class_idx` lengths differ.
+pub fn apply_phases_indexed_sum(
+    state: &mut [Complex64],
+    class_idx: &[u16],
+    table: &[Complex64],
+) -> Complex64 {
+    assert_eq!(
+        state.len(),
+        class_idx.len(),
+        "phase kernel: state and class-index vectors must match"
+    );
+    if parallel_kernels_enabled(state.len()) {
+        state
+            .par_iter_mut()
+            .zip(class_idx.par_iter())
+            .map(|(z, &k)| {
+                *z *= table[k as usize];
+                *z
+            })
+            .sum()
+    } else {
+        let mut sum = Complex64::ZERO;
+        for (z, &k) in state.iter_mut().zip(class_idx.iter()) {
+            *z *= table[k as usize];
+            sum += *z;
+        }
+        sum
     }
 }
 
@@ -113,13 +197,16 @@ pub fn apply_neg_i_diag(state: &mut [Complex64], values: &[f64]) {
         let w = Complex64::new(z.im * c, -z.re * c);
         *z = w;
     };
-    if state.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(state.len()) {
         state
             .par_iter_mut()
             .zip(values.par_iter())
             .for_each(|(z, &c)| mul(z, c));
     } else {
-        state.iter_mut().zip(values.iter()).for_each(|(z, &c)| mul(z, c));
+        state
+            .iter_mut()
+            .zip(values.iter())
+            .for_each(|(z, &c)| mul(z, c));
     }
 }
 
@@ -129,7 +216,7 @@ pub fn apply_neg_i_diag(state: &mut [Complex64], values: &[f64]) {
 /// `⟨β,γ|C(x)|β,γ⟩`.
 pub fn diagonal_expectation(state: &[Complex64], values: &[f64]) -> f64 {
     assert_eq!(state.len(), values.len());
-    if state.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(state.len()) {
         state
             .par_iter()
             .zip(values.par_iter())
@@ -146,7 +233,7 @@ pub fn diagonal_expectation(state: &[Complex64], values: &[f64]) -> f64 {
 
 /// Sum of all amplitudes `Σ ψ_x` (the un-normalised overlap with the uniform state).
 pub fn amplitude_sum(state: &[Complex64]) -> Complex64 {
-    if state.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(state.len()) {
         state.par_iter().copied().sum()
     } else {
         state.iter().copied().sum()
@@ -166,7 +253,7 @@ pub fn copy_from(dst: &mut [Complex64], src: &[Complex64]) {
 pub fn fill_uniform(state: &mut [Complex64]) {
     let amp = 1.0 / (state.len() as f64).sqrt();
     let val = Complex64::from_real(amp);
-    if state.len() >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(state.len()) {
         state.par_iter_mut().for_each(|z| *z = val);
     } else {
         state.iter_mut().for_each(|z| *z = val);
@@ -251,6 +338,69 @@ mod tests {
     }
 
     #[test]
+    fn indexed_phases_match_dense_phases_exactly() {
+        // 64 amplitudes over only 5 distinct objective values.
+        let distinct = [-2.0, -0.5, 0.0, 1.25, 3.0];
+        let class_idx: Vec<u16> = (0..64).map(|i| ((i * 7) % 5) as u16).collect();
+        let values: Vec<f64> = class_idx.iter().map(|&k| distinct[k as usize]).collect();
+        let gamma = 0.9137;
+
+        let mut dense = vec_of(64, |i| {
+            Complex64::new(0.1 * i as f64, 1.0 - 0.05 * i as f64)
+        });
+        let mut indexed = dense.clone();
+        apply_phases(&mut dense, &values, gamma);
+
+        let mut table = Vec::new();
+        build_phase_table(&distinct, gamma, &mut table);
+        assert_eq!(table.len(), distinct.len());
+        apply_phases_indexed(&mut indexed, &class_idx, &table);
+
+        // Same cis(-γ·value) expression on both paths: bit-identical, not just close.
+        for (a, b) in dense.iter().zip(indexed.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn indexed_sum_fusion_matches_separate_sweeps() {
+        let distinct = [0.0, 1.0, 4.0];
+        let class_idx: Vec<u16> = (0..48).map(|i| (i % 3) as u16).collect();
+        let beta = -1.234;
+        let mut table = Vec::new();
+        build_phase_table(&distinct, beta, &mut table);
+
+        let mut fused = vec_of(48, |i| Complex64::new((i as f64).cos(), (i as f64).sin()));
+        let mut unfused = fused.clone();
+
+        let sum_fused = apply_phases_indexed_sum(&mut fused, &class_idx, &table);
+        apply_phases_indexed(&mut unfused, &class_idx, &table);
+        let sum_unfused = amplitude_sum(&unfused);
+
+        assert!(max_abs_diff(&fused, &unfused) == 0.0);
+        assert!((sum_fused - sum_unfused).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_table_reuses_allocation() {
+        let mut table = Vec::with_capacity(8);
+        build_phase_table(&[1.0, 2.0], 0.5, &mut table);
+        let ptr = table.as_ptr();
+        build_phase_table(&[3.0, 4.0], 0.25, &mut table);
+        assert_eq!(table.as_ptr(), ptr);
+        assert!((table[0] - Complex64::cis(-0.25 * 3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn indexed_phases_mismatched_lengths_panic() {
+        let mut state = vec![Complex64::ONE; 4];
+        let idx = vec![0u16; 5];
+        apply_phases_indexed(&mut state, &idx, &[Complex64::ONE]);
+    }
+
+    #[test]
     fn neg_i_diag_matches_multiplication() {
         let mut v = vec_of(6, |i| Complex64::new(i as f64, 2.0 - i as f64));
         let vals: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
@@ -285,7 +435,7 @@ mod tests {
     #[test]
     fn parallel_path_matches_serial_path() {
         // Force the parallel branch with a large vector and compare against a serial fold.
-        let n = PAR_THRESHOLD * 2;
+        let n = crate::par_threshold() * 2;
         let v = vec_of(n, |i| {
             Complex64::new((i % 17) as f64 * 0.01, ((i * 7) % 13) as f64 * 0.02)
         });

@@ -7,7 +7,7 @@
 //! of §2.2.  This module provides an in-place, normalised (unitary) transform with a
 //! rayon-parallel path for large states.
 
-use crate::{Complex64, PAR_THRESHOLD};
+use crate::{parallel_kernels_enabled, Complex64};
 use rayon::prelude::*;
 
 /// Applies the unitary transform `H^{⊗n}` to `state` in place.
@@ -19,14 +19,17 @@ use rayon::prelude::*;
 /// Panics if the length is not a power of two.
 pub fn walsh_hadamard(state: &mut [Complex64]) {
     let len = state.len();
-    assert!(len.is_power_of_two(), "statevector length must be a power of two");
-    if len >= PAR_THRESHOLD {
+    assert!(
+        len.is_power_of_two(),
+        "statevector length must be a power of two"
+    );
+    if parallel_kernels_enabled(len) {
         walsh_hadamard_butterflies_parallel(state);
     } else {
         walsh_hadamard_butterflies_serial(state);
     }
     let scale = 1.0 / (len as f64).sqrt();
-    if len >= PAR_THRESHOLD {
+    if parallel_kernels_enabled(len) {
         state.par_iter_mut().for_each(|z| *z = z.scale(scale));
     } else {
         state.iter_mut().for_each(|z| *z = z.scale(scale));
@@ -39,8 +42,11 @@ pub fn walsh_hadamard(state: &mut [Complex64]) {
 /// twice multiplies the state by `2ⁿ`.
 pub fn walsh_hadamard_unnormalized(state: &mut [Complex64]) {
     let len = state.len();
-    assert!(len.is_power_of_two(), "statevector length must be a power of two");
-    if len >= PAR_THRESHOLD {
+    assert!(
+        len.is_power_of_two(),
+        "statevector length must be a power of two"
+    );
+    if parallel_kernels_enabled(len) {
         walsh_hadamard_butterflies_parallel(state);
     } else {
         walsh_hadamard_butterflies_serial(state);
@@ -87,14 +93,12 @@ fn walsh_hadamard_butterflies_parallel(state: &mut [Complex64]) {
             // Few large blocks: parallelise the pair loop inside each block.
             for block in state.chunks_mut(step) {
                 let (lo, hi) = block.split_at_mut(h);
-                lo.par_iter_mut()
-                    .zip(hi.par_iter_mut())
-                    .for_each(|(a, b)| {
-                        let x = *a;
-                        let y = *b;
-                        *a = x + y;
-                        *b = x - y;
-                    });
+                lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
+                    let x = *a;
+                    let y = *b;
+                    *a = x + y;
+                    *b = x - y;
+                });
             }
         }
         h = step;
@@ -104,7 +108,7 @@ fn walsh_hadamard_butterflies_parallel(state: &mut [Complex64]) {
 /// Evaluates the Walsh character `(-1)^{popcount(x & y)}`, i.e. the `(x, y)` entry of the
 /// unnormalised Hadamard matrix `H^{⊗n}·2^{n/2}`.  Used for spot-checking the transform.
 pub fn walsh_character(x: usize, y: usize) -> f64 {
-    if (x & y).count_ones() % 2 == 0 {
+    if (x & y).count_ones().is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -167,10 +171,10 @@ mod tests {
         for y in [0usize, 1, 7, 19, 31] {
             let mut v = basis_state(len, y);
             walsh_hadamard(&mut v);
-            for x in 0..len {
+            for (x, amp) in v.iter().enumerate() {
                 let expected = scale * walsh_character(x, y);
-                assert!((v[x].re - expected).abs() < 1e-12, "x={x} y={y}");
-                assert!(v[x].im.abs() < 1e-12);
+                assert!((amp.re - expected).abs() < 1e-12, "x={x} y={y}");
+                assert!(amp.im.abs() < 1e-12);
             }
         }
     }
@@ -191,9 +195,14 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_serial_path() {
-        let len = PAR_THRESHOLD * 4; // force the parallel branch
+        let len = crate::par_threshold() * 4; // force the parallel branch
         let orig: Vec<Complex64> = (0..len)
-            .map(|i| Complex64::new(((i * 37) % 101) as f64 * 0.01, ((i * 13) % 17) as f64 * 0.05))
+            .map(|i| {
+                Complex64::new(
+                    ((i * 37) % 101) as f64 * 0.01,
+                    ((i * 13) % 17) as f64 * 0.05,
+                )
+            })
             .collect();
         let mut par = orig.clone();
         walsh_hadamard(&mut par);

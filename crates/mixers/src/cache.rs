@@ -48,8 +48,8 @@ pub fn save_mixer(mixer: &SubspaceMixer, path: impl AsRef<Path>) -> Result<(), C
             fs::create_dir_all(parent)?;
         }
     }
-    let json = serde_json::to_string(&mixer.to_data())
-        .map_err(|e| CacheError::Corrupt(e.to_string()))?;
+    let json =
+        serde_json::to_string(&mixer.to_data()).map_err(|e| CacheError::Corrupt(e.to_string()))?;
     fs::write(path, json)?;
     Ok(())
 }
@@ -79,12 +79,20 @@ pub fn load_or_compute(
 }
 
 /// Convenience: the Clique mixer with file caching (Listing 2).
-pub fn clique_mixer_cached(n: usize, k: usize, path: impl AsRef<Path>) -> Result<SubspaceMixer, CacheError> {
+pub fn clique_mixer_cached(
+    n: usize,
+    k: usize,
+    path: impl AsRef<Path>,
+) -> Result<SubspaceMixer, CacheError> {
     load_or_compute(path, || crate::xy::clique_mixer(n, k))
 }
 
 /// Convenience: the Ring mixer with file caching.
-pub fn ring_mixer_cached(n: usize, k: usize, path: impl AsRef<Path>) -> Result<SubspaceMixer, CacheError> {
+pub fn ring_mixer_cached(
+    n: usize,
+    k: usize,
+    path: impl AsRef<Path>,
+) -> Result<SubspaceMixer, CacheError> {
     load_or_compute(path, || crate::xy::ring_mixer(n, k))
 }
 
@@ -97,7 +105,10 @@ mod tests {
     fn temp_path(name: &str) -> std::path::PathBuf {
         static COUNTER: AtomicUsize = AtomicUsize::new(0);
         let id = COUNTER.fetch_add(1, Ordering::SeqCst);
-        std::env::temp_dir().join(format!("juliqaoa_mixer_cache_{name}_{}_{id}.json", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "juliqaoa_mixer_cache_{name}_{}_{id}.json",
+            std::process::id()
+        ))
     }
 
     #[test]
@@ -108,7 +119,10 @@ mod tests {
         let loaded = load_mixer(&path).unwrap();
         assert_eq!(loaded.name(), mixer.name());
         assert_eq!(loaded.eigenvalues(), mixer.eigenvalues());
-        assert_eq!(loaded.eigenvectors().frobenius_diff(mixer.eigenvectors()), 0.0);
+        assert_eq!(
+            loaded.eigenvectors().frobenius_diff(mixer.eigenvectors()),
+            0.0
+        );
         fs::remove_file(&path).unwrap();
     }
 

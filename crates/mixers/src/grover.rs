@@ -49,12 +49,30 @@ impl GroverMixer {
     /// Panics if the state length does not match the mixer dimension.
     pub fn apply_evolution(&self, beta: f64, state: &mut [Complex64]) {
         assert_eq!(state.len(), self.dim, "state dimension mismatch");
+        self.apply_evolution_with_sum(beta, state, vector::amplitude_sum(state));
+    }
+
+    /// Applies `e^{-iβ H_G}` given the already-computed amplitude sum `Σ_x ψ_x`.
+    ///
+    /// This is the fusion entry point: when the phase separator computes the sum
+    /// during its own sweep (`apply_phases_indexed_sum`), a full GM-QAOA round costs
+    /// two passes over the state instead of three.
+    ///
+    /// # Panics
+    /// Panics if the state length does not match the mixer dimension.
+    pub fn apply_evolution_with_sum(
+        &self,
+        beta: f64,
+        state: &mut [Complex64],
+        amplitude_sum: Complex64,
+    ) {
+        assert_eq!(state.len(), self.dim, "state dimension mismatch");
         let inv_sqrt = 1.0 / (self.dim as f64).sqrt();
         // ⟨ψ₀|ψ⟩ = (Σ_x ψ_x)/√dim
-        let overlap = vector::amplitude_sum(state).scale(inv_sqrt);
+        let overlap = amplitude_sum.scale(inv_sqrt);
         // ψ += (e^{-iβ} − 1)·⟨ψ₀|ψ⟩·|ψ₀⟩, and |ψ₀⟩ has amplitude 1/√dim everywhere.
         let factor = (Complex64::cis(-beta) - Complex64::ONE) * overlap.scale(inv_sqrt);
-        if state.len() >= juliqaoa_linalg::PAR_THRESHOLD {
+        if juliqaoa_linalg::parallel_kernels_enabled(state.len()) {
             use rayon::prelude::*;
             state.par_iter_mut().for_each(|z| *z += factor);
         } else {
@@ -138,8 +156,9 @@ mod tests {
     fn zero_angle_is_identity() {
         let dim = 10;
         let mixer = GroverMixer::new(dim);
-        let mut state: Vec<Complex64> =
-            (0..dim).map(|i| Complex64::new(i as f64, -0.5 * i as f64)).collect();
+        let mut state: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new(i as f64, -0.5 * i as f64))
+            .collect();
         let orig = state.clone();
         mixer.apply_evolution(0.0, &mut state);
         for (a, b) in state.iter().zip(orig.iter()) {
@@ -151,8 +170,9 @@ mod tests {
     fn hamiltonian_is_projection_onto_uniform() {
         let dim = 6;
         let mixer = GroverMixer::new(dim);
-        let mut state: Vec<Complex64> =
-            (0..dim).map(|i| Complex64::new(1.0 + i as f64, i as f64)).collect();
+        let mut state: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new(1.0 + i as f64, i as f64))
+            .collect();
         let sum = vector::amplitude_sum(&state);
         mixer.apply_hamiltonian(&mut state);
         for z in &state {
@@ -163,6 +183,24 @@ mod tests {
         mixer.apply_hamiltonian(&mut state);
         for (a, b) in state.iter().zip(after_one.iter()) {
             assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evolution_with_precomputed_sum_matches_plain_evolution() {
+        let dim = 9;
+        let mixer = GroverMixer::new(dim);
+        let state: Vec<Complex64> = (0..dim)
+            .map(|i| Complex64::new(0.2 * i as f64 - 0.7, (i as f64 * 0.9).sin()))
+            .collect();
+        let beta = 1.31;
+        let mut plain = state.clone();
+        mixer.apply_evolution(beta, &mut plain);
+        let mut fused = state.clone();
+        let sum = vector::amplitude_sum(&state);
+        mixer.apply_evolution_with_sum(beta, &mut fused, sum);
+        for (a, b) in plain.iter().zip(fused.iter()) {
+            assert!((*a - *b).abs() < 1e-15);
         }
     }
 

@@ -180,7 +180,11 @@ mod tests {
             let mut scratch = vec![Complex64::ZERO; dim];
             mixer.apply_evolution(1.7, &mut state, &mut scratch);
             mixer.apply_inverse_evolution(1.7, &mut state, &mut scratch);
-            assert!(vector::max_abs_diff(&state, &orig) < 1e-9, "{}", mixer.name());
+            assert!(
+                vector::max_abs_diff(&state, &orig) < 1e-9,
+                "{}",
+                mixer.name()
+            );
         }
     }
 

@@ -40,8 +40,15 @@ impl PauliXMixer {
         assert!(n < 32, "full-space Pauli-X mixers limited to n < 32 qubits");
         let full_mask = (1u64 << n) - 1;
         for t in &terms {
-            assert_eq!(t.mask & !full_mask, 0, "term mask references qubits outside 0..{n}");
-            assert_ne!(t.mask, 0, "identity terms only shift the spectrum; drop them");
+            assert_eq!(
+                t.mask & !full_mask,
+                0,
+                "term mask references qubits outside 0..{n}"
+            );
+            assert_ne!(
+                t.mask, 0,
+                "identity terms only shift the spectrum; drop them"
+            );
         }
         let eigenvalues = compute_eigenvalues(n, &terms);
         PauliXMixer {
@@ -164,7 +171,9 @@ mod tests {
         let m2 = PauliXMixer::uniform_products(n, &[2]);
         let m12 = PauliXMixer::uniform_products(n, &[1, 2]);
         for z in 0..m12.dim() {
-            assert!((m12.eigenvalues()[z] - m1.eigenvalues()[z] - m2.eigenvalues()[z]).abs() < 1e-12);
+            assert!(
+                (m12.eigenvalues()[z] - m1.eigenvalues()[z] - m2.eigenvalues()[z]).abs() < 1e-12
+            );
         }
     }
 

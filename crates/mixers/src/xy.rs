@@ -232,10 +232,7 @@ mod tests {
         let n = 6;
         let k = 3;
         let mixer = clique_mixer(n, k);
-        let top = *mixer
-            .eigenvalues()
-            .last()
-            .expect("non-empty spectrum");
+        let top = *mixer.eigenvalues().last().expect("non-empty spectrum");
         assert!((top - 2.0 * (k * (n - k)) as f64).abs() < 1e-9);
 
         let mut state = vec![Complex64::ZERO; mixer.dim()];

@@ -63,8 +63,7 @@ pub fn basinhopping<O: Objective + ?Sized, R: Rng + ?Sized>(
         // Metropolis acceptance of the hop.
         let delta = candidate.value - current.value;
         let accept = delta <= 0.0
-            || (opts.temperature > 0.0
-                && rng.gen::<f64>() < (-delta / opts.temperature).exp());
+            || (opts.temperature > 0.0 && rng.gen::<f64>() < (-delta / opts.temperature).exp());
         if accept {
             current = candidate;
         }
@@ -115,7 +114,11 @@ mod tests {
             "basin hopping should find the global well, got x = {}",
             res.x[0]
         );
-        assert!(res.value < 0.5, "value {} should be near the global minimum", res.value);
+        assert!(
+            res.value < 0.5,
+            "value {} should be near the global minimum",
+            res.value
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ pub fn bfgs<O: Objective + ?Sized>(
         let improvement = fx - fx_new;
         // BFGS update with s = x_new − x, y = ∇f_new − ∇f.
         let s: Vec<f64> = x_new.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
-        let y: Vec<f64> = grad_new.iter().zip(grad.iter()).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = grad_new
+            .iter()
+            .zip(grad.iter())
+            .map(|(a, b)| a - b)
+            .collect();
         let sy = dot(&s, &y);
         if sy > 1e-12 {
             bfgs_update(&mut h_inv, &s, &y, sy);
@@ -160,11 +164,11 @@ fn bfgs_update(h: &mut [f64], s: &[f64], y: &[f64], sy: f64) {
     let mut t = vec![0.0; d];
     matvec(h, y, &mut t);
     let yty_h = dot(&t, y); // yᵀ·H·y
-    // H ← H − ρ(s·tᵀ + t·sᵀ) + ρ²·(yᵀHy)·s·sᵀ + ρ·s·sᵀ
+                            // H ← H − ρ(s·tᵀ + t·sᵀ) + ρ²·(yᵀHy)·s·sᵀ + ρ·s·sᵀ
     for i in 0..d {
         for j in 0..d {
-            h[i * d + j] += -rho * (s[i] * t[j] + t[i] * s[j])
-                + (rho * rho * yty_h + rho) * s[i] * s[j];
+            h[i * d + j] +=
+                -rho * (s[i] * t[j] + t[i] * s[j]) + (rho * rho * yty_h + rho) * s[i] * s[j];
         }
     }
 }
@@ -196,15 +200,11 @@ mod tests {
     #[test]
     fn minimises_rosenbrock() {
         let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
-        let mut obj = FnObjective::with_gradient(
-            2,
-            rosen,
-            move |x: &[f64], g: &mut [f64]| {
-                g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
-                g[1] = 200.0 * (x[1] - x[0] * x[0]);
-                rosen(x)
-            },
-        );
+        let mut obj = FnObjective::with_gradient(2, rosen, move |x: &[f64], g: &mut [f64]| {
+            g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]);
+            g[1] = 200.0 * (x[1] - x[0] * x[0]);
+            rosen(x)
+        });
         let res = bfgs(
             &mut obj,
             &[-1.2, 1.0],

@@ -3,65 +3,124 @@
 //! One of the "other common angle-finding methods" the paper lists.  Only practical at
 //! very small `p` (the grid has `resolution^{2p}` points), but useful as a ground truth
 //! for `p = 1` landscapes and in tests.
+//!
+//! Grid points are independent, so the scan fans contiguous index blocks out across
+//! cores — each worker with its own objective instance (and therefore its own
+//! simulation workspace), inner statevector kernels pinned serial by the
+//! `juliqaoa_linalg::parallel` guard.  Points are totally ordered by their linear
+//! index and ties resolve to the lowest index, so the parallel scan returns exactly
+//! the serial scan's result.
 
 use crate::objective::{Objective, OptimizeResult};
+use juliqaoa_linalg::enter_outer_parallelism;
+use rayon::prelude::*;
+
+/// Minimum number of grid points before fanning out across threads pays.
+const MIN_PARALLEL_POINTS: u128 = 256;
+
+/// Writes the coordinates of grid point `index` into `point`.
+///
+/// Axis 0 is the fastest-varying digit, matching the odometer order of the serial
+/// scan; every cell is sampled at its midpoint.
+fn point_at(index: usize, resolution: usize, lo: f64, step: f64, point: &mut [f64]) {
+    let mut rest = index;
+    for coordinate in point.iter_mut() {
+        let digit = rest % resolution;
+        rest /= resolution;
+        *coordinate = lo + (digit as f64 + 0.5) * step;
+    }
+}
+
+/// Scans grid indices `[start, end)`, returning the best `(value, index)` of the block
+/// (strict `<`, so the lowest index wins ties).
+fn scan_block<O: Objective + ?Sized>(
+    objective: &mut O,
+    start: usize,
+    end: usize,
+    resolution: usize,
+    lo: f64,
+    step: f64,
+    dim: usize,
+) -> (f64, usize) {
+    let mut point = vec![lo; dim];
+    let mut best_value = f64::INFINITY;
+    let mut best_index = start;
+    for index in start..end {
+        point_at(index, resolution, lo, step, &mut point);
+        let value = objective.value(&point);
+        if value < best_value {
+            best_value = value;
+            best_index = index;
+        }
+    }
+    (best_value, best_index)
+}
 
 /// Evaluates the objective on a regular grid over `[lo, hi)^dim` with `resolution`
 /// points per axis, returning the best grid point.
 ///
+/// `make_objective` builds one objective instance per worker thread; the grid is
+/// scanned in parallel blocks when large enough.
+///
 /// # Panics
 /// Panics if `resolution == 0`, `dim == 0`, or the grid would exceed `10^8` points.
-pub fn grid_search<O: Objective + ?Sized>(
-    objective: &mut O,
+pub fn grid_search<O, F>(
+    make_objective: F,
     dim: usize,
     lo: f64,
     hi: f64,
     resolution: usize,
-) -> OptimizeResult {
+) -> OptimizeResult
+where
+    O: Objective,
+    F: Fn() -> O + Sync,
+{
     assert!(resolution > 0, "grid resolution must be positive");
     assert!(dim > 0, "grid search needs at least one dimension");
-    let total = (resolution as u128).pow(dim as u32);
-    assert!(total <= 100_000_000, "grid of {total} points is too large");
+    let total_wide = (resolution as u128).pow(dim as u32);
+    assert!(
+        total_wide <= 100_000_000,
+        "grid of {total_wide} points is too large"
+    );
+    let total = total_wide as usize;
 
     let step = (hi - lo) / resolution as f64;
-    let mut best_x = vec![lo; dim];
-    let mut best_value = f64::INFINITY;
-    let mut point = vec![lo; dim];
-    let mut indices = vec![0usize; dim];
-    let mut function_evals = 0usize;
+    let threads = rayon::current_num_threads();
 
-    loop {
-        for (p, &idx) in point.iter_mut().zip(indices.iter()) {
-            *p = lo + (idx as f64 + 0.5) * step;
-        }
-        let v = objective.value(&point);
-        function_evals += 1;
-        if v < best_value {
-            best_value = v;
-            best_x.copy_from_slice(&point);
-        }
-        // Odometer increment.
-        let mut carry = true;
-        for idx in indices.iter_mut() {
-            if carry {
-                *idx += 1;
-                if *idx == resolution {
-                    *idx = 0;
-                } else {
-                    carry = false;
-                }
+    let (best_value, best_index) = if total_wide >= MIN_PARALLEL_POINTS && threads > 1 {
+        // Contiguous index blocks, a few per thread for load balance.
+        let blocks = (threads * 4).min(total);
+        let block_bests: Vec<(f64, usize)> = (0..blocks)
+            .into_par_iter()
+            .map_init(
+                || (enter_outer_parallelism(), make_objective()),
+                |(_guard, objective), block| {
+                    let start = block * total / blocks;
+                    let end = (block + 1) * total / blocks;
+                    scan_block(objective, start, end, resolution, lo, step, dim)
+                },
+            )
+            .collect();
+        // Blocks are in index order; strict `<` keeps the lowest-index winner.
+        let mut best = (f64::INFINITY, 0usize);
+        for (value, index) in block_bests {
+            if value < best.0 {
+                best = (value, index);
             }
         }
-        if carry {
-            break;
-        }
-    }
+        best
+    } else {
+        let mut objective = make_objective();
+        scan_block(&mut objective, 0, total, resolution, lo, step, dim)
+    };
 
+    let mut best_x = vec![lo; dim];
+    point_at(best_index, resolution, lo, step, &mut best_x);
     OptimizeResult {
         x: best_x,
         value: best_value,
-        iterations: function_evals,
-        function_evals,
+        iterations: total,
+        function_evals: total,
         gradient_evals: 0,
         converged: true,
     }
@@ -74,8 +133,13 @@ mod tests {
 
     #[test]
     fn finds_minimum_of_separable_quadratic() {
-        let mut obj = FnObjective::new(2, |x: &[f64]| (x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2));
-        let res = grid_search(&mut obj, 2, -1.0, 1.0, 20);
+        let res = grid_search(
+            || FnObjective::new(2, |x: &[f64]| (x[0] - 0.5).powi(2) + (x[1] + 0.5).powi(2)),
+            2,
+            -1.0,
+            1.0,
+            20,
+        );
         assert!((res.x[0] - 0.5).abs() < 0.1);
         assert!((res.x[1] + 0.5).abs() < 0.1);
         assert_eq!(res.function_evals, 400);
@@ -83,8 +147,13 @@ mod tests {
 
     #[test]
     fn single_point_grid() {
-        let mut obj = FnObjective::new(1, |x: &[f64]| x[0].abs());
-        let res = grid_search(&mut obj, 1, 0.0, 2.0, 1);
+        let res = grid_search(
+            || FnObjective::new(1, |x: &[f64]| x[0].abs()),
+            1,
+            0.0,
+            2.0,
+            1,
+        );
         assert_eq!(res.function_evals, 1);
         assert_eq!(res.x, vec![1.0]); // midpoint of the only cell
     }
@@ -92,18 +161,43 @@ mod tests {
     #[test]
     fn resolution_refines_accuracy() {
         let f = |x: &[f64]| (x[0] - 0.123).powi(2);
-        let mut coarse = FnObjective::new(1, f);
-        let mut fine = FnObjective::new(1, f);
-        let c = grid_search(&mut coarse, 1, 0.0, 1.0, 4);
-        let g = grid_search(&mut fine, 1, 0.0, 1.0, 200);
+        let c = grid_search(|| FnObjective::new(1, f), 1, 0.0, 1.0, 4);
+        let g = grid_search(|| FnObjective::new(1, f), 1, 0.0, 1.0, 200);
         assert!(g.value <= c.value);
         assert!((g.x[0] - 0.123).abs() < 0.01);
     }
 
     #[test]
+    fn parallel_block_scan_matches_serial_scan() {
+        // 40_000 points is far above MIN_PARALLEL_POINTS; on a multi-core host this
+        // takes the block-parallel path (tests/outer_parallel.rs forces that schedule
+        // even on one core via RAYON_NUM_THREADS).  Either way the result must equal
+        // a plain serial scan with lowest-index tie-breaking.
+        let f = |x: &[f64]| ((x[0] * 3.1).sin() + (x[1] * 1.7).cos()).abs();
+        let parallel = grid_search(|| FnObjective::new(2, f), 2, -2.0, 2.0, 200);
+        let mut serial_obj = FnObjective::new(2, f);
+        let serial = scan_block(&mut serial_obj, 0, 40_000, 200, -2.0, 4.0 / 200.0, 2);
+        assert_eq!(parallel.value, serial.0);
+        let mut expected_x = vec![0.0; 2];
+        point_at(serial.1, 200, -2.0, 4.0 / 200.0, &mut expected_x);
+        assert_eq!(parallel.x, expected_x);
+    }
+
+    #[test]
+    fn point_index_decomposition_matches_odometer_order() {
+        // Axis 0 varies fastest: index 1 moves axis 0, index `resolution` moves axis 1.
+        let mut p = vec![0.0; 2];
+        point_at(0, 10, 0.0, 0.1, &mut p);
+        assert!((p[0] - 0.05).abs() < 1e-12 && (p[1] - 0.05).abs() < 1e-12);
+        point_at(1, 10, 0.0, 0.1, &mut p);
+        assert!((p[0] - 0.15).abs() < 1e-12 && (p[1] - 0.05).abs() < 1e-12);
+        point_at(10, 10, 0.0, 0.1, &mut p);
+        assert!((p[0] - 0.05).abs() < 1e-12 && (p[1] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic]
     fn oversized_grid_panics() {
-        let mut obj = FnObjective::new(6, |_: &[f64]| 0.0);
-        let _ = grid_search(&mut obj, 6, 0.0, 1.0, 100);
+        let _ = grid_search(|| FnObjective::new(6, |_: &[f64]| 0.0), 6, 0.0, 1.0, 100);
     }
 }

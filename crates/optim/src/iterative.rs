@@ -68,7 +68,10 @@ impl IterativeResult {
 
     /// The best expectation value found for a specific round count, if computed.
     pub fn expectation_at(&self, p: usize) -> Option<f64> {
-        self.per_round.iter().find(|(q, _, _)| *q == p).map(|(_, _, e)| *e)
+        self.per_round
+            .iter()
+            .find(|(q, _, _)| *q == p)
+            .map(|(_, _, e)| *e)
     }
 }
 

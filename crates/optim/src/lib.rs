@@ -14,8 +14,16 @@
 //! * [`basinhopping`] — the global strategy of Wales & Doye the paper adopts
 //!   for its iterative angle finding.
 //! * [`random_restart`] — the "random local minima exploration" baseline of Lotshaw et
-//!   al. (Listing 3's `find_angles_rand`).
-//! * [`gridsearch`] — brute-force grid evaluation at small `p`.
+//!   al. (Listing 3's `find_angles_rand`), with the candidates fanned out across cores.
+//! * [`gridsearch`] — brute-force grid evaluation at small `p`, scanned in parallel
+//!   index blocks.
+//!
+//! The parallelism in this crate lives in the *outer* candidate loops: each worker
+//! thread owns a private objective (and simulation workspace) built by a caller
+//! `make_objective` factory, and holds a `juliqaoa_linalg::parallel` guard so the tiny
+//! inner statevector kernels stay serial instead of fighting the outer fan-out for
+//! cores.  Candidate orders and tie-breaks are fixed, so same-seed runs return
+//! identical results whether the candidates execute serially or in parallel.
 //! * [`median`] — the "median angles" heuristic across instances.
 //! * [`iterative`] — the paper's `find_angles`: extrapolate good `(p−1)`-round angles to
 //!   seed round `p`, polish with basin-hopping, persist every step ([`persistence`]) and

@@ -11,7 +11,10 @@
 /// # Panics
 /// Panics if the set is empty or the vectors have inconsistent lengths.
 pub fn median_angles(angle_sets: &[Vec<f64>]) -> Vec<f64> {
-    assert!(!angle_sets.is_empty(), "median of an empty angle collection");
+    assert!(
+        !angle_sets.is_empty(),
+        "median of an empty angle collection"
+    );
     let dim = angle_sets[0].len();
     for set in angle_sets {
         assert_eq!(set.len(), dim, "angle vectors have inconsistent lengths");

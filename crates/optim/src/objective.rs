@@ -123,9 +123,8 @@ where
     }
 
     fn value_and_gradient(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
-        if self.grad.is_some() {
+        if let Some(g) = self.grad.as_mut() {
             self.evals += 1;
-            let g = self.grad.as_mut().expect("checked above");
             g(x, grad)
         } else {
             // Fall back to the default finite-difference implementation without
@@ -321,8 +320,10 @@ mod tests {
         let mut g_adj = vec![0.0; flat.len()];
         let v_adj = adj.value_and_gradient(&flat, &mut g_adj);
 
-        let mut fd =
-            QaoaObjective::with_gradient_method(&sim, GradientMethod::FiniteDifference { eps: 1e-5 });
+        let mut fd = QaoaObjective::with_gradient_method(
+            &sim,
+            GradientMethod::FiniteDifference { eps: 1e-5 },
+        );
         let mut g_fd = vec![0.0; flat.len()];
         let v_fd = fd.value_and_gradient(&flat, &mut g_fd);
 

@@ -36,7 +36,13 @@ impl AngleProgress {
 
     /// Records (or overwrites) the result for `p` rounds.
     pub fn record(&mut self, p: usize, angles: Vec<f64>, expectation: f64) {
-        self.rounds.insert(p, SavedAngles { angles, expectation });
+        self.rounds.insert(
+            p,
+            SavedAngles {
+                angles,
+                expectation,
+            },
+        );
     }
 
     /// The saved result for `p` rounds, if any.

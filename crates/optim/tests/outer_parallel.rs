@@ -1,0 +1,141 @@
+//! The outer-loop parallelism contract under a genuinely multi-threaded schedule.
+//!
+//! `RAYON_NUM_THREADS=4` is set before the shim's thread count is first read, so even
+//! a single-core CI box runs `random_restart` and `grid_search` with real worker
+//! threads.  Three properties are checked at that schedule:
+//!
+//! 1. worker threads observe the outer-parallelism guard (inner kernels serial);
+//! 2. results are identical to a hand-rolled serial scan (same seed, same
+//!    tie-breaking);
+//! 3. repeated runs are bit-identical.
+
+use juliqaoa_linalg::in_outer_parallelism;
+use juliqaoa_optim::{
+    bfgs, grid_search, random_restart, BfgsOptions, FnObjective, RandomRestartOptions,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+const FORCED_THREADS: usize = 4;
+
+fn force_threads() {
+    std::env::set_var("RAYON_NUM_THREADS", FORCED_THREADS.to_string());
+    assert_eq!(rayon::current_num_threads(), FORCED_THREADS);
+}
+
+/// A rugged objective whose evaluations record the guard state of their thread.
+fn guarded_objective<'a>(
+    saw_guard: &'a AtomicBool,
+    evals: &'a AtomicUsize,
+) -> FnObjective<impl FnMut(&[f64]) -> f64 + 'a> {
+    FnObjective::new(1, move |x: &[f64]| {
+        if in_outer_parallelism() {
+            saw_guard.store(true, Ordering::SeqCst);
+        }
+        evals.fetch_add(1, Ordering::SeqCst);
+        (3.0 * x[0]).sin() + 0.3 * (x[0] - 4.0).powi(2)
+    })
+}
+
+#[test]
+fn random_restart_parallel_schedule_matches_serial_reference() {
+    force_threads();
+    let saw_guard = AtomicBool::new(false);
+    let evals = AtomicUsize::new(0);
+    let opts = RandomRestartOptions {
+        restarts: 24,
+        ..Default::default()
+    };
+
+    let through_api = random_restart(
+        || guarded_objective(&saw_guard, &evals),
+        1,
+        &opts,
+        &mut StdRng::seed_from_u64(123),
+    );
+    assert!(
+        saw_guard.load(Ordering::SeqCst),
+        "workers must hold the outer-parallelism guard while evaluating"
+    );
+    assert!(evals.load(Ordering::SeqCst) > 0);
+
+    // Hand-rolled serial reference: same draws, same BFGS, strict-< tie-breaking.
+    let mut rng = StdRng::seed_from_u64(123);
+    let starts: Vec<Vec<f64>> = (0..opts.restarts)
+        .map(|_| vec![rng.gen_range(opts.lo..opts.hi)])
+        .collect();
+    let mut reference = FnObjective::new(1, |x: &[f64]| {
+        (3.0 * x[0]).sin() + 0.3 * (x[0] - 4.0).powi(2)
+    });
+    let mut best_value = f64::INFINITY;
+    let mut best_x = Vec::new();
+    for x0 in &starts {
+        let r = bfgs(&mut reference, x0, &BfgsOptions::default());
+        if r.value < best_value {
+            best_value = r.value;
+            best_x = r.x;
+        }
+    }
+    assert_eq!(through_api.x, best_x);
+    assert_eq!(through_api.value, best_value);
+
+    // Same seed again: bit-identical.
+    let again = random_restart(
+        || guarded_objective(&saw_guard, &evals),
+        1,
+        &opts,
+        &mut StdRng::seed_from_u64(123),
+    );
+    assert_eq!(again.x, through_api.x);
+    assert_eq!(again.value, through_api.value);
+    assert_eq!(again.function_evals, through_api.function_evals);
+}
+
+#[test]
+fn grid_search_parallel_schedule_matches_serial_reference() {
+    force_threads();
+    let saw_guard = AtomicBool::new(false);
+    let evals = AtomicUsize::new(0);
+    let f = |x: &[f64]| ((x[0] * 3.1).sin() + (x[1] * 1.7).cos()).abs();
+
+    let resolution = 80; // 6400 points: far above the block-parallel threshold
+    let parallel = grid_search(
+        || {
+            FnObjective::new(2, |x: &[f64]| {
+                if in_outer_parallelism() {
+                    saw_guard.store(true, Ordering::SeqCst);
+                }
+                evals.fetch_add(1, Ordering::SeqCst);
+                f(x)
+            })
+        },
+        2,
+        -2.0,
+        2.0,
+        resolution,
+    );
+    assert!(
+        saw_guard.load(Ordering::SeqCst),
+        "grid workers must hold the outer-parallelism guard"
+    );
+    assert_eq!(evals.load(Ordering::SeqCst), resolution * resolution);
+
+    // Serial reference with odometer ordering and strict-< tie-breaking.
+    let step = 4.0 / resolution as f64;
+    let mut best = (f64::INFINITY, vec![0.0; 2]);
+    for j in 0..resolution {
+        for i in 0..resolution {
+            let point = vec![
+                -2.0 + (i as f64 + 0.5) * step,
+                -2.0 + (j as f64 + 0.5) * step,
+            ];
+            let value = f(&point);
+            if value < best.0 {
+                best = (value, point);
+            }
+        }
+    }
+    assert_eq!(parallel.value, best.0);
+    assert_eq!(parallel.x, best.1);
+}

@@ -21,7 +21,10 @@ impl DensestKSubgraph {
     /// # Panics
     /// Panics if `k` exceeds the number of vertices.
     pub fn new(graph: Graph, k: usize) -> Self {
-        assert!(k <= graph.num_vertices(), "subset size exceeds vertex count");
+        assert!(
+            k <= graph.num_vertices(),
+            "subset size exceeds vertex count"
+        );
         DensestKSubgraph { graph, k }
     }
 

@@ -97,7 +97,9 @@ mod tests {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
         let c = MaxIndependentSet::new(g, 3.0);
         let exact = c.optimal_value();
-        let penalised = (0..(1u64 << 6)).map(|x| c.evaluate(x)).fold(f64::NEG_INFINITY, f64::max);
+        let penalised = (0..(1u64 << 6))
+            .map(|x| c.evaluate(x))
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(exact, penalised);
     }
 

@@ -14,6 +14,7 @@ pub mod densest_subgraph;
 pub mod independent_set;
 pub mod maxcut;
 pub mod partition_problem;
+pub mod phase_classes;
 pub mod precompute;
 pub mod sat;
 pub mod synthetic;
@@ -24,6 +25,7 @@ pub use densest_subgraph::DensestKSubgraph;
 pub use independent_set::MaxIndependentSet;
 pub use maxcut::MaxCut;
 pub use partition_problem::NumberPartitioning;
+pub use phase_classes::{phase_classes, PhaseClasses};
 pub use precompute::{
     degeneracies_dicke, degeneracies_full, precompute_dicke, precompute_full, DegeneracyTable,
 };

@@ -16,13 +16,18 @@ pub struct NumberPartitioning {
 impl NumberPartitioning {
     /// Creates the cost function for a set of numbers.
     pub fn new(numbers: Vec<f64>) -> Self {
-        assert!(!numbers.is_empty(), "number partitioning needs at least one number");
+        assert!(
+            !numbers.is_empty(),
+            "number partitioning needs at least one number"
+        );
         NumberPartitioning { numbers }
     }
 
     /// Random instance with integer entries drawn uniformly from `1..=max_value`.
     pub fn random<R: Rng + ?Sized>(n: usize, max_value: u64, rng: &mut R) -> Self {
-        let numbers = (0..n).map(|_| rng.gen_range(1..=max_value) as f64).collect();
+        let numbers = (0..n)
+            .map(|_| rng.gen_range(1..=max_value) as f64)
+            .collect();
         NumberPartitioning { numbers }
     }
 

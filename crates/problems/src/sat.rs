@@ -21,7 +21,10 @@ pub struct Literal {
 impl Literal {
     /// A positive literal on `var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, negated: false }
+        Literal {
+            var,
+            negated: false,
+        }
     }
 
     /// A negated literal on `var`.
@@ -195,7 +198,7 @@ mod tests {
         let sat = KSat::random(8, 3, 40, &mut rng);
         for x in 0..(1u64 << 8) {
             let v = sat.evaluate(x);
-            assert!(v >= 0.0 && v <= 40.0);
+            assert!((0.0..=40.0).contains(&v));
         }
         assert!(sat.optimal_value() <= 40.0);
     }

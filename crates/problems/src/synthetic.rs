@@ -32,7 +32,9 @@ impl HammingRamp {
     /// binomial coefficients rather than enumeration.  Usable up to `n = 64` (value
     /// degeneracies must fit in `u64`).
     pub fn analytic_degeneracies(&self) -> Vec<(f64, u64)> {
-        (0..=self.n).map(|w| (w as f64, binomial(self.n, w))).collect()
+        (0..=self.n)
+            .map(|w| (w as f64, binomial(self.n, w)))
+            .collect()
     }
 
     /// The exact `(value, degeneracy)` table over the weight-`k` subspace: a single

@@ -50,7 +50,10 @@ fn main() {
     let start = Instant::now();
     let e = compressed.expectation(&Angles::random(20, &mut rng));
     let sim_time = start.elapsed();
-    println!("n = {n}: degeneracy counting over 2^{n} states took {count_time:.2?} on {} threads", rayon::current_num_threads());
+    println!(
+        "n = {n}: degeneracy counting over 2^{n} states took {count_time:.2?} on {} threads",
+        rayon::current_num_threads()
+    );
     println!(
         "n = {n}: p = 20 Grover-QAOA round in {sim_time:.2?} over {} distinct values, ⟨C⟩ = {e:.4}\n",
         compressed.num_distinct()

@@ -16,17 +16,25 @@ use juliqaoa_mixers::Mixer;
 /// ([`juliqaoa_combinatorics::bits::all_states`]) and
 /// [`juliqaoa_problems::precompute_full`], which avoid materialising bit arrays.
 pub fn states(n: usize) -> Vec<Vec<u8>> {
-    bits::all_states(n).map(|x| bits::to_bit_array(x, n)).collect()
+    bits::all_states(n)
+        .map(|x| bits::to_bit_array(x, n))
+        .collect()
 }
 
 /// All weight-`k` basis states as 0/1 arrays — the paper's `dicke_states(n, k)`.
 pub fn dicke_states(n: usize, k: usize) -> Vec<Vec<u8>> {
-    GosperIter::new(n, k).map(|x| bits::to_bit_array(x, n)).collect()
+    GosperIter::new(n, k)
+        .map(|x| bits::to_bit_array(x, n))
+        .collect()
 }
 
 /// The MaxCut objective of a 0/1 assignment — the paper's `maxcut(graph, x)`.
 pub fn maxcut(graph: &Graph, x: &[u8]) -> f64 {
-    assert_eq!(x.len(), graph.num_vertices(), "assignment length must equal vertex count");
+    assert_eq!(
+        x.len(),
+        graph.num_vertices(),
+        "assignment length must equal vertex count"
+    );
     juliqaoa_graphs::analysis::cut_weight(graph, bits::from_bit_array(x))
 }
 
@@ -54,7 +62,10 @@ mod tests {
 
     #[test]
     fn states_enumerations() {
-        assert_eq!(states(2), vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
+        assert_eq!(
+            states(2),
+            vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]
+        );
         assert_eq!(dicke_states(3, 2).len(), 3);
         for s in dicke_states(4, 2) {
             assert_eq!(s.iter().filter(|&&b| b == 1).count(), 2);

@@ -80,7 +80,11 @@ fn constrained_simulation_never_leaves_the_feasible_subspace() {
     let k = 3;
     let (obj, _) = densest_setup(n, k, 21);
     let dim = juliqaoa::combinatorics::binomial(n, k) as usize;
-    for mixer in [Mixer::clique(n, k), Mixer::ring(n, k), Mixer::grover_dicke(n, k)] {
+    for mixer in [
+        Mixer::clique(n, k),
+        Mixer::ring(n, k),
+        Mixer::grover_dicke(n, k),
+    ] {
         let sim = Simulator::new(obj.clone(), mixer).unwrap();
         assert_eq!(sim.dim(), dim);
         let res = sim
@@ -106,7 +110,10 @@ fn clique_and_ring_mixers_agree_at_zero_angles_and_differ_otherwise() {
     let angles = Angles::random(2, &mut StdRng::seed_from_u64(8));
     let a = clique_sim.expectation(&angles).unwrap();
     let b = ring_sim.expectation(&angles).unwrap();
-    assert!((a - b).abs() > 1e-6, "different mixers should explore differently");
+    assert!(
+        (a - b).abs() > 1e-6,
+        "different mixers should explore differently"
+    );
 }
 
 #[test]

@@ -27,10 +27,17 @@ fn three_simulation_paths_agree_on_maxcut() {
     for seed in 0..3 {
         let angles = Angles::random(2, &mut StdRng::seed_from_u64(seed));
         let e_core = core.expectation(&angles).unwrap();
-        let e_gate = maxcut_qaoa_expectation_gate_sim(&graph, angles.betas(), angles.gammas(), &obj);
+        let e_gate =
+            maxcut_qaoa_expectation_gate_sim(&graph, angles.betas(), angles.gammas(), &obj);
         let e_dense = dense.expectation(angles.betas(), angles.gammas());
-        assert!((e_core - e_gate).abs() < 1e-9, "core vs gate at seed {seed}");
-        assert!((e_core - e_dense).abs() < 1e-9, "core vs dense at seed {seed}");
+        assert!(
+            (e_core - e_gate).abs() < 1e-9,
+            "core vs gate at seed {seed}"
+        );
+        assert!(
+            (e_core - e_dense).abs() < 1e-9,
+            "core vs dense at seed {seed}"
+        );
     }
 }
 
@@ -93,7 +100,8 @@ fn adjoint_gradient_drives_bfgs_to_the_same_answer_as_finite_differences() {
     let mut adjoint = QaoaObjective::with_gradient_method(&sim, GradientMethod::Adjoint);
     let res_adj = bfgs(&mut adjoint, &start, &BfgsOptions::default());
 
-    let mut fd = QaoaObjective::with_gradient_method(&sim, GradientMethod::FiniteDifference { eps: 1e-6 });
+    let mut fd =
+        QaoaObjective::with_gradient_method(&sim, GradientMethod::FiniteDifference { eps: 1e-6 });
     let res_fd = bfgs(&mut fd, &start, &BfgsOptions::default());
 
     // Both converge to (numerically) the same local optimum value...
@@ -141,7 +149,9 @@ fn paper_listing_one_pipeline_runs_end_to_end() {
     let obj_vals: Vec<f64> = states(n).iter().map(|x| maxcut(&graph, x)).collect();
     let mixer = Mixer::transverse_field(n);
     let p = 3;
-    let angles: Vec<f64> = (0..2 * p).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+    let angles: Vec<f64> = (0..2 * p)
+        .map(|_| rand::Rng::gen::<f64>(&mut rng))
+        .collect();
     let res = simulate(&angles, &mixer, &obj_vals).unwrap();
     let exp_value = get_exp_value(&res);
     assert!(exp_value >= 0.0);

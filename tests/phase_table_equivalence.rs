@@ -1,0 +1,272 @@
+//! Equivalence of the table-driven/fused phase-separator path with the naive dense
+//! `cis` path, across random states, random angles and several objective families —
+//! the correctness contract of the phase-class compression layer.
+//!
+//! Covered here:
+//! * random MaxCut / k-SAT / synthetic objectives against the dense reference, for
+//!   both Pauli-X and Grover (fused) mixers, at serial-kernel sizes;
+//! * random warm-start initial states;
+//! * the forced-parallel kernel branch (statevectors above `par_threshold()`),
+//!   cross-checked against the guard-forced serial branch;
+//! * the non-compressible-float fallback;
+//! * same-seed determinism of `random_restart` and `grid_search` under outer-loop
+//!   parallelism.
+
+use juliqaoa::linalg::{vector, Complex64};
+use juliqaoa::prelude::*;
+use juliqaoa::problems::{HammingRamp, PhaseClasses};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Max |ψ_table − ψ_dense| after evolving both variants of the same simulator.
+fn table_vs_dense_diff(sim: &Simulator, angles: &Angles) -> f64 {
+    assert!(
+        sim.phase_classes().is_some(),
+        "objective unexpectedly non-compressible"
+    );
+    let dense = sim.clone().with_dense_phases();
+    let mut ws_t = sim.workspace();
+    let mut ws_d = dense.workspace();
+    sim.evolve_into(angles, &mut ws_t)
+        .expect("consistent setup");
+    dense
+        .evolve_into(angles, &mut ws_d)
+        .expect("consistent setup");
+    vector::max_abs_diff(&ws_t.state, &ws_d.state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn maxcut_table_path_matches_dense_for_all_mixers(
+        seed in 0u64..1000,
+        angles in proptest::collection::vec(-3.2..3.2f64, 6),
+        mixer_choice in 0usize..2
+    ) {
+        let n = 7;
+        let graph = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed));
+        let obj = precompute_full(&MaxCut::new(graph));
+        let mixer = if mixer_choice == 0 {
+            Mixer::transverse_field(n)
+        } else {
+            Mixer::grover_full(n) // exercises the fused phase+overlap round
+        };
+        let sim = Simulator::new(obj, mixer).unwrap();
+        prop_assert!(table_vs_dense_diff(&sim, &Angles::from_flat(&angles)) < 1e-12);
+    }
+
+    #[test]
+    fn sat_table_path_matches_dense(
+        seed in 0u64..1000,
+        angles in proptest::collection::vec(-3.2..3.2f64, 4)
+    ) {
+        let n = 8;
+        let sat = KSat::random_with_density(n, 3, 6.0, &mut StdRng::seed_from_u64(seed));
+        let obj = precompute_full(&sat);
+        let sim = Simulator::new(obj, Mixer::grover_full(n)).unwrap();
+        prop_assert!(table_vs_dense_diff(&sim, &Angles::from_flat(&angles)) < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_objective_with_random_warm_start_matches_dense(
+        angles in proptest::collection::vec(-3.2..3.2f64, 6),
+        state in proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), 1 << 6)
+    ) {
+        let n = 6;
+        let obj = precompute_full(&HammingRamp::new(n));
+        let init: Vec<Complex64> =
+            state.iter().map(|&(re, im)| Complex64::new(re, im)).collect();
+        prop_assume!(vector::norm(&init) > 1e-6);
+        let sim = Simulator::new(obj, Mixer::transverse_field(n))
+            .unwrap()
+            .with_initial_state(InitialState::Custom(init))
+            .unwrap();
+        prop_assert!(table_vs_dense_diff(&sim, &Angles::from_flat(&angles)) < 1e-12);
+    }
+
+    #[test]
+    fn adjoint_gradient_table_path_matches_dense(
+        seed in 0u64..500,
+        angles in proptest::collection::vec(-3.2..3.2f64, 4)
+    ) {
+        let n = 6;
+        let graph = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed));
+        let obj = precompute_full(&MaxCut::new(graph));
+        let sim = Simulator::new(obj, Mixer::transverse_field(n)).unwrap();
+        let dense = sim.clone().with_dense_phases();
+        let parsed = Angles::from_flat(&angles);
+        let mut ws_t = sim.workspace();
+        let mut ws_d = dense.workspace();
+        let g_t = adjoint_gradient(&sim, &parsed, &mut ws_t).unwrap();
+        let g_d = adjoint_gradient(&dense, &parsed, &mut ws_d).unwrap();
+        prop_assert!((g_t.expectation - g_d.expectation).abs() < 1e-12);
+        for (a, b) in g_t.to_flat().iter().zip(g_d.to_flat().iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn forced_parallel_branch_matches_guard_forced_serial_branch() {
+    // A statevector above par_threshold() drives every kernel down its rayon path;
+    // re-running under the outer-parallelism guard forces the serial path on the same
+    // data.  The two must agree to reduction-order accuracy, for both the table and
+    // the dense variants.
+    let threshold = juliqaoa::linalg::par_threshold();
+    let n = (threshold.max(2).ilog2() as usize + 1).clamp(10, 21);
+    let graph = erdos_renyi(n, 0.05, &mut StdRng::seed_from_u64(3));
+    let obj = precompute_full(&MaxCut::new(graph));
+    assert!(
+        obj.len() >= threshold,
+        "test must reach the parallel branch"
+    );
+    let angles = Angles::random(2, &mut StdRng::seed_from_u64(7));
+
+    for table_driven in [true, false] {
+        let sim = Simulator::new(obj.clone(), Mixer::grover_full(n)).unwrap();
+        let sim = if table_driven {
+            sim
+        } else {
+            sim.with_dense_phases()
+        };
+        let mut ws_par = sim.workspace();
+        sim.evolve_into(&angles, &mut ws_par).unwrap();
+        let mut ws_ser = sim.workspace();
+        {
+            let _guard = juliqaoa::linalg::enter_outer_parallelism();
+            sim.evolve_into(&angles, &mut ws_ser).unwrap();
+        }
+        let diff = vector::max_abs_diff(&ws_par.state, &ws_ser.state);
+        assert!(
+            diff < 1e-12,
+            "table_driven={table_driven}: parallel vs serial diff {diff}"
+        );
+    }
+}
+
+#[test]
+fn non_compressible_floats_fall_back_to_dense_and_agree_with_reference() {
+    // An injective objective defeats compression; the simulator must transparently
+    // use the dense kernel and agree with a hand-rolled reference evolution.
+    let n = 6;
+    let dim = 1usize << n;
+    let obj: Vec<f64> = (0..dim)
+        .map(|x| (x as f64).sin() * 7.3 + x as f64)
+        .collect();
+    assert!(PhaseClasses::build(&obj).is_none());
+    let sim = Simulator::new(obj.clone(), Mixer::transverse_field(n)).unwrap();
+    assert!(sim.phase_classes().is_none());
+
+    let angles = Angles::random(3, &mut StdRng::seed_from_u64(11));
+    let mut ws = sim.workspace();
+    sim.evolve_into(&angles, &mut ws).unwrap();
+
+    // Reference: explicit dense rounds.
+    let reference = {
+        let mut state = vec![Complex64::ZERO; dim];
+        vector::fill_uniform(&mut state);
+        let mut scratch = vec![Complex64::ZERO; dim];
+        let mixer = Mixer::transverse_field(n);
+        for round in 0..angles.p() {
+            let (gamma, beta) = angles.round(round);
+            vector::apply_phases(&mut state, &obj, gamma);
+            mixer.apply_evolution(beta, &mut state, &mut scratch);
+        }
+        state
+    };
+    assert!(vector::max_abs_diff(&ws.state, &reference) < 1e-12);
+}
+
+#[test]
+fn almost_compressible_boundary_cases() {
+    // Exactly at the classes cap the table is used; one distinct value past it the
+    // dense fallback kicks in.  Both must produce the same physics.
+    let dim = 64usize;
+    let compressible: Vec<f64> = (0..dim).map(|x| (x % 32) as f64).collect();
+    let incompressible: Vec<f64> = (0..dim)
+        .map(|x| (x.min(33)) as f64 + (x % 2) as f64 * 0.25)
+        .collect();
+    assert!(PhaseClasses::build(&compressible).is_some());
+    let sim_c = Simulator::new(compressible, Mixer::grover_full(6)).unwrap();
+    assert!(sim_c.phase_classes().is_some());
+    let sim_i = Simulator::new(incompressible, Mixer::grover_full(6)).unwrap();
+    let angles = Angles::random(2, &mut StdRng::seed_from_u64(5));
+    for sim in [&sim_c, &sim_i] {
+        let res = sim.simulate(&angles).unwrap();
+        assert!((res.total_probability() - 1.0).abs() < 1e-10);
+    }
+    assert!(table_vs_dense_diff(&sim_c, &angles) < 1e-12);
+}
+
+#[test]
+fn random_restart_is_seed_deterministic_under_outer_parallelism() {
+    let n = 6;
+    let graph = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(42));
+    let obj = precompute_full(&MaxCut::new(graph));
+    let sim = Simulator::new(obj, Mixer::transverse_field(n)).unwrap();
+    let opts = RandomRestartOptions {
+        restarts: 12, // above the parallel fan-out threshold
+        ..Default::default()
+    };
+    let run = || {
+        random_restart(
+            || QaoaObjective::new(&sim),
+            2,
+            &opts,
+            &mut StdRng::seed_from_u64(9),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.x, b.x, "same seed must give identical best angles");
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.function_evals, b.function_evals);
+    assert_eq!(a.gradient_evals, b.gradient_evals);
+}
+
+#[test]
+fn grid_search_is_deterministic_and_matches_serial_reference() {
+    use juliqaoa::optim::grid_search;
+    use juliqaoa::optim::Objective;
+
+    let n = 5;
+    let graph = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(13));
+    let obj = precompute_full(&MaxCut::new(graph));
+    let sim = Simulator::new(obj, Mixer::transverse_field(n)).unwrap();
+
+    // 24^2 = 576 points: above the block-parallel threshold.
+    let res = grid_search(
+        || QaoaObjective::new(&sim),
+        2,
+        0.0,
+        std::f64::consts::PI,
+        24,
+    );
+    let res2 = grid_search(
+        || QaoaObjective::new(&sim),
+        2,
+        0.0,
+        std::f64::consts::PI,
+        24,
+    );
+    assert_eq!(res.x, res2.x);
+    assert_eq!(res.value, res2.value);
+
+    // Serial reference: odometer scan with strict-< tie-breaking.
+    let mut reference = QaoaObjective::new(&sim);
+    let step = std::f64::consts::PI / 24.0;
+    let mut best = (f64::INFINITY, vec![0.0; 2]);
+    for j in 0..24 {
+        for i in 0..24 {
+            let point = vec![(i as f64 + 0.5) * step, (j as f64 + 0.5) * step];
+            let value = reference.value(&point);
+            if value < best.0 {
+                best = (value, point);
+            }
+        }
+    }
+    assert_eq!(res.value, best.0);
+    assert_eq!(res.x, best.1);
+}

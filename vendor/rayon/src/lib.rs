@@ -1,0 +1,733 @@
+//! A vendored, dependency-free stand-in for the subset of [rayon](https://docs.rs/rayon)
+//! that `juliqaoa` uses.
+//!
+//! The build environment has no network access, so instead of the real crate this shim
+//! provides the same API surface backed by `std::thread::scope`: every parallel iterator
+//! is a *splittable* description of contiguous work; consumers split it into one
+//! contiguous piece per available core, run each piece on a scoped thread, and combine
+//! the results in order.  On a single-core host (or for small inputs) everything runs
+//! inline with zero thread overhead.
+//!
+//! Differences from real rayon that matter to callers:
+//!
+//! * There is no global work-stealing pool — threads are spawned per call.  The
+//!   crossover at which parallelism pays is therefore higher; `juliqaoa_linalg`
+//!   accounts for this in its `par_threshold()` default.  The shim itself splits any
+//!   workload with at least two items (small item counts with heavy per-item work —
+//!   the angle-finding outer loops — are exactly what must fan out), so callers with
+//!   cheap per-item work are responsible for their own size gating.
+//! * Only contiguous splits are performed, so `collect()` preserves order exactly like
+//!   rayon's indexed collect.
+//! * `RAYON_NUM_THREADS` is honoured (read once); tests use it to force multi-way
+//!   splits on single-core hosts.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads parallel consumers will use: `RAYON_NUM_THREADS` if set to
+/// a valid positive integer at first use (the same override real rayon honours —
+/// tests use it to force multi-way splits on single-core hosts), otherwise the
+/// available hardware parallelism.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Splits `p` into at most `current_num_threads()` contiguous pieces, runs `worker` on
+/// each piece (on scoped threads when it helps), and returns the per-piece results in
+/// order.
+///
+/// Any splittable workload (≥ 2 items, > 1 thread) fans out — matching real rayon,
+/// where a 100-candidate outer loop absolutely should use every core even though 100
+/// is a small item count.  Cheap *per-item* workloads are expected to stay off this
+/// path via their own size gates (see `juliqaoa_linalg::parallel_kernels_enabled`);
+/// the shim cannot tell item cost apart, only item count.
+fn run_split<P, R, F>(p: P, worker: &F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let len = p.par_len();
+    let threads = current_num_threads();
+    if threads <= 1 || len < 2 {
+        return vec![worker(p)];
+    }
+    let pieces_count = threads.min(len);
+    let mut pieces = Vec::with_capacity(pieces_count);
+    let mut rest = p;
+    let mut remaining = len;
+    for i in 0..pieces_count {
+        if i + 1 == pieces_count {
+            pieces.push(rest);
+            break;
+        }
+        let take = remaining / (pieces_count - i);
+        let (head, tail) = rest.split_off_front(take);
+        pieces.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .map(|piece| s.spawn(move || worker(piece)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// A splittable, sendable description of a parallel computation over contiguous items.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced.
+    type Item: Send;
+    /// The sequential iterator a single piece is driven with.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+    /// Splits into the first `at` items and the remainder.
+    fn split_off_front(self, at: usize) -> (Self, Self);
+    /// Converts one piece into a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps each item through `f`, giving every worker its own state created by `init`
+    /// (rayon's `map_init`): the state is created once per contiguous piece, not per
+    /// item, which is what makes per-thread scratch workspaces cheap.
+    fn map_init<I, T, R, F>(self, init: I, f: F) -> MapInit<Self, I, F>
+    where
+        I: Fn() -> T + Sync + Send + Clone,
+        R: Send,
+        F: Fn(&mut T, Self::Item) -> R + Sync + Send + Clone,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    /// Pairs items positionally with another parallel iterator.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Copies out of by-reference items.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_split(self, &|piece: Self| {
+            for item in piece.into_seq() {
+                f(item);
+            }
+        });
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_split(self, &|piece: Self| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collects into a container (order-preserving).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Containers constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let mut chunks = run_split(p, &|piece: P| piece.into_seq().collect::<Vec<T>>());
+        if chunks.len() == 1 {
+            return chunks.pop().unwrap();
+        }
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Values convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+// ---------------------------------------------------------------------------
+// Base producers
+// ---------------------------------------------------------------------------
+
+/// Parallel `&[T]` iterator (items are `&T`).
+pub struct ParSliceIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(at);
+        (ParSliceIter(a), ParSliceIter(b))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+/// Parallel `&mut [T]` iterator (items are `&mut T`).
+pub struct ParSliceIterMut<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for ParSliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(at);
+        (ParSliceIterMut(a), ParSliceIterMut(b))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+/// Parallel chunks of a shared slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (
+            ParChunks {
+                slice: a,
+                size: self.size,
+            },
+            ParChunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel chunks of a mutable slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ParChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ParChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel integer range.
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn par_len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            fn split_off_front(self, at: usize) -> (Self, Self) {
+                let mid = self.range.start + at as $t;
+                (
+                    ParRange { range: self.range.start..mid },
+                    ParRange { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(usize, u64, u32);
+
+/// Parallel owned-vector iterator.
+pub struct ParVec<T>(Vec<T>);
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_off_front(mut self, at: usize) -> (Self, Self) {
+        let tail = self.0.split_off(at);
+        (self, ParVec(tail))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParVec(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParSliceIter<'a, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParSliceIter(self)
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParSliceIterMut<'a, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParSliceIterMut(self)
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter(self)
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T> {
+        ParSliceIterMut(self)
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_off_front(at);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    f: F,
+}
+
+/// Sequential driver for [`MapInit`]: the per-piece state is created lazily on the first
+/// item and reused for the rest of the piece.
+pub struct MapInitSeq<S, T, I, F> {
+    inner: S,
+    state: Option<T>,
+    init: Option<I>,
+    f: F,
+}
+
+impl<S, T, I, R, F> Iterator for MapInitSeq<S, T, I, F>
+where
+    S: Iterator,
+    I: FnOnce() -> T,
+    F: FnMut(&mut T, S::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let item = self.inner.next()?;
+        if self.state.is_none() {
+            let init = self.init.take().expect("init closure consumed twice");
+            self.state = Some(init());
+        }
+        Some((self.f)(
+            self.state.as_mut().expect("just initialised"),
+            item,
+        ))
+    }
+}
+
+impl<P, I, T, R, F> ParallelIterator for MapInit<P, I, F>
+where
+    P: ParallelIterator,
+    I: Fn() -> T + Sync + Send + Clone,
+    R: Send,
+    F: Fn(&mut T, P::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    type Seq = MapInitSeq<P::Seq, T, I, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_off_front(at);
+        (
+            MapInit {
+                base: a,
+                init: self.init.clone(),
+                f: self.f.clone(),
+            },
+            MapInit {
+                base: b,
+                init: self.init,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        MapInitSeq {
+            inner: self.base.into_seq(),
+            state: None,
+            init: Some(self.init),
+            f: self.f,
+        }
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_off_front(at);
+        let (b1, b2) = self.b.split_off_front(at);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential driver for [`Enumerate`], carrying the piece's global start index.
+pub struct EnumerateSeq<S> {
+    inner: S,
+    index: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let index = self.index;
+        self.index += 1;
+        Some((index, item))
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = EnumerateSeq<P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_off_front(at);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + at,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.base.into_seq(),
+            index: self.offset,
+        }
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: Copy + Send + Sync + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    type Seq = std::iter::Copied<P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_off_front(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_off_front(at);
+        (Copied { base: a }, Copied { base: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn slice_sum_matches_serial() {
+        let data: Vec<f64> = (0..50_000).map(|i| (i % 7) as f64).collect();
+        let par: f64 = data.par_iter().map(|&x| x * 0.5).sum();
+        let ser: f64 = data.iter().map(|&x| x * 0.5).sum();
+        assert!((par - ser).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zip_for_each_mutates_in_place() {
+        let mut a = vec![0.0f64; 20_000];
+        let b: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x = y + 1.0);
+        assert_eq!(a[19_999], 20_000.0);
+        assert_eq!(a[0], 1.0);
+    }
+
+    #[test]
+    fn chunks_mut_sees_every_chunk() {
+        let mut data = vec![1u64; 8192];
+        data.par_chunks_mut(128).for_each(|chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn map_init_runs_init_once_per_piece() {
+        let out: Vec<u64> = (0..4096u64)
+            .into_par_iter()
+            .map_init(|| 10u64, |state, i| i + *state)
+            .collect();
+        assert_eq!(out[0], 10);
+        assert_eq!(out[4095], 4105);
+    }
+
+    #[test]
+    fn vec_into_par_iter_collect() {
+        let v: Vec<String> = (0..3000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[2999], 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Forces a genuinely multi-threaded schedule — even on a single-core host — by
+//! setting `RAYON_NUM_THREADS` before the shim's thread count is first read, then
+//! checks that splitting actually happens and that results still match serial
+//! execution in value and order.
+//!
+//! This is its own integration-test binary so the env var reliably wins the
+//! `OnceLock` initialisation race: every test here sets the same value before any
+//! parallel call.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const FORCED_THREADS: usize = 4;
+
+fn force_threads() {
+    std::env::set_var("RAYON_NUM_THREADS", FORCED_THREADS.to_string());
+    assert_eq!(
+        rayon::current_num_threads(),
+        FORCED_THREADS,
+        "RAYON_NUM_THREADS must win over hardware detection"
+    );
+}
+
+#[test]
+fn small_item_counts_still_fan_out() {
+    force_threads();
+    // 100 items is the realistic outer-loop size (random_restart's candidate count);
+    // count distinct worker threads to prove the schedule really split.
+    let thread_ids = std::sync::Mutex::new(std::collections::HashSet::new());
+    let out: Vec<usize> = (0..100usize)
+        .into_par_iter()
+        .map(|i| {
+            thread_ids
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            i * 3
+        })
+        .collect();
+    assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    let distinct = thread_ids.lock().unwrap().len();
+    assert!(
+        distinct > 1,
+        "expected a multi-threaded schedule, saw {distinct} thread(s)"
+    );
+}
+
+#[test]
+fn map_init_builds_one_state_per_piece() {
+    force_threads();
+    let inits = AtomicUsize::new(0);
+    let out: Vec<usize> = (0..64usize)
+        .into_par_iter()
+        .map_init(
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                7usize
+            },
+            |state, i| i + *state,
+        )
+        .collect();
+    assert_eq!(out, (0..64).map(|i| i + 7).collect::<Vec<_>>());
+    let count = inits.load(Ordering::SeqCst);
+    assert!(
+        (2..=FORCED_THREADS).contains(&count),
+        "init should run once per piece, ran {count} times"
+    );
+}
+
+#[test]
+fn zip_sum_and_for_each_match_serial_under_forced_split() {
+    force_threads();
+    let a: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+    let b: Vec<f64> = (0..500).map(|i| 100.0 - i as f64).collect();
+    let par: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+    let ser: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    assert!((par - ser).abs() < 1e-9 * ser.abs().max(1.0));
+
+    let mut buf = vec![0usize; 300];
+    buf.par_iter_mut()
+        .enumerate()
+        .for_each(|(i, slot)| *slot = i * i);
+    for (i, v) in buf.iter().enumerate() {
+        assert_eq!(*v, i * i);
+    }
+}

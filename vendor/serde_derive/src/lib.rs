@@ -1,0 +1,252 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Supports exactly the type shapes used in this workspace: structs with named fields
+//! (serialised as JSON objects keyed by field name) and enums whose variants are all
+//! unit variants (serialised as the variant name string).  Anything else produces a
+//! compile error naming the unsupported shape, so a future refactor fails loudly
+//! instead of mis-serialising.
+//!
+//! Implemented without `syn`/`quote` (the environment has no network access): the input
+//! token stream is walked directly and the generated impl is assembled as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips a leading sequence of `#[...]` attributes starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "serde shim derive does not support unit/tuple struct `{name}`"
+                ))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < body_tokens.len() {
+            j = skip_attributes(&body_tokens, j);
+            j = skip_visibility(&body_tokens, j);
+            match body_tokens.get(j) {
+                Some(TokenTree::Ident(id)) => {
+                    fields.push(id.to_string());
+                    j += 1;
+                }
+                None => break,
+                other => return Err(format!("unexpected token in `{name}` fields: {other:?}")),
+            }
+            match body_tokens.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+                other => return Err(format!("expected `:` after field, found {other:?}")),
+            }
+            // Consume the type: everything until a comma at angle-bracket depth 0.
+            let mut depth = 0i32;
+            while let Some(tok) = body_tokens.get(j) {
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+        }
+        Ok(Shape::Struct { name, fields })
+    } else if kind == "enum" {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body_tokens.len() {
+            j = skip_attributes(&body_tokens, j);
+            match body_tokens.get(j) {
+                Some(TokenTree::Ident(id)) => {
+                    variants.push(id.to_string());
+                    j += 1;
+                }
+                None => break,
+                other => return Err(format!("unexpected token in `{name}` variants: {other:?}")),
+            }
+            match body_tokens.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                Some(TokenTree::Group(_)) => {
+                    return Err(format!(
+                        "serde shim derive supports only unit variants; `{name}` has a data variant"
+                    ))
+                }
+                None => break,
+                other => return Err(format!("unexpected token after variant: {other:?}")),
+            }
+        }
+        Ok(Shape::UnitEnum { name, variants })
+    } else {
+        Err(format!("expected `struct` or `enum`, found `{kind}`"))
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let tag = match self {{ {arms} }};\n\
+                         ::serde::Value::Str(::std::string::String::from(tag))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field({f:?})\
+                         .ok_or_else(|| ::std::format!(\"missing field `{f}` in {name}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::std::format!(\"expected object for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         let tag = v.as_str().ok_or_else(|| ::std::format!(\"expected string tag for {name}\"))?;\n\
+                         match tag {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::std::format!(\"unknown {name} variant {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
