@@ -1,0 +1,108 @@
+//! Service throughput snapshot: jobs/sec through the batch engine at n = 16, written
+//! to `BENCH_service.json`.
+//!
+//! Two workloads are measured, separating engine overhead from cache value:
+//!
+//! 1. **hot-cache** — many jobs over a handful of instances (the serving steady state:
+//!    clients sweep seeds/optimizers over shared problems);
+//! 2. **cold-cache** — every job on a distinct instance (worst case: each job pays the
+//!    full `2ⁿ` pre-computation).
+//!
+//! Usage: `cargo run --release -p juliqaoa_bench --bin bench_service [output.json]`
+
+use juliqaoa_service::{run_batch, Engine, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WorkloadRow {
+    label: String,
+    n: usize,
+    jobs: usize,
+    distinct_instances: usize,
+    elapsed_s: f64,
+    jobs_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    description: String,
+    threads: usize,
+    workloads: Vec<WorkloadRow>,
+}
+
+fn jobs_for(n: usize, count: usize, distinct_instances: usize) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| JobSpec {
+            id: format!("bench-{i}"),
+            problem: ProblemSpec::MaxCutGnp {
+                n,
+                instance: (i % distinct_instances) as u64,
+            },
+            mixer: MixerSpec::TransverseField,
+            p: 1,
+            optimizer: OptimizerSpec::BasinHopping {
+                n_hops: 2,
+                step_size: 0.8,
+                temperature: 1.0,
+            },
+            seed: i as u64,
+        })
+        .collect()
+}
+
+fn run_workload(label: &str, n: usize, count: usize, distinct_instances: usize) -> WorkloadRow {
+    let out = std::env::temp_dir().join(format!(
+        "juliqaoa_bench_service_{label}_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out);
+    let jobs = jobs_for(n, count, distinct_instances);
+    let engine = Engine::new(distinct_instances.max(1));
+    let summary = run_batch(&engine, &jobs, &out, false).expect("batch runs");
+    assert_eq!(summary.failed, 0, "benchmark jobs must not fail");
+    let stats = engine.stats();
+    let _ = std::fs::remove_file(&out);
+    println!(
+        "{label:>10}  n={n}  {count:>3} jobs over {distinct_instances:>3} instances  \
+         {:.2}s  {:.2} jobs/s  cache {}/{}",
+        summary.elapsed_s,
+        summary.jobs_per_sec,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses
+    );
+    WorkloadRow {
+        label: label.to_string(),
+        n,
+        jobs: count,
+        distinct_instances,
+        elapsed_s: summary.elapsed_s,
+        jobs_per_sec: summary.jobs_per_sec,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let n = 16;
+    let workloads = vec![
+        run_workload("hot-cache", n, 48, 4),
+        run_workload("cold-cache", n, 24, 24),
+    ];
+
+    let snapshot = Snapshot {
+        description: format!(
+            "qaoa-service batch throughput at n = {n} (p = 1 MaxCut, 2-hop basin hopping)"
+        ),
+        threads: rayon::current_num_threads(),
+        workloads,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialise snapshot");
+    std::fs::write(&output, json).expect("write snapshot");
+    println!("wrote {output}");
+}

@@ -8,6 +8,8 @@
 //!
 //! Defaults are scaled down (n = 10, p ≤ 6) so the binary finishes quickly; pass
 //! `--full` for the paper-scale run, or `--n`, `--p-max`, `--hops` to customise.
+//! With `--emit-jobs <path>` the binary writes the equivalent workload as a
+//! `qaoa-service` job file instead of running it.
 //!
 //! Run with: `cargo run -p juliqaoa-bench --release --bin fig2 [-- --full]`
 
@@ -27,6 +29,7 @@ struct Config {
     n: usize,
     p_max: usize,
     hops: usize,
+    emit_jobs: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -35,6 +38,7 @@ fn parse_args() -> Config {
         n: 10,
         p_max: 6,
         hops: 8,
+        emit_jobs: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -56,11 +60,71 @@ fn parse_args() -> Config {
                 i += 1;
                 cfg.hops = args[i].parse().expect("--hops takes an integer");
             }
+            "--emit-jobs" => {
+                i += 1;
+                cfg.emit_jobs = Some(args[i].clone());
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
     cfg
+}
+
+/// The figure's four problem/mixer pairs as service job specs, one job per round
+/// count (the service optimizes a single `p` per job, so the iterative build-up
+/// becomes a `p`-sweep).
+fn emit_jobs(cfg: &Config, path: &str) {
+    use juliqaoa_service::{JobSpec, MixerSpec, OptimizerSpec, ProblemSpec};
+    let n = cfg.n;
+    let k = n / 2;
+    let pairs: Vec<(&str, ProblemSpec, MixerSpec)> = vec![
+        (
+            "maxcut-transverse",
+            ProblemSpec::MaxCutGnp { n, instance: 0 },
+            MixerSpec::TransverseField,
+        ),
+        (
+            "3sat-grover",
+            ProblemSpec::KSatRandom {
+                n,
+                k: 3,
+                density: 6.0,
+                instance: 0,
+            },
+            MixerSpec::Grover,
+        ),
+        (
+            "densest-k-clique",
+            ProblemSpec::DensestKSubgraphGnp { n, k, instance: 1 },
+            MixerSpec::Clique,
+        ),
+        (
+            "k-vertex-cover-ring",
+            ProblemSpec::MaxKVertexCoverGnp { n, k, instance: 2 },
+            MixerSpec::Ring,
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for (label, problem, mixer) in &pairs {
+        for p in 1..=cfg.p_max {
+            jobs.push(JobSpec {
+                id: format!("fig2-{label}-p{p}"),
+                problem: problem.clone(),
+                mixer: *mixer,
+                p,
+                optimizer: OptimizerSpec::BasinHopping {
+                    n_hops: cfg.hops,
+                    step_size: 1.0,
+                    temperature: 1.0,
+                },
+                seed: 2,
+            });
+        }
+    }
+    let count = jobs.len();
+    juliqaoa_bench::write_job_file(path, jobs).expect("writing job file");
+    eprintln!("fig2: wrote {count} job specs to {path}");
 }
 
 /// Normalised quality (⟨C⟩ − C_min)/(C_max − C_min); 1.0 means the optimum.
@@ -104,6 +168,10 @@ fn run_problem(label: &str, obj: Vec<f64>, mixer: Mixer, cfg: &Config, rng: &mut
 
 fn main() {
     let cfg = parse_args();
+    if let Some(path) = cfg.emit_jobs.clone() {
+        emit_jobs(&cfg, &path);
+        return;
+    }
     let n = cfg.n;
     let k = n / 2;
     let mut rng = StdRng::seed_from_u64(2);

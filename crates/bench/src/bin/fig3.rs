@@ -29,6 +29,48 @@ struct Config {
     instances: usize,
     restarts: usize,
     hops: usize,
+    emit_jobs: Option<String>,
+}
+
+/// The figure's per-instance workload as service job specs: a basin-hopping job and a
+/// random-restart job per (instance, p) — the two optimized strategies the figure
+/// compares (median angles are derived offline from the random-restart results).
+fn emit_jobs(cfg: &Config, path: &str) {
+    use juliqaoa_service::{JobSpec, MixerSpec, OptimizerSpec, ProblemSpec};
+    let mut jobs = Vec::new();
+    for idx in 0..cfg.instances {
+        let problem = ProblemSpec::MaxCutGnp {
+            n: cfg.n,
+            instance: idx as u64,
+        };
+        for p in 1..=cfg.p_max {
+            jobs.push(JobSpec {
+                id: format!("fig3-i{idx}-p{p}-bh"),
+                problem: problem.clone(),
+                mixer: MixerSpec::TransverseField,
+                p,
+                optimizer: OptimizerSpec::BasinHopping {
+                    n_hops: cfg.hops,
+                    step_size: 1.0,
+                    temperature: 1.0,
+                },
+                seed: 1000 + idx as u64,
+            });
+            jobs.push(JobSpec {
+                id: format!("fig3-i{idx}-p{p}-rr"),
+                problem: problem.clone(),
+                mixer: MixerSpec::TransverseField,
+                p,
+                optimizer: OptimizerSpec::RandomRestart {
+                    restarts: cfg.restarts,
+                },
+                seed: 2000 + idx as u64,
+            });
+        }
+    }
+    let count = jobs.len();
+    juliqaoa_bench::write_job_file(path, jobs).expect("writing job file");
+    eprintln!("fig3: wrote {count} job specs to {path}");
 }
 
 fn parse_args() -> Config {
@@ -39,6 +81,7 @@ fn parse_args() -> Config {
         instances: 8,
         restarts: 20,
         hops: 8,
+        emit_jobs: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -66,6 +109,10 @@ fn parse_args() -> Config {
                 i += 1;
                 cfg.restarts = args[i].parse().expect("--restarts takes an integer");
             }
+            "--emit-jobs" => {
+                i += 1;
+                cfg.emit_jobs = Some(args[i].clone());
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -75,6 +122,10 @@ fn parse_args() -> Config {
 
 fn main() {
     let cfg = parse_args();
+    if let Some(path) = cfg.emit_jobs.clone() {
+        emit_jobs(&cfg, &path);
+        return;
+    }
     println!("# Figure 3 reproduction: angle-finding strategy comparison on MaxCut");
     println!(
         "# n = {}, {} instances, p = 1..{}, {} random restarts per instance",

@@ -1,53 +1,27 @@
 //! Seeded problem instances matching the paper's experimental setups.
 //!
-//! Every figure uses random `G(n, 0.5)` graphs (and, for Figure 2, a clause-density-6
-//! 3-SAT instance); these constructors pin the RNG seed so a figure regenerated twice
-//! uses the same instances.
+//! The constructors now live in `juliqaoa_problems::paper_instances` so the job
+//! service can realise the same instances from job specs; this module re-exports them
+//! under their historical path for the figure binaries and external callers.
 
-use juliqaoa_graphs::{erdos_renyi, Graph};
-use juliqaoa_problems::KSat;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// The `G(n, 0.5)` MaxCut instance with a fixed per-index seed, as used throughout the
-/// paper's evaluation.
-pub fn paper_maxcut_instance(n: usize, instance_index: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(
-        0xC0FFEE ^ (instance_index.wrapping_mul(0x9E37_79B9)) ^ (n as u64) << 32,
-    );
-    erdos_renyi(n, 0.5, &mut rng)
-}
-
-/// The clause-density-6 random 3-SAT instance of Figure 2.
-pub fn paper_sat_instance(n: usize, instance_index: u64) -> KSat {
-    let mut rng =
-        StdRng::seed_from_u64(0x5A7 ^ instance_index.wrapping_mul(0x9E37_79B9) ^ (n as u64) << 32);
-    KSat::random_with_density(n, 3, 6.0, &mut rng)
-}
+pub use juliqaoa_problems::paper_instances::{
+    paper_maxcut_instance, paper_sat_instance, paper_sat_instance_with,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn maxcut_instances_are_reproducible_and_distinct() {
-        let a = paper_maxcut_instance(10, 0);
-        let b = paper_maxcut_instance(10, 0);
-        let c = paper_maxcut_instance(10, 1);
-        let edges = |g: &Graph| g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>();
-        assert_eq!(edges(&a), edges(&b));
-        assert_ne!(edges(&a), edges(&c));
-        assert_eq!(a.num_vertices(), 10);
-    }
-
-    #[test]
-    fn sat_instances_match_the_paper_parameters() {
-        let sat = paper_sat_instance(12, 0);
-        assert_eq!(sat.num_clauses(), 72);
-        for clause in sat.clauses() {
-            assert_eq!(clause.len(), 3);
-        }
-        let again = paper_sat_instance(12, 0);
-        assert_eq!(sat.clauses(), again.clauses());
+    fn re_exports_reach_the_problems_crate_constructors() {
+        // The seed formulas are frozen in juliqaoa_problems; this guards the aliasing.
+        let via_bench = paper_maxcut_instance(9, 3);
+        let via_problems = juliqaoa_problems::paper_maxcut_instance(9, 3);
+        assert_eq!(via_bench.edges(), via_problems.edges());
+        let sat = paper_sat_instance(9, 1);
+        assert_eq!(
+            sat.clauses(),
+            paper_sat_instance_with(9, 3, 6.0, 1).clauses()
+        );
     }
 }

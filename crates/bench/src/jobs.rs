@@ -1,0 +1,45 @@
+//! Exporting figure workloads as `qaoa-service` job files.
+//!
+//! Every figure binary accepts `--emit-jobs <path>`: instead of running its experiment
+//! in-process, it writes the equivalent workload as a JSON job file and exits.  The
+//! batch front-end (`qaoa-service batch`) then executes the same physics with sharded
+//! parallelism, instance caching, JSONL persistence and resume — turning the one-shot
+//! figure binaries into producers for the service.
+
+use juliqaoa_service::{JobFile, JobSpec};
+use std::path::Path;
+
+/// Writes `jobs` as a pretty-printed job file at `path`.
+pub fn write_job_file(path: impl AsRef<Path>, jobs: Vec<JobSpec>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let json = serde_json::to_string_pretty(&JobFile { jobs })
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juliqaoa_service::{load_job_file, MixerSpec, OptimizerSpec, ProblemSpec};
+
+    #[test]
+    fn written_job_files_load_through_the_service() {
+        let path =
+            std::env::temp_dir().join(format!("juliqaoa_bench_jobs_{}.json", std::process::id()));
+        let jobs = vec![JobSpec {
+            id: "emitted".into(),
+            problem: ProblemSpec::MaxCutGnp { n: 6, instance: 0 },
+            mixer: MixerSpec::TransverseField,
+            p: 2,
+            optimizer: OptimizerSpec::BasinHopping {
+                n_hops: 4,
+                step_size: 1.0,
+                temperature: 1.0,
+            },
+            seed: 5,
+        }];
+        write_job_file(&path, jobs.clone()).unwrap();
+        assert_eq!(load_job_file(&path).unwrap(), jobs);
+        let _ = std::fs::remove_file(&path);
+    }
+}

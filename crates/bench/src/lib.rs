@@ -7,6 +7,8 @@
 
 pub mod harness;
 pub mod instances;
+pub mod jobs;
 
 pub use harness::{time_it, BenchTimer, Series};
 pub use instances::{paper_maxcut_instance, paper_sat_instance};
+pub use jobs::write_job_file;

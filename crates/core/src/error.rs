@@ -25,6 +25,16 @@ pub enum QaoaError {
     InvalidInitialState(String),
     /// The angle vector has an odd length or is empty.
     InvalidAngles(String),
+    /// A saved-progress or result file could not be read, parsed or written.
+    ///
+    /// Carries the path and the underlying message as strings (rather than an
+    /// `io::Error`) so the error stays `Clone + PartialEq` like every other variant.
+    Persistence {
+        /// The file involved.
+        path: String,
+        /// What went wrong (I/O or parse message).
+        message: String,
+    },
 }
 
 impl fmt::Display for QaoaError {
@@ -45,6 +55,9 @@ impl fmt::Display for QaoaError {
             ),
             QaoaError::InvalidInitialState(msg) => write!(f, "invalid initial state: {msg}"),
             QaoaError::InvalidAngles(msg) => write!(f, "invalid angles: {msg}"),
+            QaoaError::Persistence { path, message } => {
+                write!(f, "persistence error on {path}: {message}")
+            }
         }
     }
 }
@@ -77,6 +90,13 @@ mod tests {
         assert!(QaoaError::InvalidAngles("odd length".into())
             .to_string()
             .contains("odd length"));
+        let e = QaoaError::Persistence {
+            path: "/tmp/progress.json".into(),
+            message: "disk full".into(),
+        };
+        assert!(
+            e.to_string().contains("/tmp/progress.json") && e.to_string().contains("disk full")
+        );
     }
 
     #[test]

@@ -55,11 +55,35 @@ impl Simulator {
     /// Creates a simulator with one mixer per round (the `mixers` array option of §3);
     /// the number of rounds simulated must then equal the number of mixers.
     pub fn with_mixers(obj_vals: Vec<f64>, mixers: Vec<Mixer>) -> Result<Self, QaoaError> {
+        let phase_classes = PhaseClasses::build(&obj_vals);
+        Self::from_parts(obj_vals, phase_classes, mixers)
+    }
+
+    /// Assembles a simulator from an objective vector whose [`PhaseClasses`]
+    /// compression was already computed (or found non-compressible) elsewhere.
+    ///
+    /// This is the constructor behind instance caching: a job service that runs many
+    /// jobs over the same problem instance builds the compression once, keeps it with
+    /// the cached objective vector, and hands clones to each simulator instead of
+    /// re-scanning the `2ⁿ` values per job.  The classes must describe exactly
+    /// `obj_vals` — the per-state index table has to have the same length.
+    pub fn from_parts(
+        obj_vals: Vec<f64>,
+        phase_classes: Option<PhaseClasses>,
+        mixers: Vec<Mixer>,
+    ) -> Result<Self, QaoaError> {
         if obj_vals.is_empty() {
             return Err(QaoaError::EmptyObjective);
         }
         assert!(!mixers.is_empty(), "at least one mixer is required");
         let dim = obj_vals.len();
+        if let Some(classes) = &phase_classes {
+            assert_eq!(
+                classes.len(),
+                dim,
+                "phase classes describe a different objective vector"
+            );
+        }
         for m in &mixers {
             if m.dim() != dim {
                 return Err(QaoaError::DimensionMismatch {
@@ -68,7 +92,6 @@ impl Simulator {
                 });
             }
         }
-        let phase_classes = PhaseClasses::build(&obj_vals);
         Ok(Simulator {
             obj_vals,
             phase_classes,
@@ -302,6 +325,35 @@ mod tests {
             Simulator::new(vec![], Mixer::transverse_field(2)),
             Err(QaoaError::EmptyObjective)
         ));
+    }
+
+    #[test]
+    fn from_parts_with_shared_classes_matches_direct_construction() {
+        let (direct, _) = maxcut_simulator(6);
+        let classes = PhaseClasses::build(direct.objective_values());
+        assert!(classes.is_some());
+        let shared = Simulator::from_parts(
+            direct.objective_values().to_vec(),
+            classes,
+            vec![Mixer::transverse_field(6)],
+        )
+        .unwrap();
+        let angles = Angles::random(3, &mut StdRng::seed_from_u64(5));
+        let a = direct.expectation(&angles).unwrap();
+        let b = shared.expectation(&angles).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_mismatched_classes() {
+        let (sim, _) = maxcut_simulator(6);
+        let wrong = PhaseClasses::build(&[0.0, 1.0, 0.0, 1.0]);
+        let _ = Simulator::from_parts(
+            sim.objective_values().to_vec(),
+            wrong,
+            vec![Mixer::transverse_field(6)],
+        );
     }
 
     #[test]

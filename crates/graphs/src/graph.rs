@@ -15,7 +15,7 @@ pub struct Edge {
 
 /// A simple undirected graph on vertices `0..n`, stored as an edge list plus adjacency
 /// lists.  Self-loops and parallel edges are rejected.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,

@@ -7,6 +7,7 @@
 //! through `find_angles` keyword arguments.
 
 use crate::bfgs::{bfgs, BfgsOptions};
+use crate::control::RunControl;
 use crate::objective::{Objective, OptimizeResult};
 use rand::Rng;
 
@@ -41,19 +42,43 @@ pub fn basinhopping<O: Objective + ?Sized, R: Rng + ?Sized>(
     opts: &BasinHoppingOptions,
     rng: &mut R,
 ) -> OptimizeResult {
+    basinhopping_with_control(objective, x0, opts, rng, &RunControl::new())
+}
+
+/// [`basinhopping`] with cooperative cancellation and progress reporting.
+///
+/// The cancel flag is polled between hops (a hop in flight always finishes); a
+/// cancelled run returns the best minimum seen so far with `converged = false`.
+/// Progress units are completed local minimisations, `n_hops + 1` in total.  An
+/// uncancelled run is bit-identical to [`basinhopping`].
+pub fn basinhopping_with_control<O: Objective + ?Sized, R: Rng + ?Sized>(
+    objective: &mut O,
+    x0: &[f64],
+    opts: &BasinHoppingOptions,
+    rng: &mut R,
+    control: &RunControl,
+) -> OptimizeResult {
+    let total = opts.n_hops as u64 + 1;
     // Initial local minimisation.
     let mut current = bfgs(objective, x0, &opts.bfgs);
+    control.report(1, total);
     let mut best = current.clone();
     let mut function_evals = current.function_evals;
     let mut gradient_evals = current.gradient_evals;
+    let mut completed_hops = 0;
 
     let mut trial = vec![0.0; x0.len()];
-    for _ in 0..opts.n_hops {
+    for hop in 0..opts.n_hops {
+        if control.is_cancelled() {
+            break;
+        }
         // Perturb the *current* accepted minimum.
         for (t, &c) in trial.iter_mut().zip(current.x.iter()) {
             *t = c + rng.gen_range(-opts.step_size..=opts.step_size);
         }
         let candidate = bfgs(objective, &trial, &opts.bfgs);
+        control.report(hop as u64 + 2, total);
+        completed_hops += 1;
         function_evals += candidate.function_evals;
         gradient_evals += candidate.gradient_evals;
 
@@ -72,10 +97,10 @@ pub fn basinhopping<O: Objective + ?Sized, R: Rng + ?Sized>(
     OptimizeResult {
         x: best.x,
         value: best.value,
-        iterations: opts.n_hops + 1,
+        iterations: completed_hops + 1,
         function_evals,
         gradient_evals,
-        converged: true,
+        converged: completed_hops == opts.n_hops,
     }
 }
 
@@ -152,6 +177,34 @@ mod tests {
         let b = run(42);
         assert_eq!(a.x, b.x);
         assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn cancellation_between_hops_keeps_best_so_far() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = flag.clone();
+        // Cancel once the initial minimisation plus two hops have completed.
+        let control = RunControl::with_cancel(flag).on_progress(move |done, _| {
+            if done >= 3 {
+                flag2.store(true, Ordering::SeqCst);
+            }
+        });
+        let mut obj = FnObjective::new(1, double_well);
+        let res = basinhopping_with_control(
+            &mut obj,
+            &[0.9],
+            &BasinHoppingOptions {
+                n_hops: 40,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(7),
+            &control,
+        );
+        assert!(!res.converged);
+        assert!(res.iterations <= 4);
+        assert!(res.value.is_finite());
     }
 
     #[test]

@@ -11,12 +11,17 @@
 //! index and ties resolve to the lowest index, so the parallel scan returns exactly
 //! the serial scan's result.
 
+use crate::control::RunControl;
 use crate::objective::{Objective, OptimizeResult};
-use juliqaoa_linalg::enter_outer_parallelism;
+use juliqaoa_linalg::{enter_outer_parallelism, in_outer_parallelism};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Minimum number of grid points before fanning out across threads pays.
 const MIN_PARALLEL_POINTS: u128 = 256;
+
+/// Cancellation is polled once per this many grid points inside a block scan.
+const CANCEL_POLL_STRIDE: usize = 1024;
 
 /// Writes the coordinates of grid point `index` into `point`.
 ///
@@ -31,29 +36,43 @@ fn point_at(index: usize, resolution: usize, lo: f64, step: f64, point: &mut [f6
     }
 }
 
-/// Scans grid indices `[start, end)`, returning the best `(value, index)` of the block
-/// (strict `<`, so the lowest index wins ties).
-fn scan_block<O: Objective + ?Sized>(
-    objective: &mut O,
-    start: usize,
-    end: usize,
+/// The geometry of one scan: per-axis resolution, box origin, cell width, dimension.
+#[derive(Clone, Copy)]
+struct GridShape {
     resolution: usize,
     lo: f64,
     step: f64,
     dim: usize,
-) -> (f64, usize) {
-    let mut point = vec![lo; dim];
+}
+
+/// Scans grid indices `[start, end)`, returning the best `(value, index, scanned)` of
+/// the block (strict `<`, so the lowest index wins ties).  Cancellation is polled every
+/// [`CANCEL_POLL_STRIDE`] points; a cancelled scan returns the best of the points it
+/// reached.
+fn scan_block<O: Objective + ?Sized>(
+    objective: &mut O,
+    start: usize,
+    end: usize,
+    grid: GridShape,
+    control: &RunControl,
+) -> (f64, usize, usize) {
+    let mut point = vec![grid.lo; grid.dim];
     let mut best_value = f64::INFINITY;
     let mut best_index = start;
+    let mut scanned = 0;
     for index in start..end {
-        point_at(index, resolution, lo, step, &mut point);
+        if scanned % CANCEL_POLL_STRIDE == 0 && control.is_cancelled() {
+            break;
+        }
+        point_at(index, grid.resolution, grid.lo, grid.step, &mut point);
         let value = objective.value(&point);
+        scanned += 1;
         if value < best_value {
             best_value = value;
             best_index = index;
         }
     }
-    (best_value, best_index)
+    (best_value, best_index, scanned)
 }
 
 /// Evaluates the objective on a regular grid over `[lo, hi)^dim` with `resolution`
@@ -75,6 +94,29 @@ where
     O: Objective,
     F: Fn() -> O + Sync,
 {
+    grid_search_with_control(make_objective, dim, lo, hi, resolution, &RunControl::new())
+}
+
+/// [`grid_search`] with cooperative cancellation and progress reporting.
+///
+/// Progress units are scanned grid points, reported per finished block.  A cancelled
+/// scan returns the best of the points actually visited with `converged = false`; an
+/// uncancelled run is bit-identical to [`grid_search`].
+///
+/// # Panics
+/// Panics if `resolution == 0`, `dim == 0`, or the grid would exceed `10^8` points.
+pub fn grid_search_with_control<O, F>(
+    make_objective: F,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+    resolution: usize,
+    control: &RunControl,
+) -> OptimizeResult
+where
+    O: Objective,
+    F: Fn() -> O + Sync,
+{
     assert!(resolution > 0, "grid resolution must be positive");
     assert!(dim > 0, "grid search needs at least one dimension");
     let total_wide = (resolution as u128).pow(dim as u32);
@@ -85,44 +127,63 @@ where
     let total = total_wide as usize;
 
     let step = (hi - lo) / resolution as f64;
-    let threads = rayon::current_num_threads();
-
-    let (best_value, best_index) = if total_wide >= MIN_PARALLEL_POINTS && threads > 1 {
-        // Contiguous index blocks, a few per thread for load balance.
-        let blocks = (threads * 4).min(total);
-        let block_bests: Vec<(f64, usize)> = (0..blocks)
-            .into_par_iter()
-            .map_init(
-                || (enter_outer_parallelism(), make_objective()),
-                |(_guard, objective), block| {
-                    let start = block * total / blocks;
-                    let end = (block + 1) * total / blocks;
-                    scan_block(objective, start, end, resolution, lo, step, dim)
-                },
-            )
-            .collect();
-        // Blocks are in index order; strict `<` keeps the lowest-index winner.
-        let mut best = (f64::INFINITY, 0usize);
-        for (value, index) in block_bests {
-            if value < best.0 {
-                best = (value, index);
-            }
-        }
-        best
-    } else {
-        let mut objective = make_objective();
-        scan_block(&mut objective, 0, total, resolution, lo, step, dim)
+    let grid = GridShape {
+        resolution,
+        lo,
+        step,
+        dim,
     };
+    let threads = rayon::current_num_threads();
+    let progress = AtomicU64::new(0);
+
+    // Like the candidate loop of `random_restart`, stay serial when the caller is
+    // already a worker of an outer parallel region (e.g. a batched job runner).
+    let (best_value, best_index, scanned) =
+        if total_wide >= MIN_PARALLEL_POINTS && threads > 1 && !in_outer_parallelism() {
+            // Contiguous index blocks, a few per thread for load balance.
+            let blocks = (threads * 4).min(total);
+            let block_bests: Vec<(f64, usize, usize)> = (0..blocks)
+                .into_par_iter()
+                .map_init(
+                    || (enter_outer_parallelism(), make_objective()),
+                    |(_guard, objective), block| {
+                        let start = block * total / blocks;
+                        let end = (block + 1) * total / blocks;
+                        let out = scan_block(objective, start, end, grid, control);
+                        control.report(
+                            progress.fetch_add(out.2 as u64, Ordering::Relaxed) + out.2 as u64,
+                            total as u64,
+                        );
+                        out
+                    },
+                )
+                .collect();
+            // Blocks are in index order; strict `<` keeps the lowest-index winner.
+            let mut best = (f64::INFINITY, 0usize, 0usize);
+            for (value, index, scanned) in block_bests {
+                best.2 += scanned;
+                if value < best.0 {
+                    best.0 = value;
+                    best.1 = index;
+                }
+            }
+            best
+        } else {
+            let mut objective = make_objective();
+            let out = scan_block(&mut objective, 0, total, grid, control);
+            control.report(out.2 as u64, total as u64);
+            out
+        };
 
     let mut best_x = vec![lo; dim];
     point_at(best_index, resolution, lo, step, &mut best_x);
     OptimizeResult {
         x: best_x,
         value: best_value,
-        iterations: total,
-        function_evals: total,
+        iterations: scanned,
+        function_evals: scanned,
         gradient_evals: 0,
-        converged: true,
+        converged: scanned == total,
     }
 }
 
@@ -176,11 +237,59 @@ mod tests {
         let f = |x: &[f64]| ((x[0] * 3.1).sin() + (x[1] * 1.7).cos()).abs();
         let parallel = grid_search(|| FnObjective::new(2, f), 2, -2.0, 2.0, 200);
         let mut serial_obj = FnObjective::new(2, f);
-        let serial = scan_block(&mut serial_obj, 0, 40_000, 200, -2.0, 4.0 / 200.0, 2);
+        let serial = scan_block(
+            &mut serial_obj,
+            0,
+            40_000,
+            GridShape {
+                resolution: 200,
+                lo: -2.0,
+                step: 4.0 / 200.0,
+                dim: 2,
+            },
+            &RunControl::new(),
+        );
         assert_eq!(parallel.value, serial.0);
         let mut expected_x = vec![0.0; 2];
         point_at(serial.1, 200, -2.0, 4.0 / 200.0, &mut expected_x);
         assert_eq!(parallel.x, expected_x);
+        assert_eq!(serial.2, 40_000);
+    }
+
+    #[test]
+    fn pre_cancelled_scan_visits_no_points_and_reports_unconverged() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let control = RunControl::with_cancel(flag);
+        let res = grid_search_with_control(
+            || FnObjective::new(2, |x: &[f64]| x[0] + x[1]),
+            2,
+            0.0,
+            1.0,
+            100,
+            &control,
+        );
+        assert!(!res.converged);
+        assert_eq!(res.function_evals, 0);
+    }
+
+    #[test]
+    fn progress_reports_reach_the_full_grid() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let seen = std::sync::Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        let control = RunControl::new().on_progress(move |done, _total| {
+            seen2.fetch_max(done, Ordering::Relaxed);
+        });
+        let res = grid_search_with_control(
+            || FnObjective::new(2, |x: &[f64]| x[0] * x[1]),
+            2,
+            0.0,
+            1.0,
+            40,
+            &control,
+        );
+        assert!(res.converged);
+        assert_eq!(seen.load(Ordering::Relaxed), 1600);
     }
 
     #[test]

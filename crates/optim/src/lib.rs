@@ -31,6 +31,7 @@
 
 pub mod basinhopping;
 pub mod bfgs;
+pub mod control;
 pub mod gridsearch;
 pub mod iterative;
 pub mod linesearch;
@@ -40,11 +41,12 @@ pub mod objective;
 pub mod persistence;
 pub mod random_restart;
 
-pub use basinhopping::{basinhopping, BasinHoppingOptions};
+pub use basinhopping::{basinhopping, basinhopping_with_control, BasinHoppingOptions};
 pub use bfgs::{bfgs, BfgsOptions};
-pub use gridsearch::grid_search;
+pub use control::RunControl;
+pub use gridsearch::{grid_search, grid_search_with_control};
 pub use iterative::{find_angles, IterativeOptions, IterativeResult};
 pub use median::median_angles;
 pub use neldermead::{nelder_mead, NelderMeadOptions};
 pub use objective::{FnObjective, GradientMethod, Objective, OptimizeResult, QaoaObjective};
-pub use random_restart::{random_restart, RandomRestartOptions};
+pub use random_restart::{random_restart, random_restart_with_control, RandomRestartOptions};

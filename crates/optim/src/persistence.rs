@@ -6,11 +6,19 @@
 //! that file format: a map from round number `p` to the best flat angle vector and its
 //! expectation value, serialised as JSON.
 
+use juliqaoa_core::QaoaError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs;
-use std::io;
 use std::path::Path;
+
+/// Wraps any load/save failure as [`QaoaError::Persistence`], capturing the path.
+fn persistence_error(path: &Path, message: impl std::fmt::Display) -> QaoaError {
+    QaoaError::Persistence {
+        path: path.display().to_string(),
+        message: message.to_string(),
+    }
+}
 
 /// The best angles found for one round count.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -56,27 +64,29 @@ impl AngleProgress {
     }
 
     /// Loads progress from a JSON file; a missing file yields empty progress.
-    pub fn load_or_default(path: impl AsRef<Path>) -> Result<Self, io::Error> {
+    ///
+    /// Unreadable or unparseable files surface as [`QaoaError::Persistence`] rather
+    /// than panicking, so a service resuming hundreds of runs can report exactly which
+    /// file is corrupt and carry on with the rest.
+    pub fn load_or_default(path: impl AsRef<Path>) -> Result<Self, QaoaError> {
         let path = path.as_ref();
         if !path.exists() {
             return Ok(Self::new());
         }
-        let json = fs::read_to_string(path)?;
-        serde_json::from_str(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        let json = fs::read_to_string(path).map_err(|e| persistence_error(path, e))?;
+        serde_json::from_str(&json).map_err(|e| persistence_error(path, e))
     }
 
     /// Saves progress to a JSON file, creating parent directories as needed.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), io::Error> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), QaoaError> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
+                fs::create_dir_all(parent).map_err(|e| persistence_error(path, e))?;
             }
         }
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        fs::write(path, json)
+        let json = serde_json::to_string_pretty(self).map_err(|e| persistence_error(path, e))?;
+        fs::write(path, json).map_err(|e| persistence_error(path, e))
     }
 }
 
@@ -128,10 +138,27 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_is_an_error() {
+    fn corrupt_file_is_a_persistence_error_naming_the_path() {
         let path = temp_path("corrupt");
         fs::write(&path, "not json at all").unwrap();
-        assert!(AngleProgress::load_or_default(&path).is_err());
+        let err = AngleProgress::load_or_default(&path).unwrap_err();
+        match &err {
+            QaoaError::Persistence { path: p, .. } => {
+                assert!(p.contains("juliqaoa_angles_corrupt"))
+            }
+            other => panic!("expected Persistence error, got {other:?}"),
+        }
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unwritable_path_is_a_persistence_error() {
+        let mut p = AngleProgress::new();
+        p.record(1, vec![0.1, 0.2], 1.0);
+        // `/proc` rejects directory creation, so `save` must error, not panic.
+        let err = p
+            .save("/proc/nonexistent/juliqaoa/progress.json")
+            .unwrap_err();
+        assert!(matches!(err, QaoaError::Persistence { .. }));
     }
 }

@@ -13,10 +13,12 @@
 //! candidates run serially or in parallel.
 
 use crate::bfgs::{bfgs, BfgsOptions};
+use crate::control::RunControl;
 use crate::objective::{Objective, OptimizeResult};
-use juliqaoa_linalg::enter_outer_parallelism;
+use juliqaoa_linalg::{enter_outer_parallelism, in_outer_parallelism};
 use rand::Rng;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Minimum number of candidates before fanning out across threads pays.
 const MIN_PARALLEL_RESTARTS: usize = 4;
@@ -61,34 +63,73 @@ where
     F: Fn() -> O + Sync,
     R: Rng + ?Sized,
 {
+    random_restart_with_control(make_objective, dim, opts, rng, &RunControl::new())
+}
+
+/// [`random_restart`] with cooperative cancellation and progress reporting.
+///
+/// The cancel flag is polled once per candidate, before its BFGS run starts: already
+/// running candidates finish, pending ones are skipped, and the best minimum among the
+/// completed candidates is returned with `converged = false`.  Progress units are
+/// completed restarts.  An uncancelled run is bit-identical to [`random_restart`].
+pub fn random_restart_with_control<O, F, R>(
+    make_objective: F,
+    dim: usize,
+    opts: &RandomRestartOptions,
+    rng: &mut R,
+    control: &RunControl,
+) -> OptimizeResult
+where
+    O: Objective,
+    F: Fn() -> O + Sync,
+    R: Rng + ?Sized,
+{
     assert!(opts.restarts > 0, "at least one restart is required");
     // Draw every starting point first, in serial candidate order, so the result is a
     // pure function of the seed regardless of how the evaluation is scheduled.
     let starts: Vec<Vec<f64>> = (0..opts.restarts)
         .map(|_| (0..dim).map(|_| rng.gen_range(opts.lo..opts.hi)).collect())
         .collect();
+    let first_start = starts[0].clone();
+    let total = opts.restarts as u64;
+    let completed = AtomicU64::new(0);
+    let run_one = |objective: &mut O, x0: &[f64]| -> Option<OptimizeResult> {
+        if control.is_cancelled() {
+            return None;
+        }
+        let res = bfgs(objective, x0, &opts.bfgs);
+        control.report(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
+        Some(res)
+    };
 
-    let results: Vec<OptimizeResult> =
-        if opts.restarts >= MIN_PARALLEL_RESTARTS && rayon::current_num_threads() > 1 {
-            starts
-                .into_par_iter()
-                .map_init(
-                    || (enter_outer_parallelism(), make_objective()),
-                    |(_guard, objective), x0| bfgs(objective, &x0, &opts.bfgs),
-                )
-                .collect()
-        } else {
-            let mut objective = make_objective();
-            starts
-                .into_iter()
-                .map(|x0| bfgs(&mut objective, &x0, &opts.bfgs))
-                .collect()
-        };
+    // Fan candidates out unless the caller is itself a worker of an outer parallel
+    // loop (a batched job runner): nested fan-out would only multiply thread-spawn
+    // overhead while every core is already busy.
+    let results: Vec<Option<OptimizeResult>> = if opts.restarts >= MIN_PARALLEL_RESTARTS
+        && rayon::current_num_threads() > 1
+        && !in_outer_parallelism()
+    {
+        starts
+            .into_par_iter()
+            .map_init(
+                || (enter_outer_parallelism(), make_objective()),
+                |(_guard, objective), x0| run_one(objective, &x0),
+            )
+            .collect()
+    } else {
+        let mut objective = make_objective();
+        starts
+            .into_iter()
+            .map(|x0| run_one(&mut objective, &x0))
+            .collect()
+    };
 
     let mut function_evals = 0;
     let mut gradient_evals = 0;
+    let mut ran = 0usize;
     let mut best: Option<OptimizeResult> = None;
-    for res in results {
+    for res in results.into_iter().flatten() {
+        ran += 1;
         function_evals += res.function_evals;
         gradient_evals += res.gradient_evals;
         // Strict `<` keeps the earliest candidate on ties, matching the serial loop.
@@ -97,10 +138,28 @@ where
             best = Some(res);
         }
     }
-    let mut best = best.expect("restarts > 0 guarantees a result");
-    best.function_evals = function_evals;
-    best.gradient_evals = gradient_evals;
+    let mut best = match best {
+        Some(best) => best,
+        None => {
+            // Cancelled before any candidate ran: return the first starting point
+            // evaluated once, so callers still get a well-formed (if unoptimized)
+            // in-domain result.
+            let mut objective = make_objective();
+            let value = objective.value(&first_start);
+            OptimizeResult {
+                x: first_start,
+                value,
+                iterations: 0,
+                function_evals: 1,
+                gradient_evals: 0,
+                converged: false,
+            }
+        }
+    };
+    best.function_evals = function_evals.max(best.function_evals);
+    best.gradient_evals = gradient_evals.max(best.gradient_evals);
     best.iterations = opts.restarts;
+    best.converged = best.converged && ran == opts.restarts;
     best
 }
 
@@ -223,6 +282,88 @@ mod tests {
         let par = run_with_restarts(24);
         let par2 = run_with_restarts(24);
         assert_eq!(par.x, par2.x);
+    }
+
+    #[test]
+    fn cancellation_mid_run_returns_partial_best_unconverged() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = flag.clone();
+        let completed = Arc::new(AtomicUsize::new(0));
+        let completed2 = completed.clone();
+        // Cancel after the third completed restart.
+        let control = RunControl::with_cancel(flag).on_progress(move |done, _| {
+            completed2.store(done as usize, Ordering::SeqCst);
+            if done >= 3 {
+                flag2.store(true, Ordering::SeqCst);
+            }
+        });
+        let res = random_restart_with_control(
+            || FnObjective::new(1, rugged),
+            1,
+            &RandomRestartOptions {
+                restarts: 50,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(5),
+            &control,
+        );
+        assert!(!res.converged);
+        assert!(res.value.is_finite());
+        assert!(completed.load(Ordering::SeqCst) < 50);
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_an_in_domain_point() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(true));
+        let control = RunControl::with_cancel(flag);
+        let opts = RandomRestartOptions {
+            restarts: 6,
+            lo: 1.0,
+            hi: 2.0,
+            ..Default::default()
+        };
+        let res = random_restart_with_control(
+            || FnObjective::new(1, rugged),
+            1,
+            &opts,
+            &mut StdRng::seed_from_u64(3),
+            &control,
+        );
+        assert!(!res.converged);
+        assert!(
+            (opts.lo..opts.hi).contains(&res.x[0]),
+            "fallback point {} must lie inside the search box",
+            res.x[0]
+        );
+    }
+
+    #[test]
+    fn uncancelled_control_run_matches_plain_run() {
+        let opts = RandomRestartOptions {
+            restarts: 12,
+            ..Default::default()
+        };
+        let plain = random_restart(
+            || FnObjective::new(1, rugged),
+            1,
+            &opts,
+            &mut StdRng::seed_from_u64(21),
+        );
+        let controlled = random_restart_with_control(
+            || FnObjective::new(1, rugged),
+            1,
+            &opts,
+            &mut StdRng::seed_from_u64(21),
+            &RunControl::new(),
+        );
+        assert_eq!(plain.x, controlled.x);
+        assert_eq!(plain.value, controlled.value);
+        assert_eq!(plain.function_evals, controlled.function_evals);
+        assert!(controlled.converged == plain.converged);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 
 use crate::cost::CostFunction;
 use juliqaoa_graphs::Graph;
+use serde::{Deserialize, Serialize};
 
 /// The Densest k-Subgraph cost function: number (total weight) of edges with both
 /// endpoints selected.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DensestKSubgraph {
     graph: Graph,
     k: usize,

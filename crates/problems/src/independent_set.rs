@@ -7,11 +7,13 @@
 
 use crate::cost::CostFunction;
 use juliqaoa_graphs::Graph;
+use serde::{Deserialize, Serialize};
 
 /// MIS objective `|S| − penalty·(edges inside S)`.
 ///
 /// With `penalty > 1` every maximizer of the objective is an independent set, so the
 /// penalty formulation and the exact problem agree on their optima.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MaxIndependentSet {
     graph: Graph,
     penalty: f64,

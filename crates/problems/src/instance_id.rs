@@ -1,0 +1,277 @@
+//! Stable identity hashing for problem instances.
+//!
+//! The job-service layer caches pre-computed objective vectors and their phase-class
+//! compression across jobs; the cache key must be a *canonical* fingerprint of the
+//! problem instance, stable across processes and unaffected by JSON field order or
+//! float formatting.  [`InstanceId`] is that fingerprint: a 64-bit FNV-1a hash of the
+//! instance's serde tree, prefixed with the problem kind so a MaxCut graph and a
+//! Densest-k-Subgraph over the same graph never collide.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A streaming 64-bit FNV-1a hasher.
+///
+/// FNV-1a is used instead of `std::hash::DefaultHasher` because its output is pinned
+/// by the algorithm, not by the standard library version — identifiers written into
+/// result files must stay comparable across builds.
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv64 {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as eight little-endian bytes.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by bit pattern (so `-0.0` and `0.0` hash differently, matching
+    /// the exact-bit-pattern classing of [`crate::PhaseClasses`]).
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// Feeds a string, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A canonical 64-bit fingerprint of a problem instance.
+///
+/// Displayed (and serialised) as 16 lowercase hex digits, the form used in result
+/// files and cache logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// Wraps a raw hash value.
+    pub fn from_raw(raw: u64) -> Self {
+        InstanceId(raw)
+    }
+
+    /// The raw hash value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Fingerprints a serialisable instance, namespaced by its problem kind.
+    ///
+    /// Two instances receive the same id exactly when they have the same kind string
+    /// and structurally identical serde trees — the same notion of identity their
+    /// JSON round-trip uses.
+    pub fn of<T: Serialize + ?Sized>(kind: &str, instance: &T) -> Self {
+        let mut h = Fnv64::new();
+        h.write_str(kind);
+        hash_value(&mut h, &instance.to_value());
+        InstanceId(h.finish())
+    }
+
+    /// Parses the 16-hex-digit `Display` form.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(InstanceId)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl Serialize for InstanceId {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for InstanceId {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| format!("expected 16-hex-digit instance id, found {v:?}"))?;
+        InstanceId::parse(s).ok_or_else(|| format!("invalid instance id {s:?}"))
+    }
+}
+
+/// Feeds a serde tree into the hasher with a type tag per node, so e.g. the number `1`
+/// and the string `"1"` — or an empty array and an empty object — cannot collide.
+fn hash_value(h: &mut Fnv64, v: &Value) {
+    match v {
+        Value::Null => h.write(&[0]),
+        Value::Bool(b) => {
+            h.write(&[1]);
+            h.write(&[*b as u8]);
+        }
+        // All three numeric variants hash through their f64 widening when lossless, so
+        // a round-trip through JSON (which may turn `UInt(3)` into `Num(3.0)` and back)
+        // cannot change the fingerprint.
+        Value::UInt(x) => {
+            h.write(&[2]);
+            h.write_f64(*x as f64);
+        }
+        Value::Int(x) => {
+            h.write(&[2]);
+            h.write_f64(*x as f64);
+        }
+        Value::Num(x) => {
+            h.write(&[2]);
+            h.write_f64(*x);
+        }
+        Value::Str(s) => {
+            h.write(&[3]);
+            h.write_str(s);
+        }
+        Value::Array(items) => {
+            h.write(&[4]);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Object(fields) => {
+            // Field order is canonicalised by sorting keys, so hand-written JSON with
+            // re-ordered fields fingerprints identically to the serialiser's output.
+            h.write(&[5]);
+            h.write_u64(fields.len() as u64);
+            let mut sorted: Vec<&(String, Value)> = fields.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (k, val) in sorted {
+                h.write_str(k);
+                hash_value(h, val);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxcut::MaxCut;
+    use crate::{DensestKSubgraph, KSat, Literal};
+    use juliqaoa_graphs::{cycle_graph, Graph};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn display_is_16_hex_digits_and_parses_back() {
+        let id = InstanceId::from_raw(0x1234);
+        assert_eq!(id.to_string(), "0000000000001234");
+        assert_eq!(InstanceId::parse(&id.to_string()), Some(id));
+        assert_eq!(InstanceId::parse("xyz"), None);
+        assert_eq!(InstanceId::parse("123"), None);
+    }
+
+    #[test]
+    fn identical_instances_share_an_id() {
+        let a = MaxCut::new(cycle_graph(6));
+        let b = MaxCut::new(cycle_graph(6));
+        assert_eq!(InstanceId::of("maxcut", &a), InstanceId::of("maxcut", &b));
+    }
+
+    #[test]
+    fn different_instances_and_kinds_get_different_ids() {
+        let a = MaxCut::new(cycle_graph(6));
+        let b = MaxCut::new(cycle_graph(7));
+        assert_ne!(InstanceId::of("maxcut", &a), InstanceId::of("maxcut", &b));
+        // Same graph, different problem kind.
+        let d = DensestKSubgraph::new(cycle_graph(6), 3);
+        assert_ne!(InstanceId::of("maxcut", &a), InstanceId::of("dks", &d));
+    }
+
+    #[test]
+    fn id_survives_json_round_trip_of_the_instance() {
+        let sat = KSat::new(
+            3,
+            vec![
+                vec![Literal::pos(0), Literal::neg(1)],
+                vec![Literal::pos(2)],
+            ],
+        );
+        let id = InstanceId::of("ksat", &sat);
+        let json = serde_json::to_string(&sat).unwrap();
+        let back: KSat = serde_json::from_str(&json).unwrap();
+        assert_eq!(InstanceId::of("ksat", &back), id);
+    }
+
+    #[test]
+    fn object_field_order_does_not_matter() {
+        let a = Value::Object(vec![
+            ("x".into(), Value::UInt(1)),
+            ("y".into(), Value::UInt(2)),
+        ]);
+        let b = Value::Object(vec![
+            ("y".into(), Value::UInt(2)),
+            ("x".into(), Value::UInt(1)),
+        ]);
+        let mut ha = Fnv64::new();
+        hash_value(&mut ha, &a);
+        let mut hb = Fnv64::new();
+        hash_value(&mut hb, &b);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn numeric_widening_is_round_trip_stable() {
+        // UInt(3) and Num(3.0) must fingerprint identically: the JSON parser may
+        // return either depending on how the number was written.
+        let mut ha = Fnv64::new();
+        hash_value(&mut ha, &Value::UInt(3));
+        let mut hb = Fnv64::new();
+        hash_value(&mut hb, &Value::Num(3.0));
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn id_serialises_as_hex_string() {
+        let id = InstanceId::of("maxcut", &MaxCut::new(Graph::from_edges(3, &[(0, 1)])));
+        let json = serde_json::to_string(&id).unwrap();
+        let back: InstanceId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+        assert!(json.starts_with('"') && json.ends_with('"'));
+    }
+}

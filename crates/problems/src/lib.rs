@@ -12,7 +12,9 @@
 pub mod cost;
 pub mod densest_subgraph;
 pub mod independent_set;
+pub mod instance_id;
 pub mod maxcut;
+pub mod paper_instances;
 pub mod partition_problem;
 pub mod phase_classes;
 pub mod precompute;
@@ -23,7 +25,9 @@ pub mod vertex_cover;
 pub use cost::{CostFunction, FnCost};
 pub use densest_subgraph::DensestKSubgraph;
 pub use independent_set::MaxIndependentSet;
+pub use instance_id::{Fnv64, InstanceId};
 pub use maxcut::MaxCut;
+pub use paper_instances::{paper_maxcut_instance, paper_sat_instance, paper_sat_instance_with};
 pub use partition_problem::NumberPartitioning;
 pub use phase_classes::{phase_classes, PhaseClasses};
 pub use precompute::{

@@ -6,8 +6,10 @@
 
 use crate::cost::CostFunction;
 use juliqaoa_graphs::Graph;
+use serde::{Deserialize, Serialize};
 
 /// MaxCut on a (possibly weighted) graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MaxCut {
     graph: Graph,
 }

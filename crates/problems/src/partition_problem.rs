@@ -7,8 +7,10 @@
 
 use crate::cost::CostFunction;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Number partitioning with objective `−(Σ_i a_i·s_i)²` where `s_i = 1 − 2·x_i ∈ {±1}`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NumberPartitioning {
     numbers: Vec<f64>,
 }

@@ -95,6 +95,21 @@ pub fn precompute_dicke<C: CostFunction + ?Sized>(cost: &C, subspace: &DickeSubs
         .collect()
 }
 
+/// Tallies one worker's share of states into a local `bits(value) → (value, count)` map
+/// — the per-worker counting step of §2.4, shared by both feasible-set shapes.
+fn tally_chunk<C: CostFunction + ?Sized>(
+    cost: &C,
+    states: impl Iterator<Item = u64>,
+) -> HashMap<u64, (f64, u64)> {
+    let mut local: HashMap<u64, (f64, u64)> = HashMap::new();
+    for x in states {
+        let v = cost.evaluate(x);
+        let e = local.entry(v.to_bits()).or_insert((v, 0));
+        e.1 += 1;
+    }
+    local
+}
+
 /// Counts objective-value degeneracies over the full `2ⁿ` space with `workers` parallel
 /// chunks (Gosper-style partitioning of the integer range, §2.4).
 pub fn degeneracies_full<C: CostFunction + ?Sized>(cost: &C, workers: usize) -> DegeneracyTable {
@@ -103,15 +118,7 @@ pub fn degeneracies_full<C: CostFunction + ?Sized>(cost: &C, workers: usize) -> 
     let chunks = partition::partition_full_space(n, workers.max(1));
     let maps: Vec<HashMap<u64, (f64, u64)>> = chunks
         .into_par_iter()
-        .map(|chunk| {
-            let mut local: HashMap<u64, (f64, u64)> = HashMap::new();
-            for x in chunk.start..chunk.end {
-                let v = cost.evaluate(x);
-                let e = local.entry(v.to_bits()).or_insert((v, 0));
-                e.1 += 1;
-            }
-            local
-        })
+        .map(|chunk| tally_chunk(cost, chunk.start..chunk.end))
         .collect();
     merge_degeneracy_maps(maps)
 }
@@ -128,15 +135,7 @@ pub fn degeneracies_dicke<C: CostFunction + ?Sized>(
     let shares = partition::partition_dicke_space(n, k, workers.max(1));
     let maps: Vec<HashMap<u64, (f64, u64)>> = shares
         .into_par_iter()
-        .map(|(start, count)| {
-            let mut local: HashMap<u64, (f64, u64)> = HashMap::new();
-            for x in partition::dicke_chunk_iter(start, count) {
-                let v = cost.evaluate(x);
-                let e = local.entry(v.to_bits()).or_insert((v, 0));
-                e.1 += 1;
-            }
-            local
-        })
+        .map(|(start, count)| tally_chunk(cost, partition::dicke_chunk_iter(start, count)))
         .collect();
     merge_degeneracy_maps(maps)
 }

@@ -41,7 +41,7 @@ impl Literal {
 }
 
 /// A Max-k-SAT instance: maximize the number of satisfied clauses.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KSat {
     n: usize,
     clauses: Vec<Vec<Literal>>,

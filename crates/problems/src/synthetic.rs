@@ -12,12 +12,14 @@
 
 use crate::cost::CostFunction;
 use juliqaoa_combinatorics::binomial;
+use serde::{Deserialize, Serialize};
 
 /// The Hamming-ramp cost `C(x) = popcount(x)`.
 ///
 /// Its value distribution over the full space is binomial — `C(n,w)` states take value
 /// `w` — so the Grover-compressed simulation can run at any `n` from the analytic table
 /// returned by [`HammingRamp::analytic_degeneracies`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HammingRamp {
     n: usize,
 }
@@ -61,6 +63,7 @@ impl CostFunction for HammingRamp {
 /// A "needle" cost: value 1 on a set of marked states, 0 elsewhere.  With the Grover
 /// mixer this reproduces Grover's search as a QAOA; the analytic degeneracy table is
 /// `{1: #marked, 0: 2ⁿ − #marked}`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MarkedStates {
     n: usize,
     marked: Vec<u64>,

@@ -6,9 +6,11 @@
 
 use crate::cost::CostFunction;
 use juliqaoa_graphs::Graph;
+use serde::{Deserialize, Serialize};
 
 /// The Max k-Vertex-Cover cost function: total weight of edges covered by the selected
 /// vertex subset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MaxKVertexCover {
     graph: Graph,
     k: usize,

@@ -1,0 +1,86 @@
+//! JSON round-trip coverage for every serialisable problem type.
+//!
+//! The job-service persists problem instances inside job specs; a round-trip must
+//! reproduce the cost function exactly (same objective value on every state) and
+//! preserve the canonical [`InstanceId`] fingerprint.
+
+use juliqaoa_problems::{
+    CostFunction, DensestKSubgraph, HammingRamp, InstanceId, KSat, Literal, MarkedStates, MaxCut,
+    MaxIndependentSet, MaxKVertexCover, NumberPartitioning,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Round-trips `cost` through JSON and asserts bit-identical objective values over the
+/// whole state space plus a stable instance id.
+fn assert_round_trip<C>(kind: &str, cost: &C)
+where
+    C: CostFunction + Serialize + Deserialize,
+{
+    let json = serde_json::to_string(cost).expect("serialises");
+    let back: C = serde_json::from_str(&json).expect("parses back");
+    assert_eq!(back.num_qubits(), cost.num_qubits());
+    for x in 0..(1u64 << cost.num_qubits()) {
+        assert_eq!(
+            back.evaluate(x).to_bits(),
+            cost.evaluate(x).to_bits(),
+            "{kind}: objective diverged after round-trip at state {x}"
+        );
+    }
+    assert_eq!(InstanceId::of(kind, &back), InstanceId::of(kind, cost));
+}
+
+#[test]
+fn maxcut_round_trips() {
+    let g = juliqaoa_graphs::erdos_renyi(7, 0.5, &mut StdRng::seed_from_u64(3));
+    assert_round_trip("maxcut", &MaxCut::new(g));
+}
+
+#[test]
+fn weighted_maxcut_round_trips() {
+    let g = juliqaoa_graphs::Graph::from_weighted_edges(4, &[(0, 1, 1.5), (2, 3, -0.25)]);
+    assert_round_trip("maxcut", &MaxCut::new(g));
+}
+
+#[test]
+fn ksat_round_trips() {
+    let sat = KSat::random(8, 3, 30, &mut StdRng::seed_from_u64(11));
+    assert_round_trip("ksat", &sat);
+    let tiny = KSat::new(2, vec![vec![Literal::pos(0), Literal::neg(1)]]);
+    assert_round_trip("ksat", &tiny);
+}
+
+#[test]
+fn densest_k_subgraph_round_trips() {
+    let g = juliqaoa_graphs::erdos_renyi(7, 0.5, &mut StdRng::seed_from_u64(5));
+    assert_round_trip("densest_k_subgraph", &DensestKSubgraph::new(g, 3));
+}
+
+#[test]
+fn max_k_vertex_cover_round_trips() {
+    let g = juliqaoa_graphs::erdos_renyi(7, 0.5, &mut StdRng::seed_from_u64(7));
+    assert_round_trip("max_k_vertex_cover", &MaxKVertexCover::new(g, 3));
+}
+
+#[test]
+fn max_independent_set_round_trips() {
+    let g = juliqaoa_graphs::erdos_renyi(6, 0.4, &mut StdRng::seed_from_u64(9));
+    assert_round_trip("max_independent_set", &MaxIndependentSet::new(g, 1.5));
+}
+
+#[test]
+fn number_partitioning_round_trips() {
+    let np = NumberPartitioning::random(8, 50, &mut StdRng::seed_from_u64(13));
+    assert_round_trip("number_partitioning", &np);
+}
+
+#[test]
+fn hamming_ramp_round_trips() {
+    assert_round_trip("hamming_ramp", &HammingRamp::new(9));
+}
+
+#[test]
+fn marked_states_round_trips() {
+    assert_round_trip("marked_states", &MarkedStates::new(8, vec![3, 77, 200]));
+}

@@ -1,0 +1,332 @@
+//! Batch execution: run a job file with sharded rayon parallelism, append results to
+//! JSONL, and resume after interruption.
+//!
+//! Results are written one JSON object per line as jobs finish, each line flushed
+//! immediately — killing the process mid-batch loses at most in-flight jobs.  Resuming
+//! re-reads the output file, collects the ids of `"done"` lines, and skips those jobs;
+//! everything else (including jobs that were mid-flight or previously cancelled) runs
+//! again.  Per-job results are pure functions of the spec, so a resumed batch produces
+//! the same set of result lines as an uninterrupted one, just possibly in a different
+//! order.
+//!
+//! Parallelism is the same outer-loop pattern as the angle-finding drivers: jobs fan
+//! out across worker threads, each worker holds the `enter_outer_parallelism` guard so
+//! per-job inner kernels (and the optimizer drivers' own candidate loops) stay serial
+//! instead of nesting fan-outs.
+
+use crate::engine::{Engine, ServiceError};
+use crate::spec::{JobFile, JobSpec};
+use juliqaoa_linalg::enter_outer_parallelism;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Summary of a batch run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct BatchSummary {
+    /// Jobs in the spec file.
+    pub total: usize,
+    /// Jobs executed this run.
+    pub executed: usize,
+    /// Jobs skipped because a `"done"` result already existed (resume).
+    pub skipped: usize,
+    /// Jobs that failed with an error.
+    pub failed: usize,
+    /// Wall-clock seconds spent executing.
+    pub elapsed_s: f64,
+    /// Executed jobs per second (0 when nothing ran).
+    pub jobs_per_sec: f64,
+}
+
+/// Loads a job file: either `{"jobs": [...]}` or a bare JSON array of specs.
+pub fn load_job_file(path: impl AsRef<Path>) -> Result<Vec<JobSpec>, ServiceError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServiceError::Io(format!("reading {}: {e}", path.display())))?;
+    let jobs = if let Ok(file) = serde_json::from_str::<JobFile>(&text) {
+        file.jobs
+    } else {
+        serde_json::from_str::<Vec<JobSpec>>(&text)
+            .map_err(|e| ServiceError::Io(format!("parsing {}: {e}", path.display())))?
+    };
+    let mut seen = HashSet::new();
+    for job in &jobs {
+        if !seen.insert(job.id.as_str()) {
+            return Err(ServiceError::Spec(format!(
+                "duplicate job id {:?} in {}",
+                job.id,
+                path.display()
+            )));
+        }
+    }
+    Ok(jobs)
+}
+
+/// Ids of jobs with a `"done"` result line in an existing JSONL output file.
+///
+/// Tolerant of interruption artefacts: unparsable lines (e.g. a half-written final
+/// line from a killed process) are ignored, as are non-`done` lines — those jobs
+/// simply run again.
+pub fn completed_ids(out_path: impl AsRef<Path>) -> HashSet<String> {
+    let mut done = HashSet::new();
+    let Ok(file) = File::open(out_path.as_ref()) else {
+        return done;
+    };
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(&line) else {
+            continue;
+        };
+        let id = v.get_field("id").and_then(Value::as_str);
+        let status = v.get_field("status").and_then(Value::as_str);
+        if let (Some(id), Some("done")) = (id, status) {
+            done.insert(id.to_string());
+        }
+    }
+    done
+}
+
+/// A failed job's JSONL line (parallel shape to `JobResult`, status `"failed"`).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+struct FailedLine {
+    id: String,
+    status: String,
+    error: String,
+}
+
+/// Runs `jobs` against `engine`, appending one JSONL line per job to `out_path`.
+///
+/// With `resume`, jobs whose `"done"` line already exists in `out_path` are skipped.
+pub fn run_batch(
+    engine: &Engine,
+    jobs: &[JobSpec],
+    out_path: impl AsRef<Path>,
+    resume: bool,
+) -> Result<BatchSummary, ServiceError> {
+    let out_path = out_path.as_ref();
+    let already_done = if resume {
+        completed_ids(out_path)
+    } else {
+        HashSet::new()
+    };
+    let pending: Vec<&JobSpec> = jobs
+        .iter()
+        .filter(|j| !already_done.contains(&j.id))
+        .collect();
+    let skipped = jobs.len() - pending.len();
+
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ServiceError::Io(format!("creating {}: {e}", parent.display())))?;
+        }
+    }
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_path)
+        .map_err(|e| ServiceError::Io(format!("opening {}: {e}", out_path.display())))?;
+    let writer = Mutex::new(file);
+    let append_line = |line: &str| {
+        let mut file = writer.lock().expect("result writer poisoned");
+        // Write + flush as one locked unit so lines never interleave and a kill loses
+        // at most the line being written.
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    };
+
+    let started = Instant::now();
+    let failures: usize = pending
+        .par_iter()
+        .map_init(
+            // Workers hold the guard: job-internal loops stay serial (see module docs).
+            enter_outer_parallelism,
+            |_guard, spec| match engine.run_job(spec, &juliqaoa_optim::RunControl::new()) {
+                Ok(result) => {
+                    if let Ok(line) = serde_json::to_string(&result) {
+                        append_line(&line);
+                    }
+                    0usize
+                }
+                Err(err) => {
+                    let line = FailedLine {
+                        id: spec.id.clone(),
+                        status: "failed".into(),
+                        error: err.to_string(),
+                    };
+                    if let Ok(line) = serde_json::to_string(&line) {
+                        append_line(&line);
+                    }
+                    1usize
+                }
+            },
+        )
+        .sum();
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let executed = pending.len();
+    Ok(BatchSummary {
+        total: jobs.len(),
+        executed,
+        skipped,
+        failed: failures,
+        elapsed_s: elapsed,
+        jobs_per_sec: if elapsed > 0.0 {
+            executed as f64 / elapsed
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobResult, MixerSpec, OptimizerSpec, ProblemSpec};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "juliqaoa_service_{tag}_{}_{id}",
+            std::process::id()
+        ))
+    }
+
+    fn tiny_jobs(count: usize) -> Vec<JobSpec> {
+        (0..count)
+            .map(|i| JobSpec {
+                id: format!("job-{i}"),
+                problem: ProblemSpec::MaxCutGnp {
+                    n: 6,
+                    instance: (i % 2) as u64,
+                },
+                mixer: MixerSpec::TransverseField,
+                p: 1,
+                optimizer: OptimizerSpec::GridSearch { resolution: 6 },
+                seed: i as u64,
+            })
+            .collect()
+    }
+
+    fn read_results(path: &Path) -> Vec<JobResult> {
+        std::fs::read_to_string(path)
+            .unwrap_or_default()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str::<JobResult>(l).ok())
+            .collect()
+    }
+
+    #[test]
+    fn batch_executes_every_job_once() {
+        let out = temp_path("batch");
+        let jobs = tiny_jobs(6);
+        let engine = Engine::new(8);
+        let summary = run_batch(&engine, &jobs, &out, true).unwrap();
+        assert_eq!(summary.total, 6);
+        assert_eq!(summary.executed, 6);
+        assert_eq!(summary.failed, 0);
+        let results = read_results(&out);
+        assert_eq!(results.len(), 6);
+        let mut ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, ["job-0", "job-1", "job-2", "job-3", "job-4", "job-5"]);
+        // Two distinct instances across six jobs: the cache must have seen 4 hits.
+        assert_eq!(engine.stats().cache_misses, 2);
+        assert_eq!(engine.stats().cache_hits, 4);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn resume_skips_done_jobs_and_finishes_the_rest() {
+        let out = temp_path("resume");
+        let jobs = tiny_jobs(5);
+        // First run: only the first two jobs (simulating an interrupted batch).
+        let engine = Engine::new(8);
+        run_batch(&engine, &jobs[..2], &out, true).unwrap();
+        assert_eq!(read_results(&out).len(), 2);
+        // Second run over the full file resumes: 2 skipped, 3 executed.
+        let engine2 = Engine::new(8);
+        let summary = run_batch(&engine2, &jobs, &out, true).unwrap();
+        assert_eq!(summary.skipped, 2);
+        assert_eq!(summary.executed, 3);
+        assert_eq!(engine2.stats().jobs_executed, 3);
+        let results = read_results(&out);
+        assert_eq!(results.len(), 5);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn a_half_written_trailing_line_does_not_block_resume() {
+        let out = temp_path("torn");
+        let jobs = tiny_jobs(2);
+        let engine = Engine::new(8);
+        run_batch(&engine, &jobs[..1], &out, true).unwrap();
+        // Simulate a kill mid-write: append a torn, unparsable line.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&out).unwrap();
+            write!(f, "{{\"id\": \"job-1\", \"status\": \"do").unwrap();
+        }
+        let summary = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
+        assert_eq!(summary.skipped, 1, "only the complete line counts");
+        assert_eq!(summary.executed, 1);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn failed_jobs_are_recorded_and_retried_on_resume() {
+        let out = temp_path("failed");
+        let mut jobs = tiny_jobs(2);
+        jobs[1].mixer = MixerSpec::Clique; // invalid for unconstrained MaxCut
+        let summary = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
+        assert_eq!(summary.failed, 1);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"failed\""));
+        // Resume: the failed job is not treated as done.
+        let summary2 = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
+        assert_eq!(summary2.skipped, 1);
+        assert_eq!(summary2.executed, 1);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn duplicate_ids_in_a_job_file_are_rejected() {
+        let path = temp_path("dup.json");
+        let mut jobs = tiny_jobs(2);
+        jobs[1].id = jobs[0].id.clone();
+        let file = JobFile { jobs };
+        std::fs::write(&path, serde_json::to_string(&file).unwrap()).unwrap();
+        let err = load_job_file(&path).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn job_files_load_in_both_shapes() {
+        let path = temp_path("shapes.json");
+        let jobs = tiny_jobs(3);
+        // Object form.
+        std::fs::write(
+            &path,
+            serde_json::to_string(&JobFile { jobs: jobs.clone() }).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(load_job_file(&path).unwrap(), jobs);
+        // Bare-array form.
+        std::fs::write(&path, serde_json::to_string(&jobs).unwrap()).unwrap();
+        assert_eq!(load_job_file(&path).unwrap(), jobs);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,420 @@
+//! The shared job-execution engine behind both batch and serve front-ends.
+//!
+//! The engine owns the *instance cache*: a thread-safe LRU from [`InstanceId`] to the
+//! expensive pre-computation a job needs — the objective-value vector over the feasible
+//! set and its [`PhaseClasses`] compression.  Following the knowledge-compilation view
+//! of binary polynomial optimization (compile the objective once, evaluate many times),
+//! jobs over the same instance compile once and share: the second MaxCut job on graph
+//! `G` pays a `memcpy` instead of a `2ⁿ`-state sweep plus a compression scan.
+//!
+//! Execution itself is stateless per job: build the cost function from the spec, fetch
+//! or compute the prepared objective, assemble a [`Simulator`] via
+//! [`Simulator::from_parts`], and drive the requested optimizer with the job's own
+//! seeded RNG — so a job's result is a pure function of its spec, independent of
+//! scheduling, thread count and cache state.
+
+use crate::lru::LruCache;
+use crate::spec::{BuiltProblem, JobResult, JobSpec, OptimizerSpec};
+use juliqaoa_combinatorics::DickeSubspace;
+use juliqaoa_core::{QaoaError, Simulator};
+use juliqaoa_optim::{
+    basinhopping_with_control, grid_search_with_control, random_restart_with_control,
+    BasinHoppingOptions, OptimizeResult, QaoaObjective, RandomRestartOptions, RunControl,
+};
+use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClasses};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Errors surfaced by job execution.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The spec is invalid (unknown kind, incompatible mixer, out-of-range size…).
+    Spec(String),
+    /// The underlying simulator rejected the assembled pieces.
+    Simulation(QaoaError),
+    /// Reading or writing job/result files failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Spec(msg) => write!(f, "invalid job spec: {msg}"),
+            ServiceError::Simulation(e) => write!(f, "simulation error: {e}"),
+            ServiceError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<QaoaError> for ServiceError {
+    fn from(e: QaoaError) -> Self {
+        ServiceError::Simulation(e)
+    }
+}
+
+/// The cached pre-computation for one problem instance.
+pub struct PreparedObjective {
+    /// Objective values over the feasible set, in simulation order.
+    pub values: Vec<f64>,
+    /// Phase-class compression of `values` (`None` for incompressible objectives).
+    pub classes: Option<PhaseClasses>,
+    /// Largest objective value.
+    pub max: f64,
+    /// Smallest objective value.
+    pub min: f64,
+}
+
+impl PreparedObjective {
+    fn compute(problem: &BuiltProblem) -> Self {
+        let values = match problem.subspace_k {
+            Some(k) => {
+                let subspace = DickeSubspace::new(problem.n, k);
+                precompute_dicke(problem.cost.as_ref(), &subspace)
+            }
+            None => precompute_full(problem.cost.as_ref()),
+        };
+        let classes = PhaseClasses::build(&values);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        PreparedObjective {
+            values,
+            classes,
+            max,
+            min,
+        }
+    }
+
+    /// Approximate heap footprint, the weight charged against the cache's byte
+    /// budget: the value vector plus the compression's index/value tables.
+    pub fn approx_bytes(&self) -> u64 {
+        let classes_bytes = self
+            .classes
+            .as_ref()
+            .map(|c| 2 * c.len() + 8 * c.num_classes())
+            .unwrap_or(0);
+        (8 * self.values.len() + classes_bytes) as u64
+    }
+}
+
+/// Monotonic engine counters, readable while jobs run.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize, PartialEq)]
+pub struct EngineStats {
+    /// Jobs that ran to a result (including cancelled-partway jobs).
+    pub jobs_executed: u64,
+    /// Jobs that failed with an error.
+    pub jobs_failed: u64,
+    /// Instance-cache hits.
+    pub cache_hits: u64,
+    /// Instance-cache misses (pre-computations performed).
+    pub cache_misses: u64,
+}
+
+/// The shared execution engine: instance cache + counters.
+pub struct Engine {
+    cache: Mutex<LruCache<InstanceId, Arc<PreparedObjective>>>,
+    jobs_executed: AtomicU64,
+    jobs_failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Default maximum number of cached instances.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Byte budget for the instance cache.  Entry count alone is the wrong bound: a
+/// prepared `n = 24` objective is ~170 MiB, so [`DEFAULT_CACHE_CAPACITY`] of them
+/// would pin ~11 GiB.  The cache evicts by least-recent use until both bounds hold;
+/// typical `n ≈ 16` entries (~0.6 MiB) never touch this limit.
+pub const DEFAULT_CACHE_BYTES: u64 = 2 << 30;
+
+impl Engine {
+    /// An engine whose cache holds at most `cache_capacity` prepared instances,
+    /// bounded to [`DEFAULT_CACHE_BYTES`] total.
+    pub fn new(cache_capacity: usize) -> Self {
+        Engine {
+            cache: Mutex::new(LruCache::with_weight_budget(
+                cache_capacity.max(1),
+                Some(DEFAULT_CACHE_BYTES),
+            )),
+            jobs_executed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches (or computes and caches) the pre-computation for a built problem.
+    /// Returns the shared data plus whether it was a cache hit.
+    pub fn prepare(&self, problem: &BuiltProblem) -> (Arc<PreparedObjective>, bool) {
+        if let Some(found) = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&problem.instance_id)
+        {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return (found.clone(), true);
+        }
+        // Compute outside the lock so a slow pre-computation never serialises the
+        // whole worker pool.  Two workers racing on the same instance both compute;
+        // the later insert simply replaces the identical value — wasted work bounded
+        // by one pre-computation, and correctness is unaffected because prepared data
+        // is a pure function of the instance.
+        let prepared = Arc::new(PreparedObjective::compute(problem));
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let weight = prepared.approx_bytes();
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert_weighted(problem.instance_id, prepared.clone(), weight);
+        (prepared, false)
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of instances currently cached.
+    pub fn cached_instances(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Executes one job to completion (or cancellation), returning its result.
+    ///
+    /// Deterministic: the result depends only on the spec (notably its seed), never on
+    /// cache state, thread count or scheduling.
+    pub fn run_job(&self, spec: &JobSpec, control: &RunControl) -> Result<JobResult, ServiceError> {
+        let started = Instant::now();
+        let out = self.run_job_inner(spec, control, started);
+        match &out {
+            Ok(_) => self.jobs_executed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    fn run_job_inner(
+        &self,
+        spec: &JobSpec,
+        control: &RunControl,
+        started: Instant,
+    ) -> Result<JobResult, ServiceError> {
+        if spec.p == 0 {
+            return Err(ServiceError::Spec("p must be at least 1".into()));
+        }
+        let problem = spec.problem.build().map_err(ServiceError::Spec)?;
+        let (prepared, cache_hit) = self.prepare(&problem);
+        let mixer = spec.mixer.build(&problem).map_err(ServiceError::Spec)?;
+        let sim = Simulator::from_parts(
+            prepared.values.clone(),
+            prepared.classes.clone(),
+            vec![mixer],
+        )?;
+
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let dim = 2 * spec.p;
+        let tau = 2.0 * std::f64::consts::PI;
+        let res: OptimizeResult = match spec.optimizer {
+            OptimizerSpec::RandomRestart { restarts } => {
+                if restarts == 0 {
+                    return Err(ServiceError::Spec("restarts must be at least 1".into()));
+                }
+                random_restart_with_control(
+                    || QaoaObjective::new(&sim),
+                    dim,
+                    &RandomRestartOptions {
+                        restarts,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                    control,
+                )
+            }
+            OptimizerSpec::BasinHopping {
+                n_hops,
+                step_size,
+                temperature,
+            } => {
+                let mut objective = QaoaObjective::new(&sim);
+                let x0: Vec<f64> = (0..dim)
+                    .map(|_| rand::Rng::gen_range(&mut rng, 0.0..tau))
+                    .collect();
+                basinhopping_with_control(
+                    &mut objective,
+                    &x0,
+                    &BasinHoppingOptions {
+                        n_hops,
+                        step_size,
+                        temperature,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                    control,
+                )
+            }
+            OptimizerSpec::GridSearch { resolution } => {
+                if resolution == 0 {
+                    return Err(ServiceError::Spec(
+                        "grid resolution must be positive".into(),
+                    ));
+                }
+                let points = (resolution as u128).saturating_pow(dim as u32);
+                if points > 100_000_000 {
+                    return Err(ServiceError::Spec(format!(
+                        "grid of {points} points exceeds the 10^8 limit"
+                    )));
+                }
+                grid_search_with_control(
+                    || QaoaObjective::new(&sim),
+                    dim,
+                    0.0,
+                    tau,
+                    resolution,
+                    control,
+                )
+            }
+        };
+
+        let expectation = -res.value;
+        let quality = if prepared.max > prepared.min {
+            (expectation - prepared.min) / (prepared.max - prepared.min)
+        } else {
+            1.0
+        };
+        // "cancelled" means *someone asked to stop*, never that the optimizer merely
+        // hit an iteration cap — BFGS can report `converged: false` on a hard
+        // landscape, and that is still a finished, resumable-as-done job.
+        let status = if control.is_cancelled() {
+            "cancelled"
+        } else {
+            "done"
+        };
+        Ok(JobResult {
+            id: spec.id.clone(),
+            status: status.to_string(),
+            instance: problem.instance_id,
+            problem: problem.kind.to_string(),
+            mixer: spec.mixer.kind().to_string(),
+            p: spec.p,
+            seed: spec.seed,
+            dim: sim.dim(),
+            expectation,
+            angles: res.x,
+            objective_max: prepared.max,
+            objective_min: prepared.min,
+            quality,
+            function_evals: res.function_evals,
+            converged: res.converged,
+            cache_hit,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MixerSpec, ProblemSpec};
+
+    fn quick_job(id: &str, instance: u64, seed: u64) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            problem: ProblemSpec::MaxCutGnp { n: 7, instance },
+            mixer: MixerSpec::TransverseField,
+            p: 1,
+            optimizer: OptimizerSpec::BasinHopping {
+                n_hops: 2,
+                step_size: 0.5,
+                temperature: 1.0,
+            },
+            seed,
+        }
+    }
+
+    #[test]
+    fn same_seed_jobs_are_bit_identical_and_share_the_cache() {
+        let engine = Engine::new(8);
+        let a = engine
+            .run_job(&quick_job("a", 0, 42), &RunControl::new())
+            .unwrap();
+        let b = engine
+            .run_job(&quick_job("b", 0, 42), &RunControl::new())
+            .unwrap();
+        assert_eq!(a.expectation.to_bits(), b.expectation.to_bits());
+        assert_eq!(a.angles, b.angles);
+        assert_eq!(a.instance, b.instance);
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.jobs_executed, 2);
+    }
+
+    #[test]
+    fn cache_is_keyed_by_instance_not_by_job() {
+        let engine = Engine::new(8);
+        let _ = engine
+            .run_job(&quick_job("a", 0, 1), &RunControl::new())
+            .unwrap();
+        let other = engine
+            .run_job(&quick_job("b", 1, 1), &RunControl::new())
+            .unwrap();
+        assert!(!other.cache_hit);
+        assert_eq!(engine.cached_instances(), 2);
+    }
+
+    #[test]
+    fn invalid_specs_fail_cleanly_and_count_as_failures() {
+        let engine = Engine::new(8);
+        let mut bad = quick_job("bad", 0, 1);
+        bad.p = 0;
+        assert!(matches!(
+            engine.run_job(&bad, &RunControl::new()),
+            Err(ServiceError::Spec(_))
+        ));
+        let mut bad_mixer = quick_job("bad2", 0, 1);
+        bad_mixer.mixer = MixerSpec::Clique;
+        assert!(engine.run_job(&bad_mixer, &RunControl::new()).is_err());
+        assert_eq!(engine.stats().jobs_failed, 2);
+    }
+
+    #[test]
+    fn grid_size_limit_is_enforced() {
+        let engine = Engine::new(8);
+        let mut huge = quick_job("huge", 0, 1);
+        huge.p = 4;
+        huge.optimizer = OptimizerSpec::GridSearch { resolution: 50 };
+        let err = engine.run_job(&huge, &RunControl::new()).unwrap_err();
+        assert!(err.to_string().contains("10^8"));
+    }
+
+    #[test]
+    fn quality_lies_in_unit_interval() {
+        let engine = Engine::default();
+        let res = engine
+            .run_job(&quick_job("q", 2, 5), &RunControl::new())
+            .unwrap();
+        assert!((0.0..=1.0).contains(&res.quality));
+        assert!(res.expectation <= res.objective_max + 1e-9);
+        assert_eq!(res.status, "done");
+        assert!(res.converged);
+    }
+}

@@ -1,0 +1,216 @@
+//! A minimal HTTP/1.1 request/response layer over `std::net`.
+//!
+//! The container has no HTTP-framework dependency, and the service API needs exactly
+//! one shape: small JSON requests and responses on short-lived connections.  This
+//! module parses a request line, headers and a `Content-Length`-delimited body, and
+//! writes status + JSON responses with `Connection: close`.  Deliberately not a general
+//! HTTP implementation: no chunked encoding, no keep-alive, no TLS — requests beyond
+//! the size limits are rejected rather than streamed.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Raw path, query string stripped.
+    pub path: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A request-parsing failure with the HTTP status it should produce.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to respond with.
+    pub status: u16,
+    /// Human-readable message (sent as JSON `error`).
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Read until the blank line ending the head, then however much body the headers
+    // promise.  One byte at a time would be slow; a buffered chunk loop with carryover
+    // keeps it simple and still far faster than any job this service runs.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a JSON response and flushes; errors are ignored (the client is gone).
+pub fn write_json(stream: &mut TcpStream, status: u16, json: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        json.len(),
+        json
+    );
+    let _ = stream.flush();
+}
+
+/// Writes `{"error": ...}` with the given status.
+pub fn write_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let json = serde_json::to_string(&ErrorBody {
+        error: message.to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+    write_json(stream, status, &json);
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ErrorBody {
+    error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(
+            b"POST /jobs?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 12}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"a\": 12}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = round_trip(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_requests_are_400() {
+        let err = round_trip(b"GET /metrics HTTP/1.1\r\nContent-").unwrap_err();
+        assert_eq!(err.status, 400);
+        let err =
+            round_trip(b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn oversized_bodies_are_413() {
+        let head = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = round_trip(head.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+}

@@ -1,0 +1,35 @@
+//! `qaoa-service`: batched QAOA job execution as a reusable subsystem.
+//!
+//! The figure binaries in `juliqaoa-bench` are one-shot: build a problem, find angles,
+//! print a table.  This crate turns the same fast kernels into a *service* with two
+//! front-ends over one shared engine:
+//!
+//! * **Batch mode** ([`batch`]) — read a JSON job file ([`spec::JobFile`]), execute the
+//!   jobs with sharded rayon parallelism, append one JSONL [`spec::JobResult`] line per
+//!   job, and resume after interruption by skipping jobs whose `"done"` line already
+//!   exists.
+//! * **Serve mode** ([`server`]) — a hand-rolled HTTP/1.1 JSON API (`POST /jobs`,
+//!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /metrics`) with a bounded work
+//!   queue, a worker pool, per-job progress reporting and cooperative cancellation.
+//!
+//! The [`engine`] underneath caches instance pre-computations — the objective-value
+//! vector and its `PhaseClasses` compression, keyed by the canonical
+//! `juliqaoa_problems::InstanceId` — in an LRU ([`lru`]), so repeated jobs on the same
+//! instance compile the objective once and share it.  Job results are pure functions
+//! of their specs (problem, mixer, `p`, optimizer, seed): the same spec returns a
+//! bit-identical result at any thread count, cache state or submission order.
+
+pub mod batch;
+pub mod engine;
+pub mod http;
+pub mod lru;
+pub mod server;
+pub mod spec;
+
+pub use batch::{completed_ids, load_job_file, run_batch, BatchSummary};
+pub use engine::{Engine, EngineStats, PreparedObjective, ServiceError, DEFAULT_CACHE_CAPACITY};
+pub use lru::LruCache;
+pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig};
+pub use spec::{
+    BuiltProblem, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec, MAX_QUBITS,
+};

@@ -1,0 +1,223 @@
+//! The `qaoa-service` binary: batch and serve front-ends over the shared engine.
+//!
+//! ```text
+//! qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
+//! qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
+//!                    [--out results.jsonl]
+//! qaoa-service example-jobs <path> [--count N] [--n QUBITS]
+//! ```
+
+use juliqaoa_service::{
+    load_job_file, run_batch, Engine, JobFile, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec,
+    Server, ServerConfig,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let out = match command.as_str() {
+        "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
+        "example-jobs" => cmd_example_jobs(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match out {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("qaoa-service: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
+  qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N] [--out results.jsonl]
+  qaoa-service example-jobs <path> [--count N] [--n QUBITS]";
+
+/// Pulls the value after a `--flag`, parsing it with `parse`.
+fn flag_value<T>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<T, String> {
+    *i += 1;
+    let raw = args
+        .get(*i)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    parse(raw).ok_or_else(|| format!("invalid value {raw:?} for {flag}"))
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let mut jobs_path: Option<PathBuf> = None;
+    let mut out_path = PathBuf::from("results.jsonl");
+    let mut resume = true;
+    let mut cache = juliqaoa_service::DEFAULT_CACHE_CAPACITY;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out_path = flag_value(args, &mut i, "--out", |s| Some(PathBuf::from(s)))?,
+            "--no-resume" => resume = false,
+            "--cache" => cache = flag_value(args, &mut i, "--cache", |s| s.parse().ok())?,
+            other if jobs_path.is_none() && !other.starts_with("--") => {
+                jobs_path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    let jobs_path = jobs_path.ok_or("batch requires a job file path")?;
+    let jobs = load_job_file(&jobs_path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "batch: {} jobs from {}, results -> {}",
+        jobs.len(),
+        jobs_path.display(),
+        out_path.display()
+    );
+    let engine = Engine::new(cache);
+    let summary = run_batch(&engine, &jobs, &out_path, resume).map_err(|e| e.to_string())?;
+    let stats = engine.stats();
+    eprintln!(
+        "batch: executed {} (skipped {}, failed {}) in {:.2}s — {:.2} jobs/s, cache {}/{} hit",
+        summary.executed,
+        summary.skipped,
+        summary.failed,
+        summary.elapsed_s,
+        summary.jobs_per_sec,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    if summary.failed > 0 {
+        return Err(format!(
+            "{} job(s) failed — see {}",
+            summary.failed,
+            out_path.display()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = flag_value(args, &mut i, "--addr", |s| Some(s.to_string()))?,
+            "--workers" => {
+                config.workers = flag_value(args, &mut i, "--workers", |s| s.parse().ok())?
+            }
+            "--queue" => {
+                config.queue_capacity = flag_value(args, &mut i, "--queue", |s| s.parse().ok())?
+            }
+            "--cache" => {
+                config.cache_capacity = flag_value(args, &mut i, "--cache", |s| s.parse().ok())?
+            }
+            "--out" => {
+                config.results_path = Some(flag_value(args, &mut i, "--out", |s| {
+                    Some(PathBuf::from(s))
+                })?)
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("qaoa-service listening on http://{addr} (POST /jobs, GET /metrics, POST /shutdown)");
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Writes a small mixed-problem job file, used by the CI smoke test and as a starting
+/// point for hand-written specs.
+fn cmd_example_jobs(args: &[String]) -> Result<(), String> {
+    let mut path: Option<PathBuf> = None;
+    let mut count = 3usize;
+    let mut n = 8usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--count" => count = flag_value(args, &mut i, "--count", |s| s.parse().ok())?,
+            "--n" => n = flag_value(args, &mut i, "--n", |s| s.parse().ok())?,
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    let path = path.ok_or("example-jobs requires an output path")?;
+    let jobs = example_jobs(count, n);
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&JobFile { jobs }).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("wrote {count} example jobs to {}", path.display());
+    Ok(())
+}
+
+/// A deterministic mixed workload cycling through the paper's problem/mixer pairs.
+fn example_jobs(count: usize, n: usize) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| {
+            let instance = (i / 4) as u64;
+            let (problem, mixer) = match i % 4 {
+                0 => (
+                    ProblemSpec::MaxCutGnp { n, instance },
+                    MixerSpec::TransverseField,
+                ),
+                1 => (
+                    ProblemSpec::KSatRandom {
+                        n,
+                        k: 3,
+                        density: 6.0,
+                        instance,
+                    },
+                    MixerSpec::Grover,
+                ),
+                2 => (
+                    ProblemSpec::DensestKSubgraphGnp {
+                        n,
+                        k: n / 2,
+                        instance,
+                    },
+                    MixerSpec::Clique,
+                ),
+                _ => (
+                    ProblemSpec::MaxKVertexCoverGnp {
+                        n,
+                        k: n / 2,
+                        instance,
+                    },
+                    MixerSpec::Ring,
+                ),
+            };
+            JobSpec {
+                id: format!("example-{i}"),
+                problem,
+                mixer,
+                p: 1 + (i % 2),
+                optimizer: OptimizerSpec::BasinHopping {
+                    n_hops: 3,
+                    step_size: 0.8,
+                    temperature: 1.0,
+                },
+                seed: 1000 + i as u64,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,528 @@
+//! Serve mode: the JSON-over-HTTP job API.
+//!
+//! Architecture: one accept loop (short-lived connections, bounded request sizes), a
+//! bounded FIFO work queue, and a pool of worker threads sharing one [`Engine`] — so
+//! concurrent jobs on the same instance share cached pre-computations.  Workers hold
+//! the outer-parallelism guard while running a job, keeping per-job inner kernels
+//! serial exactly as batch mode does.
+//!
+//! Endpoints:
+//!
+//! | Method & path          | Behaviour                                              |
+//! |------------------------|--------------------------------------------------------|
+//! | `POST /jobs`           | Submit a [`JobSpec`]; `202` + status, `429` queue full |
+//! | `GET /jobs/:id`        | Job status + progress                                  |
+//! | `GET /jobs/:id/result` | The [`JobResult`] (`409` until finished)               |
+//! | `POST /jobs/:id/cancel`| Request cooperative cancellation                       |
+//! | `GET /metrics`         | Queue/engine/cache counters                            |
+//! | `GET /healthz`         | Liveness probe                                         |
+//! | `POST /shutdown`       | Graceful stop (drains workers); used by CI             |
+
+use crate::engine::{Engine, EngineStats};
+use crate::http::{read_request, write_error, write_json, Request};
+use crate::spec::{JobResult, JobSpec};
+use juliqaoa_linalg::enter_outer_parallelism;
+use juliqaoa_optim::RunControl;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `POST /jobs` returns 429.
+    pub queue_capacity: usize,
+    /// Instance-cache capacity of the shared engine.
+    pub cache_capacity: usize,
+    /// Optional JSONL file finished results are appended to (same format as batch
+    /// mode, so serve-mode output can seed a later `batch --resume`).
+    pub results_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
+            results_path: None,
+        }
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Everything the service tracks about one submitted job.
+struct JobRecord {
+    spec: JobSpec,
+    state: Mutex<JobState>,
+    cancel: Arc<AtomicBool>,
+    progress_done: AtomicU64,
+    progress_total: AtomicU64,
+    result: Mutex<Option<JobResult>>,
+    error: Mutex<Option<String>>,
+}
+
+impl JobRecord {
+    fn new(spec: JobSpec) -> Arc<Self> {
+        Arc::new(JobRecord {
+            spec,
+            state: Mutex::new(JobState::Queued),
+            cancel: Arc::new(AtomicBool::new(false)),
+            progress_done: AtomicU64::new(0),
+            progress_total: AtomicU64::new(0),
+            result: Mutex::new(None),
+            error: Mutex::new(None),
+        })
+    }
+
+    fn state(&self) -> JobState {
+        *self.state.lock().expect("job state lock")
+    }
+
+    fn set_state(&self, s: JobState) {
+        *self.state.lock().expect("job state lock") = s;
+    }
+}
+
+/// Bounded FIFO queue with blocking pop and shutdown.
+struct WorkQueue {
+    inner: Mutex<VecDeque<Arc<JobRecord>>>,
+    ready: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> Self {
+        WorkQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues unless full; returns whether the job was accepted.
+    fn try_push(&self, job: Arc<JobRecord>) -> bool {
+        let mut q = self.inner.lock().expect("queue lock");
+        if q.len() >= self.capacity {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once shut down and drained.
+    fn pop(&self) -> Option<Arc<JobRecord>> {
+        let mut q = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue wait");
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").len()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the accept loop and the worker pool.
+struct ServiceState {
+    engine: Engine,
+    jobs: Mutex<HashMap<String, Arc<JobRecord>>>,
+    queue: WorkQueue,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    auto_id: AtomicU64,
+    started: Instant,
+    results: Option<Mutex<std::fs::File>>,
+}
+
+/// Status body returned by `POST /jobs`, `GET /jobs/:id` and `POST /jobs/:id/cancel`.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct JobStatusBody {
+    /// The job id.
+    pub id: String,
+    /// `queued` / `running` / `done` / `cancelled` / `failed`.
+    pub status: String,
+    /// Completed optimizer work units.
+    pub progress_done: u64,
+    /// Total optimizer work units (0 until the job starts).
+    pub progress_total: u64,
+}
+
+/// The `GET /metrics` body.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct MetricsBody {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Jobs accepted onto the queue since start.
+    pub jobs_submitted: u64,
+    /// Submissions rejected because the queue was full.
+    pub jobs_rejected: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs in a terminal `done` state.
+    pub done: u64,
+    /// Jobs in a terminal `cancelled` state.
+    pub cancelled: u64,
+    /// Jobs in a terminal `failed` state.
+    pub failed: u64,
+    /// Instances currently in the cache.
+    pub cached_instances: u64,
+    /// Engine counters (cache hits/misses, executed/failed jobs).
+    pub engine: EngineStats,
+}
+
+/// A bound, not-yet-running service instance.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool (no requests are served until
+    /// [`Server::run`]).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let results = match &config.results_path {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                Some(Mutex::new(
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)?,
+                ))
+            }
+            None => None,
+        };
+        let state = Arc::new(ServiceState {
+            engine: Engine::new(config.cache_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            queue: WorkQueue::new(config.queue_capacity),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            auto_id: AtomicU64::new(0),
+            started: Instant::now(),
+            results,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("qaoa-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            state,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves requests until `POST /shutdown`, then drains and joins the workers.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            let keep_going = handle_connection(&self.state, &mut stream);
+            if !keep_going {
+                break;
+            }
+        }
+        self.state.queue.begin_shutdown();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(state: &ServiceState) {
+    // Jobs are outer-parallel work; keep their inner kernels serial (same contract as
+    // the batch executor and the angle-finding drivers).
+    let _guard = enter_outer_parallelism();
+    while let Some(record) = state.queue.pop() {
+        if record.cancel.load(Ordering::SeqCst) {
+            record.set_state(JobState::Cancelled);
+            continue;
+        }
+        record.set_state(JobState::Running);
+        let control = RunControl::with_cancel(record.cancel.clone()).on_progress({
+            // The callback outlives this loop iteration, so it owns its own Arc.
+            let record = record.clone();
+            move |done, total| {
+                record.progress_done.store(done, Ordering::Relaxed);
+                record.progress_total.store(total, Ordering::Relaxed);
+            }
+        });
+        match state.engine.run_job(&record.spec, &control) {
+            Ok(result) => {
+                // The engine sets "cancelled" only on an actual cancel request;
+                // optimizer non-convergence is still a done job.
+                let terminal = if result.status == "cancelled" {
+                    JobState::Cancelled
+                } else {
+                    JobState::Done
+                };
+                if let Some(out) = &state.results {
+                    if let Ok(line) = serde_json::to_string(&result) {
+                        let mut file = out.lock().expect("results file lock");
+                        let _ = writeln!(file, "{line}");
+                        let _ = file.flush();
+                    }
+                }
+                *record.result.lock().expect("result lock") = Some(result);
+                record.set_state(terminal);
+            }
+            Err(err) => {
+                *record.error.lock().expect("error lock") = Some(err.to_string());
+                record.set_state(JobState::Failed);
+            }
+        }
+    }
+}
+
+fn status_body(id: &str, record: &JobRecord) -> JobStatusBody {
+    JobStatusBody {
+        id: id.to_string(),
+        status: record.state().as_str().to_string(),
+        progress_done: record.progress_done.load(Ordering::Relaxed),
+        progress_total: record.progress_total.load(Ordering::Relaxed),
+    }
+}
+
+/// Handles one connection; returns `false` when the server should stop.
+fn handle_connection(state: &Arc<ServiceState>, stream: &mut TcpStream) -> bool {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            write_error(stream, e.status, &e.message);
+            return true;
+        }
+    };
+    route(state, stream, &request)
+}
+
+fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) -> bool {
+    let path = request.path.trim_end_matches('/');
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => handle_submit(state, stream, request),
+        ("GET", "/metrics") => handle_metrics(state, stream),
+        ("GET", "/healthz") => write_json(stream, 200, "{\"status\": \"ok\"}"),
+        ("POST", "/shutdown") => {
+            write_json(stream, 200, "{\"status\": \"shutting down\"}");
+            return false;
+        }
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                match (
+                    method,
+                    rest.strip_suffix("/result"),
+                    rest.strip_suffix("/cancel"),
+                ) {
+                    ("GET", Some(id), _) => handle_result(state, stream, id),
+                    ("POST", _, Some(id)) => handle_cancel(state, stream, id),
+                    ("GET", None, None) => handle_status(state, stream, rest),
+                    _ => write_error(stream, 405, "method not allowed"),
+                }
+            } else {
+                write_error(stream, 404, "no such endpoint");
+            }
+        }
+    }
+    true
+}
+
+fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) {
+    let body = String::from_utf8_lossy(&request.body);
+    let mut spec: JobSpec = match serde_json::from_str(&body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            write_error(stream, 400, &format!("invalid job spec: {e}"));
+            return;
+        }
+    };
+    if spec.id.is_empty() {
+        spec.id = format!("job-{}", state.auto_id.fetch_add(1, Ordering::Relaxed));
+    }
+    // Reject oversized/incompatible specs at submission time with the cheap shape
+    // checks — realising instances and mixers is worker-thread work, and the accept
+    // loop must never block other clients behind an O(2ⁿ) build.
+    if let Err(e) = spec
+        .problem
+        .shape()
+        .and_then(|(_, subspace_k)| spec.mixer.check_compatible(subspace_k))
+    {
+        write_error(stream, 400, &format!("invalid job spec: {e}"));
+        return;
+    }
+    let record = JobRecord::new(spec.clone());
+    {
+        let mut jobs = state.jobs.lock().expect("jobs lock");
+        if jobs.contains_key(&spec.id) {
+            drop(jobs);
+            write_error(stream, 409, &format!("job id {:?} already exists", spec.id));
+            return;
+        }
+        jobs.insert(spec.id.clone(), record.clone());
+    }
+    if !state.queue.try_push(record.clone()) {
+        state.jobs.lock().expect("jobs lock").remove(&spec.id);
+        state.rejected.fetch_add(1, Ordering::Relaxed);
+        write_error(stream, 429, "job queue is full, retry later");
+        return;
+    }
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    match serde_json::to_string(&status_body(&spec.id, &record)) {
+        Ok(json) => write_json(stream, 202, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+fn lookup(state: &ServiceState, id: &str) -> Option<Arc<JobRecord>> {
+    state.jobs.lock().expect("jobs lock").get(id).cloned()
+}
+
+fn handle_status(state: &Arc<ServiceState>, stream: &mut TcpStream, id: &str) {
+    match lookup(state, id) {
+        Some(record) => match serde_json::to_string(&status_body(id, &record)) {
+            Ok(json) => write_json(stream, 200, &json),
+            Err(_) => write_error(stream, 500, "serialisation failed"),
+        },
+        None => write_error(stream, 404, &format!("unknown job {id:?}")),
+    }
+}
+
+fn handle_result(state: &Arc<ServiceState>, stream: &mut TcpStream, id: &str) {
+    let Some(record) = lookup(state, id) else {
+        write_error(stream, 404, &format!("unknown job {id:?}"));
+        return;
+    };
+    match record.state() {
+        JobState::Done | JobState::Cancelled => {
+            let result = record.result.lock().expect("result lock");
+            match result.as_ref().map(serde_json::to_string) {
+                Some(Ok(json)) => write_json(stream, 200, &json),
+                // Cancelled while still queued: terminal, but there is no result.
+                _ => write_error(stream, 409, "job was cancelled before it ran"),
+            }
+        }
+        JobState::Failed => {
+            let error = record.error.lock().expect("error lock");
+            write_error(stream, 500, error.as_deref().unwrap_or("job failed"));
+        }
+        state => write_error(
+            stream,
+            409,
+            &format!("job is {} — result not available yet", state.as_str()),
+        ),
+    }
+}
+
+fn handle_cancel(state: &Arc<ServiceState>, stream: &mut TcpStream, id: &str) {
+    let Some(record) = lookup(state, id) else {
+        write_error(stream, 404, &format!("unknown job {id:?}"));
+        return;
+    };
+    record.cancel.store(true, Ordering::SeqCst);
+    match serde_json::to_string(&status_body(id, &record)) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+fn handle_metrics(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+    let mut running = 0u64;
+    let mut done = 0u64;
+    let mut cancelled = 0u64;
+    let mut failed = 0u64;
+    {
+        let jobs = state.jobs.lock().expect("jobs lock");
+        for record in jobs.values() {
+            match record.state() {
+                JobState::Running => running += 1,
+                JobState::Done => done += 1,
+                JobState::Cancelled => cancelled += 1,
+                JobState::Failed => failed += 1,
+                JobState::Queued => {}
+            }
+        }
+    }
+    let body = MetricsBody {
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        jobs_submitted: state.submitted.load(Ordering::Relaxed),
+        jobs_rejected: state.rejected.load(Ordering::Relaxed),
+        queue_depth: state.queue.len() as u64,
+        running,
+        done,
+        cancelled,
+        failed,
+        cached_instances: state.engine.cached_instances() as u64,
+        engine: state.engine.stats(),
+    };
+    match serde_json::to_string_pretty(&body) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}

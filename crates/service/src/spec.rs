@@ -1,0 +1,711 @@
+//! Job specifications: the JSON wire format of the service.
+//!
+//! A [`JobSpec`] names everything needed to run one QAOA experiment: a problem (either
+//! an explicit instance or a seeded generator from the paper's instance families), a
+//! mixer, the round count `p`, an optimizer and an RNG seed.  Specs are plain data —
+//! building the actual cost function happens in [`ProblemSpec::build`], and two specs
+//! that realise structurally identical instances share one [`InstanceId`] (and
+//! therefore one cache entry) even if one was written as a generator reference and the
+//! other as an explicit edge list.
+//!
+//! The tagged enums (`ProblemSpec`, `MixerSpec`, `OptimizerSpec`) carry data, which the
+//! vendored serde derive does not support, so their `Serialize`/`Deserialize` impls are
+//! written by hand against the shim's [`Value`] tree: each serialises as an object with
+//! a `"kind"` discriminant plus its parameters.
+
+use juliqaoa_graphs::Graph;
+use juliqaoa_problems::{
+    paper_maxcut_instance, paper_sat_instance_with, CostFunction, DensestKSubgraph, InstanceId,
+    KSat, MaxCut, MaxKVertexCover,
+};
+use serde::{Deserialize, Serialize, Value};
+
+/// A problem instance reference: explicit data or a seeded generator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProblemSpec {
+    /// The paper's seeded `G(n, 0.5)` MaxCut family.
+    MaxCutGnp {
+        /// Number of vertices/qubits.
+        n: usize,
+        /// Index into the seeded instance family.
+        instance: u64,
+    },
+    /// MaxCut on an explicit graph.
+    MaxCut {
+        /// The graph.
+        graph: Graph,
+    },
+    /// The paper's seeded random k-SAT family at a clause density.
+    KSatRandom {
+        /// Number of variables/qubits.
+        n: usize,
+        /// Clause width.
+        k: usize,
+        /// Clause density (`⌊density·n⌋` clauses).
+        density: f64,
+        /// Index into the seeded instance family.
+        instance: u64,
+    },
+    /// An explicit k-SAT instance.
+    KSat {
+        /// The clauses.
+        sat: KSat,
+    },
+    /// Densest-k-Subgraph on a seeded `G(n, 0.5)` graph (Dicke-subspace constrained).
+    DensestKSubgraphGnp {
+        /// Number of vertices/qubits.
+        n: usize,
+        /// Subset size (Hamming weight of feasible states).
+        k: usize,
+        /// Index into the seeded instance family.
+        instance: u64,
+    },
+    /// Max-k-Vertex-Cover on a seeded `G(n, 0.5)` graph (Dicke-subspace constrained).
+    MaxKVertexCoverGnp {
+        /// Number of vertices/qubits.
+        n: usize,
+        /// Subset size (Hamming weight of feasible states).
+        k: usize,
+        /// Index into the seeded instance family.
+        instance: u64,
+    },
+}
+
+/// A problem realised into a runnable cost function plus its feasible-space shape.
+pub struct BuiltProblem {
+    /// Problem kind (the spec's `"kind"` string).
+    pub kind: &'static str,
+    /// Number of qubits.
+    pub n: usize,
+    /// `Some(k)` when the feasible set is the weight-`k` Dicke subspace.
+    pub subspace_k: Option<usize>,
+    /// The cost function.
+    pub cost: Box<dyn CostFunction + Send + Sync>,
+    /// Canonical fingerprint of the *realised* instance (generator references and
+    /// explicit instances that realise the same data share an id).
+    pub instance_id: InstanceId,
+}
+
+impl std::fmt::Debug for BuiltProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltProblem")
+            .field("kind", &self.kind)
+            .field("n", &self.n)
+            .field("subspace_k", &self.subspace_k)
+            .field("instance_id", &self.instance_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProblemSpec {
+    /// The `"kind"` discriminant used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProblemSpec::MaxCutGnp { .. } => "maxcut_gnp",
+            ProblemSpec::MaxCut { .. } => "maxcut",
+            ProblemSpec::KSatRandom { .. } => "ksat_random",
+            ProblemSpec::KSat { .. } => "ksat",
+            ProblemSpec::DensestKSubgraphGnp { .. } => "densest_k_subgraph_gnp",
+            ProblemSpec::MaxKVertexCoverGnp { .. } => "max_k_vertex_cover_gnp",
+        }
+    }
+
+    /// Validates parameters and returns `(n, subspace_k)` *without* realising the
+    /// instance — no graph/clause generation, no allocation proportional to `2ⁿ`.
+    ///
+    /// This is what request handlers should call: it is cheap enough for an accept
+    /// loop, while [`ProblemSpec::build`] is worker-thread work.
+    pub fn shape(&self) -> Result<(usize, Option<usize>), String> {
+        match self {
+            ProblemSpec::MaxCutGnp { n, .. } => {
+                check_n(*n)?;
+                Ok((*n, None))
+            }
+            ProblemSpec::MaxCut { graph } => {
+                check_n(graph.num_vertices())?;
+                Ok((graph.num_vertices(), None))
+            }
+            ProblemSpec::KSatRandom { n, k, density, .. } => {
+                check_n(*n)?;
+                if *k == 0 || *k > *n {
+                    return Err(format!("clause width k={k} invalid for n={n}"));
+                }
+                if density.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(format!("clause density {density} must be positive"));
+                }
+                Ok((*n, None))
+            }
+            ProblemSpec::KSat { sat } => {
+                check_n(sat.num_qubits())?;
+                Ok((sat.num_qubits(), None))
+            }
+            ProblemSpec::DensestKSubgraphGnp { n, k, .. }
+            | ProblemSpec::MaxKVertexCoverGnp { n, k, .. } => {
+                check_n(*n)?;
+                check_subspace(*n, *k)?;
+                Ok((*n, Some(*k)))
+            }
+        }
+    }
+
+    /// Realises the spec into a cost function, validating its parameters.
+    ///
+    /// The instance id is computed from the realised instance data (graph, clauses),
+    /// never from generator parameters, so explicit and generated forms of the same
+    /// instance are cache-equal.
+    pub fn build(&self) -> Result<BuiltProblem, String> {
+        self.shape()?;
+        match self {
+            ProblemSpec::MaxCutGnp { n, instance } => {
+                let cost = MaxCut::new(paper_maxcut_instance(*n, *instance));
+                Ok(BuiltProblem {
+                    kind: self.kind(),
+                    n: *n,
+                    subspace_k: None,
+                    instance_id: InstanceId::of("maxcut", &cost),
+                    cost: Box::new(cost),
+                })
+            }
+            ProblemSpec::MaxCut { graph } => {
+                let cost = MaxCut::new(graph.clone());
+                Ok(BuiltProblem {
+                    kind: self.kind(),
+                    n: graph.num_vertices(),
+                    subspace_k: None,
+                    instance_id: InstanceId::of("maxcut", &cost),
+                    cost: Box::new(cost),
+                })
+            }
+            ProblemSpec::KSatRandom {
+                n,
+                k,
+                density,
+                instance,
+            } => {
+                let sat = paper_sat_instance_with(*n, *k, *density, *instance);
+                Ok(BuiltProblem {
+                    kind: self.kind(),
+                    n: *n,
+                    subspace_k: None,
+                    instance_id: InstanceId::of("ksat", &sat),
+                    cost: Box::new(sat),
+                })
+            }
+            ProblemSpec::KSat { sat } => Ok(BuiltProblem {
+                kind: self.kind(),
+                n: sat.num_qubits(),
+                subspace_k: None,
+                instance_id: InstanceId::of("ksat", sat),
+                cost: Box::new(sat.clone()),
+            }),
+            ProblemSpec::DensestKSubgraphGnp { n, k, instance } => {
+                let cost = DensestKSubgraph::new(paper_maxcut_instance(*n, *instance), *k);
+                Ok(BuiltProblem {
+                    kind: self.kind(),
+                    n: *n,
+                    subspace_k: Some(*k),
+                    instance_id: InstanceId::of("densest_k_subgraph", &cost),
+                    cost: Box::new(cost),
+                })
+            }
+            ProblemSpec::MaxKVertexCoverGnp { n, k, instance } => {
+                let cost = MaxKVertexCover::new(paper_maxcut_instance(*n, *instance), *k);
+                Ok(BuiltProblem {
+                    kind: self.kind(),
+                    n: *n,
+                    subspace_k: Some(*k),
+                    instance_id: InstanceId::of("max_k_vertex_cover", &cost),
+                    cost: Box::new(cost),
+                })
+            }
+        }
+    }
+}
+
+/// Largest exact-simulation size the service accepts (statevectors of `2²⁴` amplitudes
+/// are ~½ GiB in the workspace set; beyond that a job would take the whole box down
+/// rather than fail cleanly).
+pub const MAX_QUBITS: usize = 24;
+
+fn check_n(n: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("problem has zero qubits".into());
+    }
+    if n > MAX_QUBITS {
+        return Err(format!(
+            "n={n} exceeds the service limit of {MAX_QUBITS} qubits"
+        ));
+    }
+    Ok(())
+}
+
+fn check_subspace(n: usize, k: usize) -> Result<(), String> {
+    if k == 0 || k > n {
+        return Err(format!("subset size k={k} invalid for n={n}"));
+    }
+    Ok(())
+}
+
+/// The mixer family to pair with the problem; dimensions come from the problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixerSpec {
+    /// Transverse-field `Σ X_i` (unconstrained problems only).
+    TransverseField,
+    /// Grover mixer over the problem's feasible set (full space or Dicke subspace).
+    Grover,
+    /// Clique mixer on the weight-k subspace (constrained problems only).
+    Clique,
+    /// Ring mixer on the weight-k subspace (constrained problems only).
+    Ring,
+}
+
+impl MixerSpec {
+    /// The `"kind"` discriminant used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MixerSpec::TransverseField => "transverse_field",
+            MixerSpec::Grover => "grover",
+            MixerSpec::Clique => "clique",
+            MixerSpec::Ring => "ring",
+        }
+    }
+
+    /// Checks that this mixer family fits a feasible space of the given shape,
+    /// without constructing anything — accept-loop-cheap, like
+    /// [`ProblemSpec::shape`].
+    pub fn check_compatible(&self, subspace_k: Option<usize>) -> Result<(), String> {
+        match (self, subspace_k) {
+            (MixerSpec::TransverseField, Some(_)) => Err(
+                "transverse-field mixer leaves the feasible subspace of a constrained problem"
+                    .into(),
+            ),
+            (MixerSpec::Clique | MixerSpec::Ring, None) => Err(format!(
+                "{} mixer requires a Hamming-weight-constrained problem",
+                self.kind()
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the mixer for a problem's feasible space.
+    pub fn build(&self, problem: &BuiltProblem) -> Result<juliqaoa_mixers::Mixer, String> {
+        use juliqaoa_mixers::Mixer;
+        self.check_compatible(problem.subspace_k)?;
+        Ok(match (self, problem.subspace_k) {
+            (MixerSpec::TransverseField, _) => Mixer::transverse_field(problem.n),
+            (MixerSpec::Grover, None) => Mixer::grover_full(problem.n),
+            (MixerSpec::Grover, Some(k)) => Mixer::grover_dicke(problem.n, k),
+            (MixerSpec::Clique, Some(k)) => Mixer::clique(problem.n, k),
+            (MixerSpec::Ring, Some(k)) => Mixer::ring(problem.n, k),
+            (MixerSpec::Clique | MixerSpec::Ring, None) => unreachable!("checked above"),
+        })
+    }
+}
+
+/// The classical angle-finding strategy for a job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptimizerSpec {
+    /// BFGS from `restarts` random starting points (Listing 3's `find_angles_rand`).
+    RandomRestart {
+        /// Number of random starts.
+        restarts: usize,
+    },
+    /// Basin hopping from a random start.
+    BasinHopping {
+        /// Number of hops.
+        n_hops: usize,
+        /// Perturbation half-width between hops.
+        step_size: f64,
+        /// Metropolis temperature.
+        temperature: f64,
+    },
+    /// Brute-force grid scan over `[0, 2π)^{2p}`.
+    GridSearch {
+        /// Points per axis.
+        resolution: usize,
+    },
+}
+
+impl OptimizerSpec {
+    /// The `"kind"` discriminant used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OptimizerSpec::RandomRestart { .. } => "random_restart",
+            OptimizerSpec::BasinHopping { .. } => "basinhopping",
+            OptimizerSpec::GridSearch { .. } => "gridsearch",
+        }
+    }
+}
+
+/// One QAOA experiment: problem × mixer × rounds × optimizer × seed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Client-chosen job identifier; unique within a batch / service run.
+    pub id: String,
+    /// The problem instance.
+    pub problem: ProblemSpec,
+    /// The mixer family.
+    pub mixer: MixerSpec,
+    /// Number of QAOA rounds.
+    pub p: usize,
+    /// The angle-finding strategy.
+    pub optimizer: OptimizerSpec,
+    /// Seed for every random draw the job makes (same seed ⇒ bit-identical result).
+    pub seed: u64,
+}
+
+/// A batch of jobs, the top-level shape of a job file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobFile {
+    /// The jobs, executed in spec order (modulo parallel scheduling).
+    pub jobs: Vec<JobSpec>,
+}
+
+/// The outcome of one executed job; one JSONL line in batch output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The job id from the spec.
+    pub id: String,
+    /// Terminal state: `"done"` (also the resume marker) or `"cancelled"`.
+    pub status: String,
+    /// Canonical instance fingerprint (cache key).
+    pub instance: InstanceId,
+    /// Problem kind.
+    pub problem: String,
+    /// Mixer kind.
+    pub mixer: String,
+    /// Number of QAOA rounds.
+    pub p: usize,
+    /// The job's seed.
+    pub seed: u64,
+    /// Feasible-set dimension (statevector length).
+    pub dim: usize,
+    /// Best maximised expectation value `⟨C⟩` found.
+    pub expectation: f64,
+    /// Best flat angle vector `[β…, γ…]`.
+    pub angles: Vec<f64>,
+    /// Largest objective value over the feasible set.
+    pub objective_max: f64,
+    /// Smallest objective value over the feasible set.
+    pub objective_min: f64,
+    /// Normalised quality `(⟨C⟩ − min)/(max − min)`; 1.0 is the optimum.
+    pub quality: f64,
+    /// Simulator evaluations spent by the optimizer.
+    pub function_evals: usize,
+    /// Whether the optimizer's own convergence criterion was met (false when the
+    /// run was cancelled *or* when an inner minimiser hit its iteration cap; only
+    /// `status` distinguishes cancellation).
+    pub converged: bool,
+    /// Whether the instance pre-computation came from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock execution time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written serde for the tagged enums
+// ---------------------------------------------------------------------------
+
+fn obj(kind: &str, fields: Vec<(&str, Value)>) -> Value {
+    let mut out = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+    out.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Object(out)
+}
+
+fn field<'v>(v: &'v Value, name: &str, kind: &str) -> Result<&'v Value, String> {
+    v.get_field(name)
+        .ok_or_else(|| format!("{kind}: missing field {name:?}"))
+}
+
+fn usize_field(v: &Value, name: &str, kind: &str) -> Result<usize, String> {
+    field(v, name, kind)?
+        .as_u64()
+        .map(|x| x as usize)
+        .ok_or_else(|| format!("{kind}: field {name:?} must be an unsigned integer"))
+}
+
+fn u64_field(v: &Value, name: &str, kind: &str) -> Result<u64, String> {
+    field(v, name, kind)?
+        .as_u64()
+        .ok_or_else(|| format!("{kind}: field {name:?} must be an unsigned integer"))
+}
+
+fn f64_field(v: &Value, name: &str, kind: &str) -> Result<f64, String> {
+    field(v, name, kind)?
+        .as_f64()
+        .ok_or_else(|| format!("{kind}: field {name:?} must be a number"))
+}
+
+fn kind_of<'v>(v: &'v Value, what: &str) -> Result<&'v str, String> {
+    v.get_field("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{what} must be an object with a string \"kind\" field"))
+}
+
+impl Serialize for ProblemSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            ProblemSpec::MaxCutGnp { n, instance } => obj(
+                self.kind(),
+                vec![("n", n.to_value()), ("instance", instance.to_value())],
+            ),
+            ProblemSpec::MaxCut { graph } => obj(self.kind(), vec![("graph", graph.to_value())]),
+            ProblemSpec::KSatRandom {
+                n,
+                k,
+                density,
+                instance,
+            } => obj(
+                self.kind(),
+                vec![
+                    ("n", n.to_value()),
+                    ("k", k.to_value()),
+                    ("density", density.to_value()),
+                    ("instance", instance.to_value()),
+                ],
+            ),
+            ProblemSpec::KSat { sat } => obj(self.kind(), vec![("sat", sat.to_value())]),
+            ProblemSpec::DensestKSubgraphGnp { n, k, instance }
+            | ProblemSpec::MaxKVertexCoverGnp { n, k, instance } => obj(
+                self.kind(),
+                vec![
+                    ("n", n.to_value()),
+                    ("k", k.to_value()),
+                    ("instance", instance.to_value()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for ProblemSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = kind_of(v, "problem spec")?;
+        match kind {
+            "maxcut_gnp" => Ok(ProblemSpec::MaxCutGnp {
+                n: usize_field(v, "n", kind)?,
+                instance: u64_field(v, "instance", kind)?,
+            }),
+            "maxcut" => Ok(ProblemSpec::MaxCut {
+                graph: Graph::from_value(field(v, "graph", kind)?)?,
+            }),
+            "ksat_random" => Ok(ProblemSpec::KSatRandom {
+                n: usize_field(v, "n", kind)?,
+                k: usize_field(v, "k", kind)?,
+                density: f64_field(v, "density", kind)?,
+                instance: u64_field(v, "instance", kind)?,
+            }),
+            "ksat" => Ok(ProblemSpec::KSat {
+                sat: KSat::from_value(field(v, "sat", kind)?)?,
+            }),
+            "densest_k_subgraph_gnp" => Ok(ProblemSpec::DensestKSubgraphGnp {
+                n: usize_field(v, "n", kind)?,
+                k: usize_field(v, "k", kind)?,
+                instance: u64_field(v, "instance", kind)?,
+            }),
+            "max_k_vertex_cover_gnp" => Ok(ProblemSpec::MaxKVertexCoverGnp {
+                n: usize_field(v, "n", kind)?,
+                k: usize_field(v, "k", kind)?,
+                instance: u64_field(v, "instance", kind)?,
+            }),
+            other => Err(format!("unknown problem kind {other:?}")),
+        }
+    }
+}
+
+impl Serialize for MixerSpec {
+    fn to_value(&self) -> Value {
+        obj(self.kind(), vec![])
+    }
+}
+
+impl Deserialize for MixerSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        // Accept both the tagged-object form and a bare string.
+        let kind = match v {
+            Value::Str(s) => s.as_str(),
+            other => kind_of(other, "mixer spec")?,
+        };
+        match kind {
+            "transverse_field" => Ok(MixerSpec::TransverseField),
+            "grover" => Ok(MixerSpec::Grover),
+            "clique" => Ok(MixerSpec::Clique),
+            "ring" => Ok(MixerSpec::Ring),
+            other => Err(format!("unknown mixer kind {other:?}")),
+        }
+    }
+}
+
+impl Serialize for OptimizerSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            OptimizerSpec::RandomRestart { restarts } => {
+                obj(self.kind(), vec![("restarts", restarts.to_value())])
+            }
+            OptimizerSpec::BasinHopping {
+                n_hops,
+                step_size,
+                temperature,
+            } => obj(
+                self.kind(),
+                vec![
+                    ("n_hops", n_hops.to_value()),
+                    ("step_size", step_size.to_value()),
+                    ("temperature", temperature.to_value()),
+                ],
+            ),
+            OptimizerSpec::GridSearch { resolution } => {
+                obj(self.kind(), vec![("resolution", resolution.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for OptimizerSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = kind_of(v, "optimizer spec")?;
+        match kind {
+            "random_restart" => Ok(OptimizerSpec::RandomRestart {
+                restarts: usize_field(v, "restarts", kind)?,
+            }),
+            "basinhopping" => Ok(OptimizerSpec::BasinHopping {
+                n_hops: usize_field(v, "n_hops", kind)?,
+                step_size: f64_field(v, "step_size", kind)?,
+                temperature: f64_field(v, "temperature", kind)?,
+            }),
+            "gridsearch" => Ok(OptimizerSpec::GridSearch {
+                resolution: usize_field(v, "resolution", kind)?,
+            }),
+            other => Err(format!("unknown optimizer kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_jobs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                id: "mc".into(),
+                problem: ProblemSpec::MaxCutGnp { n: 8, instance: 0 },
+                mixer: MixerSpec::TransverseField,
+                p: 2,
+                optimizer: OptimizerSpec::BasinHopping {
+                    n_hops: 4,
+                    step_size: 0.5,
+                    temperature: 1.0,
+                },
+                seed: 7,
+            },
+            JobSpec {
+                id: "sat".into(),
+                problem: ProblemSpec::KSatRandom {
+                    n: 8,
+                    k: 3,
+                    density: 6.0,
+                    instance: 1,
+                },
+                mixer: MixerSpec::Grover,
+                p: 1,
+                optimizer: OptimizerSpec::GridSearch { resolution: 12 },
+                seed: 8,
+            },
+            JobSpec {
+                id: "dks".into(),
+                problem: ProblemSpec::DensestKSubgraphGnp {
+                    n: 8,
+                    k: 4,
+                    instance: 2,
+                },
+                mixer: MixerSpec::Clique,
+                p: 1,
+                optimizer: OptimizerSpec::RandomRestart { restarts: 5 },
+                seed: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn job_file_round_trips() {
+        let file = JobFile {
+            jobs: sample_jobs(),
+        };
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: JobFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, file);
+    }
+
+    #[test]
+    fn mixer_accepts_bare_string_form() {
+        let m: MixerSpec = serde_json::from_str("\"grover\"").unwrap();
+        assert_eq!(m, MixerSpec::Grover);
+        let m: MixerSpec = serde_json::from_str("{\"kind\": \"ring\"}").unwrap();
+        assert_eq!(m, MixerSpec::Ring);
+        assert!(serde_json::from_str::<MixerSpec>("{\"kind\": \"warp\"}").is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected_with_the_kind_named() {
+        let err = serde_json::from_str::<ProblemSpec>("{\"kind\": \"tsp\"}").unwrap_err();
+        assert!(err.to_string().contains("tsp"));
+        let err = serde_json::from_str::<OptimizerSpec>("{\"kind\": \"adam\"}").unwrap_err();
+        assert!(err.to_string().contains("adam"));
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let err = serde_json::from_str::<ProblemSpec>("{\"kind\": \"maxcut_gnp\"}").unwrap_err();
+        assert!(err.to_string().contains('n'));
+    }
+
+    #[test]
+    fn generator_and_explicit_forms_share_an_instance_id() {
+        let generated = ProblemSpec::MaxCutGnp { n: 8, instance: 3 }
+            .build()
+            .unwrap();
+        let explicit = ProblemSpec::MaxCut {
+            graph: paper_maxcut_instance(8, 3),
+        }
+        .build()
+        .unwrap();
+        assert_eq!(generated.instance_id, explicit.instance_id);
+        // A different instance index realises a different graph.
+        let other = ProblemSpec::MaxCutGnp { n: 8, instance: 4 }
+            .build()
+            .unwrap();
+        assert_ne!(generated.instance_id, other.instance_id);
+    }
+
+    #[test]
+    fn mixer_problem_compatibility_is_validated() {
+        let unconstrained = ProblemSpec::MaxCutGnp { n: 6, instance: 0 }
+            .build()
+            .unwrap();
+        let constrained = ProblemSpec::DensestKSubgraphGnp {
+            n: 6,
+            k: 3,
+            instance: 0,
+        }
+        .build()
+        .unwrap();
+        assert!(MixerSpec::TransverseField.build(&unconstrained).is_ok());
+        assert!(MixerSpec::TransverseField.build(&constrained).is_err());
+        assert!(MixerSpec::Clique.build(&unconstrained).is_err());
+        assert_eq!(MixerSpec::Clique.build(&constrained).unwrap().dim(), 20);
+        assert_eq!(MixerSpec::Grover.build(&constrained).unwrap().dim(), 20);
+        assert_eq!(MixerSpec::Grover.build(&unconstrained).unwrap().dim(), 64);
+    }
+
+    #[test]
+    fn oversized_problems_are_rejected() {
+        let err = ProblemSpec::MaxCutGnp {
+            n: MAX_QUBITS + 1,
+            instance: 0,
+        }
+        .build()
+        .unwrap_err();
+        assert!(err.contains("exceeds"));
+    }
+}

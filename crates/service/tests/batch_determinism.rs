@@ -1,0 +1,146 @@
+//! Batch determinism: a 64-job mixed workload (MaxCut / 3-SAT / Densest-k-Subgraph /
+//! Max-k-Vertex-Cover across all four mixers) executed through the parallel batch
+//! runner must reproduce, bit-for-bit, the results of running every job serially on a
+//! fresh engine — job results are pure functions of their specs, independent of
+//! scheduling, sharing and cache state.
+//!
+//! (Cross-process determinism at different `RAYON_NUM_THREADS` values is asserted by
+//! the CI smoke job, which runs the binary at 1 and many threads and diffs per-id
+//! energies; the env var is read once per process, so it cannot vary inside one test.)
+
+use juliqaoa_optim::RunControl;
+use juliqaoa_service::{
+    run_batch, Engine, JobResult, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn mixed_jobs(count: usize) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| {
+            let n = 7 + (i % 2); // n = 7 or 8
+            let instance = (i / 8) as u64;
+            let (problem, mixer) = match i % 4 {
+                0 => (
+                    ProblemSpec::MaxCutGnp { n, instance },
+                    MixerSpec::TransverseField,
+                ),
+                1 => (
+                    ProblemSpec::KSatRandom {
+                        n,
+                        k: 3,
+                        density: 4.0,
+                        instance,
+                    },
+                    MixerSpec::Grover,
+                ),
+                2 => (
+                    ProblemSpec::DensestKSubgraphGnp {
+                        n,
+                        k: n / 2,
+                        instance,
+                    },
+                    MixerSpec::Clique,
+                ),
+                _ => (
+                    ProblemSpec::MaxKVertexCoverGnp {
+                        n,
+                        k: n / 2,
+                        instance,
+                    },
+                    MixerSpec::Ring,
+                ),
+            };
+            let optimizer = match i % 3 {
+                0 => OptimizerSpec::BasinHopping {
+                    n_hops: 2,
+                    step_size: 0.6,
+                    temperature: 1.0,
+                },
+                1 => OptimizerSpec::GridSearch { resolution: 5 },
+                _ => OptimizerSpec::RandomRestart { restarts: 4 },
+            };
+            JobSpec {
+                id: format!("mix-{i}"),
+                problem,
+                mixer,
+                p: 1 + (i % 2),
+                optimizer,
+                seed: 0xD15C0 + i as u64,
+            }
+        })
+        .collect()
+}
+
+fn temp_out(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "juliqaoa_batch_det_{tag}_{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn read_results(path: &PathBuf) -> HashMap<String, JobResult> {
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str::<JobResult>(l).expect("parsable result line"))
+        .map(|r| (r.id.clone(), r))
+        .collect()
+}
+
+#[test]
+fn parallel_batch_matches_serial_reference_bit_for_bit() {
+    let jobs = mixed_jobs(64);
+
+    // Parallel batch through the public entry point.
+    let out = temp_out("par");
+    let _ = std::fs::remove_file(&out);
+    let engine = Engine::new(32);
+    let summary = run_batch(&engine, &jobs, &out, true).unwrap();
+    assert_eq!(summary.executed, 64);
+    assert_eq!(summary.failed, 0);
+    let batch_results = read_results(&out);
+    assert_eq!(batch_results.len(), 64);
+
+    // Serial reference: every job on its own cold engine (no sharing at all).
+    for spec in &jobs {
+        let reference = Engine::new(1)
+            .run_job(spec, &RunControl::new())
+            .expect("reference job runs");
+        let from_batch = &batch_results[&spec.id];
+        assert_eq!(
+            from_batch.expectation.to_bits(),
+            reference.expectation.to_bits(),
+            "job {} diverged between batch and serial runs",
+            spec.id
+        );
+        assert_eq!(from_batch.angles, reference.angles, "job {}", spec.id);
+        assert_eq!(from_batch.quality.to_bits(), reference.quality.to_bits());
+        assert_eq!(from_batch.function_evals, reference.function_evals);
+        assert_eq!(from_batch.status, "done");
+    }
+
+    // The mixed workload shares 8 jobs per instance-family index; the cache must have
+    // been exercised (misses = distinct (problem-kind, n, instance) combinations).
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits + stats.cache_misses, 64);
+    assert!(stats.cache_hits > 0, "workload must hit the cache");
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn rerunning_the_same_batch_is_idempotent_under_resume() {
+    let jobs = mixed_jobs(16);
+    let out = temp_out("rerun");
+    let _ = std::fs::remove_file(&out);
+    let first = run_batch(&Engine::new(16), &jobs, &out, true).unwrap();
+    assert_eq!(first.executed, 16);
+    let before = read_results(&out);
+    // Resume over a completed batch: nothing executes, nothing changes.
+    let second = run_batch(&Engine::new(16), &jobs, &out, true).unwrap();
+    assert_eq!(second.executed, 0);
+    assert_eq!(second.skipped, 16);
+    assert_eq!(read_results(&out), before);
+    let _ = std::fs::remove_file(&out);
+}

@@ -1,0 +1,224 @@
+//! End-to-end serve-mode test: a real `TcpListener` server driven over raw sockets —
+//! submit, poll, fetch result, metrics, error paths, graceful shutdown.
+
+use juliqaoa_service::{
+    JobResult, JobSpec, JobStatusBody, MetricsBody, MixerSpec, OptimizerSpec, ProblemSpec, Server,
+    ServerConfig,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn sample_spec(id: &str) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        problem: ProblemSpec::MaxCutGnp { n: 7, instance: 0 },
+        mixer: MixerSpec::TransverseField,
+        p: 1,
+        optimizer: OptimizerSpec::GridSearch { resolution: 8 },
+        seed: 11,
+    }
+}
+
+fn poll_until_done(addr: SocketAddr, id: &str) -> JobStatusBody {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), None);
+        assert_eq!(status, 200, "status poll failed: {body}");
+        let parsed: JobStatusBody = serde_json::from_str(&body).expect("status json");
+        match parsed.status.as_str() {
+            "done" | "failed" | "cancelled" => return parsed,
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[test]
+fn full_job_lifecycle_over_http() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 8,
+        results_path: None,
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Liveness.
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+
+    // Bad JSON is a 400, unknown endpoints 404, unknown jobs 404.
+    let (status, _) = request(addr, "POST", "/jobs", Some("not json"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/jobs/ghost", None);
+    assert_eq!(status, 404);
+
+    // Submit a job and run it to completion.
+    let spec = sample_spec("e2e-1");
+    let spec_json = serde_json::to_string(&spec).unwrap();
+    let (status, body) = request(addr, "POST", "/jobs", Some(&spec_json));
+    assert_eq!(status, 202, "submit failed: {body}");
+    let accepted: JobStatusBody = serde_json::from_str(&body).unwrap();
+    assert_eq!(accepted.id, "e2e-1");
+
+    // Duplicate ids are rejected while the first job exists.
+    let (status, _) = request(addr, "POST", "/jobs", Some(&spec_json));
+    assert_eq!(status, 409);
+
+    let final_status = poll_until_done(addr, "e2e-1");
+    assert_eq!(final_status.status, "done");
+    assert!(final_status.progress_total > 0);
+    assert_eq!(final_status.progress_done, final_status.progress_total);
+
+    // Fetch the result and cross-check against a direct engine run (the API must not
+    // change the physics).
+    let (status, body) = request(addr, "GET", "/jobs/e2e-1/result", None);
+    assert_eq!(status, 200);
+    let result: JobResult = serde_json::from_str(&body).expect("result json");
+    let reference = juliqaoa_service::Engine::new(1)
+        .run_job(&spec, &juliqaoa_optim::RunControl::new())
+        .unwrap();
+    assert_eq!(
+        result.expectation.to_bits(),
+        reference.expectation.to_bits()
+    );
+    assert_eq!(result.angles, reference.angles);
+
+    // A second identical-instance job should be a cache hit, visible in metrics.
+    let mut spec2 = sample_spec("e2e-2");
+    spec2.seed = 12;
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(&serde_json::to_string(&spec2).unwrap()),
+    );
+    assert_eq!(status, 202);
+    poll_until_done(addr, "e2e-2");
+
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
+    assert_eq!(metrics.jobs_submitted, 2);
+    assert_eq!(metrics.done, 2);
+    assert_eq!(metrics.engine.cache_misses, 1);
+    assert_eq!(metrics.engine.cache_hits, 1);
+    assert_eq!(metrics.cached_instances, 1);
+
+    // Result of an unfinished/unknown state is a 409/404, not a hang: use a fresh id.
+    let (status, _) = request(addr, "GET", "/jobs/e2e-1/result", None);
+    assert_eq!(status, 200, "finished results stay fetchable");
+
+    // Invalid specs are rejected at submission time.
+    let mut bad = sample_spec("bad");
+    bad.mixer = MixerSpec::Clique; // incompatible with unconstrained MaxCut
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(&serde_json::to_string(&bad).unwrap()),
+    );
+    assert_eq!(status, 400, "expected rejection, got: {body}");
+
+    // Graceful shutdown.
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn queue_overflow_returns_429_and_cancellation_works() {
+    // One worker and a tiny queue: hold the worker busy with slow jobs, overflow the
+    // queue, then cancel a queued job.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 2,
+        cache_capacity: 8,
+        results_path: None,
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Slow-ish jobs: enough restarts that the queue backs up behind the single worker.
+    let slow = |id: &str, seed: u64| {
+        let mut spec = sample_spec(id);
+        spec.p = 3;
+        spec.seed = seed;
+        spec.optimizer = OptimizerSpec::RandomRestart { restarts: 60 };
+        serde_json::to_string(&spec).unwrap()
+    };
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for i in 0..8 {
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/jobs",
+            Some(&slow(&format!("q{i}"), i as u64)),
+        );
+        match status {
+            202 => accepted.push(format!("q{i}")),
+            429 => rejected += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(rejected > 0, "tiny queue must overflow");
+    assert!(accepted.len() >= 2, "some jobs must be accepted");
+
+    // Cancel the last accepted job; it must reach a terminal state quickly.
+    let last = accepted.last().unwrap().clone();
+    let (status, _) = request(addr, "POST", &format!("/jobs/{last}/cancel"), None);
+    assert_eq!(status, 200);
+    let final_status = poll_until_done(addr, &last);
+    assert!(
+        final_status.status == "cancelled" || final_status.status == "done",
+        "cancelled job ended as {}",
+        final_status.status
+    );
+
+    // Drain the rest so shutdown joins promptly.
+    for id in &accepted {
+        poll_until_done(addr, id);
+    }
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+}

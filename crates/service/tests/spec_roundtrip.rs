@@ -1,0 +1,95 @@
+//! Property test: job specs survive a JSON round-trip bit-exactly.
+//!
+//! Samples specs across every problem kind, mixer, optimizer and a wide seed range,
+//! serialises to JSON, parses back, and compares structurally (including every float).
+
+use juliqaoa_service::{JobFile, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec};
+use proptest::prelude::*;
+
+/// Builds the `variant`-th problem spec from sampled parameters.
+fn problem_from(variant: usize, n: usize, k: usize, density: f64, instance: u64) -> ProblemSpec {
+    match variant % 5 {
+        0 => ProblemSpec::MaxCutGnp { n, instance },
+        1 => ProblemSpec::KSatRandom {
+            n,
+            k,
+            density,
+            instance,
+        },
+        2 => ProblemSpec::DensestKSubgraphGnp { n, k, instance },
+        3 => ProblemSpec::MaxKVertexCoverGnp { n, k, instance },
+        // Explicit-instance form: realise the generated graph into an edge list.
+        _ => ProblemSpec::MaxCut {
+            graph: juliqaoa_problems::paper_maxcut_instance(n, instance),
+        },
+    }
+}
+
+fn mixer_from(variant: usize, constrained: bool) -> MixerSpec {
+    if constrained {
+        [MixerSpec::Grover, MixerSpec::Clique, MixerSpec::Ring][variant % 3]
+    } else {
+        [MixerSpec::TransverseField, MixerSpec::Grover][variant % 2]
+    }
+}
+
+fn optimizer_from(variant: usize, units: usize, step: f64) -> OptimizerSpec {
+    match variant % 3 {
+        0 => OptimizerSpec::RandomRestart {
+            restarts: units.max(1),
+        },
+        1 => OptimizerSpec::BasinHopping {
+            n_hops: units,
+            step_size: step,
+            temperature: step * 2.0,
+        },
+        _ => OptimizerSpec::GridSearch {
+            resolution: units.max(1),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn job_spec_round_trips_through_json(
+        problem_variant in 0usize..5,
+        mixer_variant in 0usize..6,
+        optimizer_variant in 0usize..3,
+        n in 4usize..12,
+        k_frac in 0.1..0.9f64,
+        density in 0.5..8.0f64,
+        instance in 0u64..1000,
+        p in 1usize..6,
+        units in 1usize..40,
+        step in 0.01..2.0f64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n);
+        let problem = problem_from(problem_variant, n, k, density, instance);
+        let constrained = matches!(
+            problem,
+            ProblemSpec::DensestKSubgraphGnp { .. } | ProblemSpec::MaxKVertexCoverGnp { .. }
+        );
+        let spec = JobSpec {
+            id: format!("prop-{problem_variant}-{instance}-{seed:x}"),
+            problem,
+            mixer: mixer_from(mixer_variant, constrained),
+            p,
+            optimizer: optimizer_from(optimizer_variant, units, step),
+            seed,
+        };
+
+        // Single-spec round trip, compact form.
+        let json = serde_json::to_string(&spec).expect("serialises");
+        let back: JobSpec = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(&back, &spec);
+
+        // Whole-file round trip, pretty form (the shape batch mode reads).
+        let file = JobFile { jobs: vec![spec] };
+        let pretty = serde_json::to_string_pretty(&file).expect("serialises");
+        let back: JobFile = serde_json::from_str(&pretty).expect("parses");
+        prop_assert_eq!(back, file);
+    }
+}
