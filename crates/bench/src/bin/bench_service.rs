@@ -1,34 +1,49 @@
 //! Service throughput snapshot: jobs/sec through the batch engine at n = 16, written
 //! to `BENCH_service.json`.
 //!
-//! Two workloads are measured, separating engine overhead from cache value:
+//! Three workloads are measured, separating engine overhead from cache value:
 //!
 //! 1. **hot-cache** — many jobs over a handful of instances (the serving steady state:
 //!    clients sweep seeds/optimizers over shared problems);
 //! 2. **cold-cache** — every job on a distinct instance (worst case: each job pays the
-//!    full `2ⁿ` pre-computation).
+//!    full `2ⁿ` pre-computation);
+//! 3. **hot-cache-mt** — the hot workload under a forced multi-thread rayon pool,
+//!    executed in a child process (the thread count is latched per process), so the
+//!    snapshot records how sharded batch execution behaves beyond one worker.
+//!
+//! Every row records the rayon thread count it ran under; the snapshot also records
+//! the effective `JULIQAOA_PAR_THRESHOLD` so kernel-parallelism behaviour is
+//! reproducible from the JSON alone.
 //!
 //! Usage: `cargo run --release -p juliqaoa_bench --bin bench_service [output.json]`
 
 use juliqaoa_service::{run_batch, Engine, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Serialize)]
+/// Thread count forced (via `RAYON_NUM_THREADS` in a child process) for the
+/// multi-threaded workload row.
+const MT_THREADS: usize = 4;
+
+#[derive(Serialize, Deserialize)]
 struct WorkloadRow {
     label: String,
     n: usize,
+    threads: usize,
     jobs: usize,
     distinct_instances: usize,
     elapsed_s: f64,
     jobs_per_sec: f64,
     cache_hits: u64,
     cache_misses: u64,
+    prefix_hits: u64,
+    prefix_misses: u64,
 }
 
 #[derive(Serialize)]
 struct Snapshot {
     description: String,
     threads: usize,
+    par_threshold: usize,
     workloads: Vec<WorkloadRow>,
 }
 
@@ -64,45 +79,99 @@ fn run_workload(label: &str, n: usize, count: usize, distinct_instances: usize) 
     assert_eq!(summary.failed, 0, "benchmark jobs must not fail");
     let stats = engine.stats();
     let _ = std::fs::remove_file(&out);
-    println!(
-        "{label:>10}  n={n}  {count:>3} jobs over {distinct_instances:>3} instances  \
-         {:.2}s  {:.2} jobs/s  cache {}/{}",
+    eprintln!(
+        "{label:>12}  n={n}  {count:>3} jobs over {distinct_instances:>3} instances  \
+         {:.2}s  {:.2} jobs/s  cache {}/{}  prefix {}/{}",
         summary.elapsed_s,
         summary.jobs_per_sec,
         stats.cache_hits,
-        stats.cache_hits + stats.cache_misses
+        stats.cache_hits + stats.cache_misses,
+        stats.prefix_hits,
+        stats.prefix_hits + stats.prefix_misses,
     );
     WorkloadRow {
         label: label.to_string(),
         n,
+        threads: rayon::current_num_threads(),
         jobs: count,
         distinct_instances,
         elapsed_s: summary.elapsed_s,
         jobs_per_sec: summary.jobs_per_sec,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
+        prefix_hits: stats.prefix_hits,
+        prefix_misses: stats.prefix_misses,
     }
 }
 
+/// Re-runs this binary as a child with a forced `RAYON_NUM_THREADS` (the rayon thread
+/// count is latched on first use, so a different pool size needs its own process) and
+/// parses the single row the child prints on stdout.
+fn run_workload_in_child(
+    label: &str,
+    n: usize,
+    count: usize,
+    distinct_instances: usize,
+    threads: usize,
+) -> Option<WorkloadRow> {
+    let exe = std::env::current_exe().ok()?;
+    let output = std::process::Command::new(exe)
+        .env(
+            "BENCH_SERVICE_ROW_SPEC",
+            format!("{label}:{n}:{count}:{distinct_instances}"),
+        )
+        .env("RAYON_NUM_THREADS", threads.to_string())
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        eprintln!(
+            "child workload {label:?} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        return None;
+    }
+    serde_json::from_str(String::from_utf8_lossy(&output.stdout).trim()).ok()
+}
+
 fn main() {
+    // Child mode: run exactly one workload and print its row as JSON on stdout.
+    if let Ok(spec) = std::env::var("BENCH_SERVICE_ROW_SPEC") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        assert_eq!(parts.len(), 4, "row spec must be label:n:count:distinct");
+        let row = run_workload(
+            parts[0],
+            parts[1].parse().expect("n"),
+            parts[2].parse().expect("count"),
+            parts[3].parse().expect("distinct"),
+        );
+        println!("{}", serde_json::to_string(&row).expect("row serialises"));
+        return;
+    }
+
     let output = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_service.json".to_string());
 
     let n = 16;
-    let workloads = vec![
+    let mut workloads = vec![
         run_workload("hot-cache", n, 48, 4),
         run_workload("cold-cache", n, 24, 24),
     ];
+    match run_workload_in_child("hot-cache-mt", n, 48, 4, MT_THREADS) {
+        Some(row) => workloads.push(row),
+        None => eprintln!("skipping multi-threaded row (child run failed)"),
+    }
 
     let snapshot = Snapshot {
         description: format!(
-            "qaoa-service batch throughput at n = {n} (p = 1 MaxCut, 2-hop basin hopping)"
+            "qaoa-service batch throughput at n = {n} (p = 1 MaxCut, 2-hop basin hopping); \
+             per-row `threads` is the rayon pool the row ran under"
         ),
         threads: rayon::current_num_threads(),
+        par_threshold: juliqaoa_linalg::par_threshold(),
         workloads,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialise snapshot");
     std::fs::write(&output, json).expect("write snapshot");
-    println!("wrote {output}");
+    eprintln!("wrote {output}");
 }

@@ -1,0 +1,251 @@
+//! Sweep-level prefix-reuse snapshot: grid searches and finite-difference gradients
+//! with and without `PrefixCache` suffix replay, written to `BENCH_sweep.json`.
+//!
+//! The cached and the cold paths must return **byte-identical** best points (the
+//! cache's contract is "same kernels, same reduction order, just skipped rounds");
+//! this binary asserts that on every row before recording the timing.
+//!
+//! Usage:
+//!   `cargo run --release -p juliqaoa_bench --bin bench_sweep [output.json] [--smoke]`
+//!
+//! `--smoke` runs a tiny configuration for CI: it additionally asserts that prefix
+//! reuse is not slower than full re-evolution (speedup ≥ 1).
+
+use juliqaoa_bench::instances::paper_maxcut_instance;
+use juliqaoa_core::{Angles, PrefixStats, Simulator};
+use juliqaoa_mixers::Mixer;
+use juliqaoa_optim::{
+    grid_search_ordered, qaoa_axis_order, GradientMethod, Objective, OptimizeResult,
+    PrefixCacheHome, QaoaObjective, RunControl,
+};
+use juliqaoa_problems::{precompute_full, MaxCut};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct GridRow {
+    n: usize,
+    p: usize,
+    resolution: usize,
+    points: usize,
+    full_reevolution_s: f64,
+    prefix_reuse_s: f64,
+    speedup: f64,
+    prefix_hits: u64,
+    prefix_misses: u64,
+    rounds_saved: u64,
+    tail_hits: u64,
+    best_point_identical: bool,
+}
+
+#[derive(Serialize)]
+struct GradientRow {
+    n: usize,
+    p: usize,
+    gradient_points: usize,
+    full_reevolution_s: f64,
+    prefix_reuse_s: f64,
+    speedup: f64,
+    gradients_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    description: String,
+    threads: usize,
+    par_threshold: usize,
+    grid_search: Vec<GridRow>,
+    finite_difference_gradient: Vec<GradientRow>,
+}
+
+fn simulator(n: usize) -> Simulator {
+    let graph = paper_maxcut_instance(n, 0);
+    let obj = precompute_full(&MaxCut::new(graph));
+    Simulator::new(obj, Mixer::transverse_field(n)).expect("consistent setup")
+}
+
+/// One ordered grid scan; `cached` toggles prefix reuse on the objective.
+fn scan(
+    sim: &Simulator,
+    p: usize,
+    resolution: usize,
+    cached: bool,
+) -> (OptimizeResult, f64, PrefixStats) {
+    let order = qaoa_axis_order(p);
+    let tau = 2.0 * std::f64::consts::PI;
+    let home = PrefixCacheHome::with_budget(juliqaoa_core::prefix::default_prefix_budget());
+    let started = Instant::now();
+    let res = grid_search_ordered(
+        || {
+            let obj = QaoaObjective::new(sim);
+            if cached {
+                obj.with_cache_home(&home)
+            } else {
+                obj.without_prefix_reuse()
+            }
+        },
+        2 * p,
+        0.0,
+        tau,
+        resolution,
+        &order,
+        &RunControl::new(),
+    );
+    (res, started.elapsed().as_secs_f64(), home.stats())
+}
+
+fn grid_row(sim: &Simulator, n: usize, p: usize, resolution: usize) -> GridRow {
+    let (cold, cold_s, _) = scan(sim, p, resolution, false);
+    let (warm, warm_s, stats) = scan(sim, p, resolution, true);
+    let identical = cold.value.to_bits() == warm.value.to_bits()
+        && cold.x.len() == warm.x.len()
+        && cold
+            .x
+            .iter()
+            .zip(warm.x.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        identical,
+        "prefix reuse changed the grid result at n={n} p={p} r={resolution}: \
+         {:?} vs {:?}",
+        cold.x, warm.x
+    );
+    let speedup = cold_s / warm_s;
+    eprintln!(
+        "grid  n={n:2} p={p} r={resolution:2} ({:>6} pts)  full {cold_s:7.3}s  \
+         prefix {warm_s:7.3}s  speedup {speedup:4.2}x  \
+         (hits {}, tail {}, rounds saved {})",
+        cold.function_evals, stats.hits, stats.tail_hits, stats.rounds_saved
+    );
+    GridRow {
+        n,
+        p,
+        resolution,
+        points: cold.function_evals,
+        full_reevolution_s: cold_s,
+        prefix_reuse_s: warm_s,
+        speedup,
+        prefix_hits: stats.hits,
+        prefix_misses: stats.misses,
+        rounds_saved: stats.rounds_saved,
+        tail_hits: stats.tail_hits,
+        best_point_identical: identical,
+    }
+}
+
+/// Central finite differences at a trail of points; the O(p) gradient the cache turns
+/// into suffix replays (each coordinate perturbation shares its leading rounds).
+fn gradient_row(sim: &Simulator, n: usize, p: usize, points: usize) -> GradientRow {
+    let eps = 1e-6;
+    let xs: Vec<Vec<f64>> = (0..points)
+        .map(|i| {
+            Angles::random(
+                p,
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i as u64),
+            )
+            .to_flat()
+        })
+        .collect();
+    let run = |cached: bool| -> (Vec<f64>, f64) {
+        let obj =
+            QaoaObjective::with_gradient_method(sim, GradientMethod::FiniteDifference { eps });
+        let mut obj = if cached {
+            obj
+        } else {
+            obj.without_prefix_reuse()
+        };
+        let mut grads = Vec::with_capacity(points * 2 * p);
+        let mut grad = vec![0.0; 2 * p];
+        let started = Instant::now();
+        for x in &xs {
+            let v = obj.value_and_gradient(x, &mut grad);
+            grads.push(v);
+            grads.extend_from_slice(&grad);
+        }
+        (grads, started.elapsed().as_secs_f64())
+    };
+    let (cold_grads, cold_s) = run(false);
+    let (warm_grads, warm_s) = run(true);
+    let identical = cold_grads.len() == warm_grads.len()
+        && cold_grads
+            .iter()
+            .zip(warm_grads.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        identical,
+        "prefix reuse changed an FD gradient at n={n} p={p}"
+    );
+    let speedup = cold_s / warm_s;
+    eprintln!(
+        "grad  n={n:2} p={p} ({points} points)        full {cold_s:7.3}s  \
+         prefix {warm_s:7.3}s  speedup {speedup:4.2}x"
+    );
+    GradientRow {
+        n,
+        p,
+        gradient_points: points,
+        full_reevolution_s: cold_s,
+        prefix_reuse_s: warm_s,
+        speedup,
+        gradients_identical: identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    // (n, p, resolution) grid scans and an (n, p, points) gradient trail.
+    let grid_configs: Vec<(usize, usize, usize)> = if smoke {
+        vec![(8, 3, 4)]
+    } else {
+        vec![(12, 2, 8), (12, 3, 5), (12, 4, 3)]
+    };
+    let grad_configs: Vec<(usize, usize, usize)> = if smoke {
+        vec![(8, 3, 20)]
+    } else {
+        vec![(12, 4, 40)]
+    };
+
+    let mut grid_rows = Vec::new();
+    for &(n, p, resolution) in &grid_configs {
+        let sim = simulator(n);
+        grid_rows.push(grid_row(&sim, n, p, resolution));
+    }
+    let mut grad_rows = Vec::new();
+    for &(n, p, points) in &grad_configs {
+        let sim = simulator(n);
+        grad_rows.push(gradient_row(&sim, n, p, points));
+    }
+
+    if smoke {
+        for row in &grid_rows {
+            assert!(
+                row.speedup >= 1.0,
+                "smoke: prefix reuse must not be slower (got {:.2}x at p={})",
+                row.speedup,
+                row.p
+            );
+        }
+    }
+
+    let snapshot = Snapshot {
+        description: "prefix-state reuse in angle sweeps: suffix-major grid search and \
+                      finite-difference gradients with PrefixCache suffix replay vs full \
+                      re-evolution (MaxCut G(n,0.5), transverse-field mixer); best points \
+                      and gradients asserted byte-identical between the two paths"
+            .to_string(),
+        threads: rayon::current_num_threads(),
+        par_threshold: juliqaoa_linalg::par_threshold(),
+        grid_search: grid_rows,
+        finite_difference_gradient: grad_rows,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    std::fs::write(&output, json).expect("snapshot file is writable");
+    eprintln!("wrote {output}");
+}

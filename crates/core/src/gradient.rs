@@ -15,6 +15,7 @@
 
 use crate::angles::Angles;
 use crate::error::QaoaError;
+use crate::prefix::PrefixCache;
 use crate::simulator::Simulator;
 use crate::workspace::Workspace;
 use juliqaoa_linalg::vector;
@@ -55,11 +56,36 @@ pub fn adjoint_gradient(
     angles: &Angles,
     ws: &mut Workspace,
 ) -> Result<AdjointGradient, QaoaError> {
-    let p = angles.p();
-    let obj = sim.objective_values();
-
     // Forward pass: ws.state = |β,γ⟩ (also validates the mixer schedule).
     sim.evolve_into(angles, ws)?;
+    adjoint_reverse_sweep(sim, angles, ws)
+}
+
+/// [`adjoint_gradient`] with a prefix-cached forward pass.
+///
+/// The common optimizer pattern evaluates the objective at a point and then asks for
+/// the gradient at the *same* point; routing the forward pass through the
+/// [`PrefixCache`] turns that second full evolution into a checkpoint restore.  The
+/// reverse sweep is untouched (it rolls the state back in place and never consults the
+/// cache), so the result is bit-identical to [`adjoint_gradient`].
+pub fn adjoint_gradient_cached(
+    sim: &Simulator,
+    angles: &Angles,
+    ws: &mut Workspace,
+    cache: &mut PrefixCache,
+) -> Result<AdjointGradient, QaoaError> {
+    sim.evolve_cached(angles, ws, cache)?;
+    adjoint_reverse_sweep(sim, angles, ws)
+}
+
+/// The shared reverse sweep: consumes `ws.state = |β,γ⟩` and produces the gradient.
+fn adjoint_reverse_sweep(
+    sim: &Simulator,
+    angles: &Angles,
+    ws: &mut Workspace,
+) -> Result<AdjointGradient, QaoaError> {
+    let p = angles.p();
+    let obj = sim.objective_values();
 
     // λ = C·ψ  and  E = ⟨ψ|C|ψ⟩.
     ws.lambda.copy_from_slice(&ws.state);

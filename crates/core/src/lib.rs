@@ -20,6 +20,9 @@
 //!   angle-finding outer loop.
 //! * [`gradient`] — the adjoint-mode analytic gradient of `⟨β,γ|C|β,γ⟩`, the stand-in
 //!   for the paper's Enzyme automatic differentiation (same `O(1)`-evaluations cost).
+//! * [`prefix::PrefixCache`] — per-round checkpoint statevectors for incremental
+//!   re-evolution: an angle sweep that only changes the deepest rounds resumes from
+//!   the shared prefix instead of replaying the whole circuit, bit-identically.
 //! * [`grover::CompressedGroverSimulator`] — the §2.4 fast path: Grover-mixer QAOA in the
 //!   compressed space of distinct objective values and degeneracies, enabling very large
 //!   `n`.
@@ -31,14 +34,16 @@ pub mod error;
 pub mod gradient;
 pub mod grover;
 pub mod multiangle;
+pub mod prefix;
 pub mod result;
 pub mod simulator;
 pub mod workspace;
 
 pub use angles::Angles;
 pub use error::QaoaError;
-pub use gradient::{adjoint_gradient, AdjointGradient};
+pub use gradient::{adjoint_gradient, adjoint_gradient_cached, AdjointGradient};
 pub use grover::CompressedGroverSimulator;
+pub use prefix::{PrefixCache, PrefixStats};
 pub use result::SimulationResult;
 pub use simulator::{InitialState, Simulator};
 pub use workspace::Workspace;

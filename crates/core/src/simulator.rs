@@ -14,11 +14,21 @@
 
 use crate::angles::Angles;
 use crate::error::QaoaError;
+use crate::prefix::PrefixCache;
 use crate::result::SimulationResult;
 use crate::workspace::Workspace;
 use juliqaoa_linalg::{vector, Complex64};
 use juliqaoa_mixers::Mixer;
 use juliqaoa_problems::PhaseClasses;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of simulator identity tokens (see [`Simulator::identity_token`]); 0 is the
+/// "unbound" sentinel of [`PrefixCache`], so tokens start at 1.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_token() -> u64 {
+    NEXT_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The state the QAOA starts from.
 #[derive(Clone, Debug)]
@@ -43,6 +53,10 @@ pub struct Simulator {
     mixers: Vec<Mixer>,
     initial_state: InitialState,
     dim: usize,
+    /// Identity token for prefix caching; refreshed by every construction and by every
+    /// mutation that changes what an evolution produces (kernel path, initial state).
+    /// Clones keep the token — they are bit-identical evaluators.
+    token: u64,
 }
 
 impl Simulator {
@@ -98,7 +112,17 @@ impl Simulator {
             mixers,
             initial_state: InitialState::Uniform,
             dim,
+            token: fresh_token(),
         })
+    }
+
+    /// An opaque id identifying this simulator's exact evaluation behaviour, used by
+    /// [`PrefixCache`] to detect when stored checkpoints belong to a different circuit.
+    /// Clones share the token; [`Simulator::with_dense_phases`] and
+    /// [`Simulator::with_initial_state`] refresh it because they change the produced
+    /// states (or their bit patterns).
+    pub fn identity_token(&self) -> u64 {
+        self.token
     }
 
     /// Disables phase-class compression, forcing the dense per-amplitude `cis` kernel.
@@ -109,6 +133,7 @@ impl Simulator {
     /// escape hatch.
     pub fn with_dense_phases(mut self) -> Self {
         self.phase_classes = None;
+        self.token = fresh_token();
         self
     }
 
@@ -146,6 +171,7 @@ impl Simulator {
             }
         }
         self.initial_state = init;
+        self.token = fresh_token();
         Ok(self)
     }
 
@@ -182,6 +208,11 @@ impl Simulator {
         Workspace::new(self.dim)
     }
 
+    /// Allocates a default-budget [`PrefixCache`] for [`Simulator::evolve_cached`].
+    pub fn prefix_cache(&self) -> PrefixCache {
+        PrefixCache::new()
+    }
+
     /// Writes the initial state into `state`.
     pub fn prepare_initial(&self, state: &mut [Complex64]) {
         assert_eq!(state.len(), self.dim);
@@ -212,6 +243,46 @@ impl Simulator {
         }
     }
 
+    /// Applies the phase separator `e^{-iγ H_C}` to `ws.state` (table-driven when the
+    /// objective compresses, dense `cis` otherwise).
+    fn apply_phase_separator(&self, gamma: f64, ws: &mut Workspace) {
+        match &self.phase_classes {
+            Some(classes) => {
+                vector::build_phase_table(classes.distinct_values(), gamma, &mut ws.phase_table);
+                vector::apply_phases_indexed(
+                    &mut ws.state,
+                    classes.class_indices(),
+                    &ws.phase_table,
+                );
+            }
+            None => vector::apply_phases(&mut ws.state, &self.obj_vals, gamma),
+        }
+    }
+
+    /// Applies one full QAOA round (phase separator, then mixer) to `ws.state`.
+    ///
+    /// This is the single round kernel shared by the cold and the prefix-cached
+    /// evolution paths, which is what makes the two bit-identical: a resumed
+    /// evaluation runs exactly these operations on a byte copy of the state a cold
+    /// evaluation would have reached.
+    fn apply_round_kernels(&self, gamma: f64, beta: f64, mixer: &Mixer, ws: &mut Workspace) {
+        if let (Some(classes), Mixer::Grover(grover)) = (&self.phase_classes, mixer) {
+            // Fused GM-QAOA round: one cis per distinct objective value, and the
+            // phase sweep also accumulates the amplitude sum the Grover rank-1
+            // update needs — two passes over the state instead of three.
+            vector::build_phase_table(classes.distinct_values(), gamma, &mut ws.phase_table);
+            let sum = vector::apply_phases_indexed_sum(
+                &mut ws.state,
+                classes.class_indices(),
+                &ws.phase_table,
+            );
+            grover.apply_evolution_with_sum(beta, &mut ws.state, sum);
+        } else {
+            self.apply_phase_separator(gamma, ws);
+            mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+        }
+    }
+
     /// Evolves the initial state through all `p` rounds, leaving `|β,γ⟩` in `ws.state`.
     ///
     /// With a compressible objective each round's phase separator is table-driven
@@ -224,45 +295,186 @@ impl Simulator {
         ws.resize(self.dim);
         self.prepare_initial(&mut ws.state);
         let p = angles.p();
-        match &self.phase_classes {
-            Some(classes) => {
-                let class_idx = classes.class_indices();
-                for round in 0..p {
-                    let (gamma, beta) = angles.round(round);
-                    let mixer = self.mixer_for_round(round, p)?;
-                    // One cis per distinct objective value, into the reusable table.
-                    vector::build_phase_table(
-                        classes.distinct_values(),
-                        gamma,
-                        &mut ws.phase_table,
-                    );
-                    if let Mixer::Grover(grover) = mixer {
-                        // Fused GM-QAOA round: the phase sweep also accumulates the
-                        // amplitude sum the Grover rank-1 update needs.
-                        let sum = vector::apply_phases_indexed_sum(
-                            &mut ws.state,
-                            class_idx,
-                            &ws.phase_table,
-                        );
-                        grover.apply_evolution_with_sum(beta, &mut ws.state, sum);
-                    } else {
-                        vector::apply_phases_indexed(&mut ws.state, class_idx, &ws.phase_table);
-                        mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+        for round in 0..p {
+            let (gamma, beta) = angles.round(round);
+            let mixer = self.mixer_for_round(round, p)?;
+            self.apply_round_kernels(gamma, beta, mixer, ws);
+        }
+        Ok(())
+    }
+
+    /// [`Simulator::evolve_into`] with prefix-state reuse: when the leading rounds of
+    /// `angles` agree bit-for-bit with what `cache` recorded from earlier evaluations
+    /// of this simulator, the evolution resumes from the deepest matching checkpoint
+    /// instead of round 0.
+    ///
+    /// The result in `ws.state` is **bit-identical** to a cold [`Simulator::evolve_into`]
+    /// — same kernels, same reduction order, just skipped rounds (see
+    /// [`PrefixCache`] for the invalidation rule).  The cache is bound to this
+    /// simulator's [`Simulator::identity_token`]; handing it a cache last used with a
+    /// different simulator clears it rather than replaying foreign checkpoints.
+    pub fn evolve_cached(
+        &self,
+        angles: &Angles,
+        ws: &mut Workspace,
+        cache: &mut PrefixCache,
+    ) -> Result<(), QaoaError> {
+        cache.bind(self.token, self.dim);
+        let k = cache.matching_rounds(angles);
+        self.evolve_from_round(k, angles, ws, cache)
+    }
+
+    /// Resumes the evolution from the checkpoint holding the state after
+    /// `start_round` rounds and replays rounds `start_round..p`, recording new
+    /// checkpoints per the cache's write policy.
+    ///
+    /// Most callers want [`Simulator::evolve_cached`], which picks the deepest usable
+    /// `start_round` automatically.
+    ///
+    /// # Panics
+    /// Panics if `start_round` exceeds `angles.p()` or the cache's bit-matching
+    /// checkpoint prefix for these angles ([`PrefixCache`] docs).
+    pub fn evolve_from_round(
+        &self,
+        start_round: usize,
+        angles: &Angles,
+        ws: &mut Workspace,
+        cache: &mut PrefixCache,
+    ) -> Result<(), QaoaError> {
+        let p = angles.p();
+        assert!(start_round <= p, "cannot resume beyond the final round");
+        cache.bind(self.token, self.dim);
+        assert!(
+            start_round <= cache.matching_rounds(angles),
+            "no matching checkpoint for a resume at round {start_round}"
+        );
+        // Validate the mixer schedule up front: a resumed evaluation must fail
+        // exactly when the cold one would, even if every round is skipped.
+        if p > 0 {
+            self.mixer_for_round(p - 1, p)?;
+        }
+        ws.resize(self.dim);
+        let k = start_round;
+
+        if k == p {
+            // Full hit: the stored prefix covers every round.
+            if p == 0 {
+                self.prepare_initial(&mut ws.state);
+            } else {
+                ws.state.copy_from_slice(cache.state_after(p));
+                cache.record_hit(p, false);
+            }
+            cache.note_eval(angles);
+            return Ok(());
+        }
+
+        // Tail fast path: all but the final round match and the stored final-round
+        // sub-checkpoint matches the final γ — only the mixer's tail end replays.
+        if p > 0 && k == p - 1 {
+            let (gamma, beta) = angles.round(p - 1);
+            let mixer = self.mixer_for_round(p - 1, p)?;
+            let mut served = false;
+            if let Some((kind, tail_state)) = cache.matching_tail(p - 1, gamma) {
+                match (kind, mixer) {
+                    (crate::prefix::TailKind::Eigenbasis, m) if m.eigenbasis_supported() => {
+                        ws.state.copy_from_slice(tail_state);
+                        m.evolve_from_eigenbasis(beta, &mut ws.state);
+                        served = true;
                     }
+                    (crate::prefix::TailKind::PostPhase { fused_sum }, Mixer::Grover(grover)) => {
+                        ws.state.copy_from_slice(tail_state);
+                        match fused_sum {
+                            // The fused table round already summed the amplitudes.
+                            Some(sum) => grover.apply_evolution_with_sum(beta, &mut ws.state, sum),
+                            // Dense path: the rank-1 update recomputes its sum with
+                            // the same kernel the cold evolution uses.
+                            None => grover.apply_evolution(beta, &mut ws.state),
+                        }
+                        served = true;
+                    }
+                    _ => {}
                 }
             }
-            None => {
-                for round in 0..p {
-                    let (gamma, beta) = angles.round(round);
-                    let mixer = self.mixer_for_round(round, p)?;
-                    // Phase separator e^{-iγ H_C}.
-                    vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
-                    // Mixer e^{-iβ H_M}.
-                    mixer.apply_evolution(beta, &mut ws.state, &mut ws.scratch);
+            if served {
+                cache.record_hit(p - 1, true);
+                cache.note_eval(angles);
+                return Ok(());
+            }
+        }
+
+        let write = cache.plan_writes(angles, k);
+        if write {
+            cache.truncate_to(k);
+        }
+        if k > 0 {
+            ws.state.copy_from_slice(cache.state_after(k));
+            cache.record_hit(k, false);
+        } else {
+            self.prepare_initial(&mut ws.state);
+            cache.record_miss();
+        }
+        for round in k..p {
+            let (gamma, beta) = angles.round(round);
+            let mixer = self.mixer_for_round(round, p)?;
+            let is_final = round + 1 == p;
+            if is_final && write && mixer.eigenbasis_supported() {
+                // Split the final round at the mixer eigenbasis so a β-only sweep
+                // can replay just the diagonal phase and the rotation back.
+                self.apply_phase_separator(gamma, ws);
+                mixer.to_eigenbasis(&mut ws.state);
+                cache.store_tail(round, gamma, crate::prefix::TailKind::Eigenbasis, &ws.state);
+                mixer.evolve_from_eigenbasis(beta, &mut ws.state);
+            } else if let (true, true, Mixer::Grover(grover)) = (is_final, write, mixer) {
+                // Grover final round: checkpoint straight after the phase separator
+                // so a β-only sweep replays just the rank-1 update.
+                let fused_sum = match &self.phase_classes {
+                    Some(classes) => {
+                        vector::build_phase_table(
+                            classes.distinct_values(),
+                            gamma,
+                            &mut ws.phase_table,
+                        );
+                        Some(vector::apply_phases_indexed_sum(
+                            &mut ws.state,
+                            classes.class_indices(),
+                            &ws.phase_table,
+                        ))
+                    }
+                    None => {
+                        vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
+                        None
+                    }
+                };
+                cache.store_tail(
+                    round,
+                    gamma,
+                    crate::prefix::TailKind::PostPhase { fused_sum },
+                    &ws.state,
+                );
+                match fused_sum {
+                    Some(sum) => grover.apply_evolution_with_sum(beta, &mut ws.state, sum),
+                    None => grover.apply_evolution(beta, &mut ws.state),
+                }
+            } else {
+                self.apply_round_kernels(gamma, beta, mixer, ws);
+                if write && !is_final {
+                    cache.push_checkpoint(gamma, beta, &ws.state);
                 }
             }
         }
         Ok(())
+    }
+
+    /// The expectation value with prefix-state reuse; bit-identical to
+    /// [`Simulator::expectation_with`] (see [`Simulator::evolve_cached`]).
+    pub fn expectation_cached(
+        &self,
+        angles: &Angles,
+        ws: &mut Workspace,
+        cache: &mut PrefixCache,
+    ) -> Result<f64, QaoaError> {
+        self.evolve_cached(angles, ws, cache)?;
+        Ok(vector::diagonal_expectation(&ws.state, &self.obj_vals))
     }
 
     /// The expectation value `⟨β,γ|C|β,γ⟩` using a caller-held workspace (the zero
@@ -542,6 +754,132 @@ mod tests {
             unfused.evolve_into(&angles, &mut ws_u).unwrap();
             assert!(juliqaoa_linalg::vector::max_abs_diff(&ws_f.state, &ws_u.state) < 1e-12);
         }
+    }
+
+    fn assert_states_bit_equal(a: &[Complex64], b: &[Complex64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_to_cold_evolution() {
+        // A suffix sweep over the deepest round's angles: after the first two
+        // evaluations the cache serves every point from checkpoints, and every state
+        // must still match a cold evolution bit-for-bit.
+        for mixer in [
+            Mixer::transverse_field(6),
+            Mixer::grover_full(6),
+            Mixer::PauliX(juliqaoa_mixers::PauliXMixer::uniform_products(6, &[1, 2])),
+        ] {
+            let (base, _) = maxcut_simulator(6);
+            let sim = Simulator::new(base.objective_values().to_vec(), mixer.clone()).unwrap();
+            let mut cache = sim.prefix_cache();
+            let mut ws_c = sim.workspace();
+            let mut ws_cold = sim.workspace();
+            let base_angles = Angles::random(3, &mut StdRng::seed_from_u64(31));
+            for step in 0..12 {
+                let mut flat = base_angles.to_flat();
+                // Vary β_3 fastest, γ_3 every 4 steps — the suffix-major sweep shape.
+                flat[2] += 0.1 * (step % 4) as f64;
+                flat[5] += 0.2 * (step / 4) as f64;
+                let angles = Angles::from_flat(&flat);
+                sim.evolve_cached(&angles, &mut ws_c, &mut cache).unwrap();
+                sim.evolve_into(&angles, &mut ws_cold).unwrap();
+                assert_states_bit_equal(&ws_c.state, &ws_cold.state);
+            }
+            let stats = cache.stats();
+            assert!(stats.hits >= 9, "{}: hits {}", mixer.name(), stats.hits);
+            if mixer.eigenbasis_supported() {
+                assert!(stats.tail_hits > 0, "{}: no tail hits", mixer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_full_repeat_and_divergence_match_cold() {
+        let (sim, _) = maxcut_simulator(6);
+        let mut cache = sim.prefix_cache();
+        let mut ws_c = sim.workspace();
+        let mut ws_cold = sim.workspace();
+        let a = Angles::random(4, &mut StdRng::seed_from_u64(5));
+        let mut b_flat = a.to_flat();
+        b_flat[0] += 0.5; // diverge at round 0: a complete miss
+        let b = Angles::from_flat(&b_flat);
+        for angles in [&a, &a, &b, &a, &b, &b] {
+            sim.evolve_cached(angles, &mut ws_c, &mut cache).unwrap();
+            sim.evolve_into(angles, &mut ws_cold).unwrap();
+            assert_states_bit_equal(&ws_c.state, &ws_cold.state);
+        }
+        // Expectations ride on the same state, so they are bit-identical too.
+        let e_c = sim.expectation_cached(&a, &mut ws_c, &mut cache).unwrap();
+        let e = sim.expectation_with(&a, &mut ws_cold).unwrap();
+        assert_eq!(e_c.to_bits(), e.to_bits());
+    }
+
+    #[test]
+    fn cache_bound_to_another_simulator_is_cleared_not_replayed() {
+        let (sim_a, _) = maxcut_simulator(6);
+        let graph = erdos_renyi(6, 0.5, &mut StdRng::seed_from_u64(77));
+        let sim_b = Simulator::new(
+            precompute_full(&MaxCut::new(graph)),
+            Mixer::transverse_field(6),
+        )
+        .unwrap();
+        assert_ne!(sim_a.identity_token(), sim_b.identity_token());
+        let angles = Angles::random(3, &mut StdRng::seed_from_u64(9));
+        let mut cache = sim_a.prefix_cache();
+        let mut ws = sim_a.workspace();
+        // Warm the cache on sim_a with two identical evaluations.
+        sim_a.evolve_cached(&angles, &mut ws, &mut cache).unwrap();
+        sim_a.evolve_cached(&angles, &mut ws, &mut cache).unwrap();
+        assert!(cache.stats().hits > 0);
+        // The same angles on sim_b must not reuse sim_a's checkpoints.
+        let mut ws_b = sim_b.workspace();
+        sim_b.evolve_cached(&angles, &mut ws_b, &mut cache).unwrap();
+        let mut ws_cold = sim_b.workspace();
+        sim_b.evolve_into(&angles, &mut ws_cold).unwrap();
+        assert_states_bit_equal(&ws_b.state, &ws_cold.state);
+        // Clones, by contrast, share the identity and may reuse.
+        let clone = sim_a.clone();
+        assert_eq!(clone.identity_token(), sim_a.identity_token());
+    }
+
+    #[test]
+    fn zero_budget_cache_still_gives_identical_results() {
+        let (sim, _) = maxcut_simulator(5);
+        let mut cache = PrefixCache::with_budget(0);
+        let mut ws_c = sim.workspace();
+        let mut ws_cold = sim.workspace();
+        let angles = Angles::random(3, &mut StdRng::seed_from_u64(3));
+        for _ in 0..3 {
+            sim.evolve_cached(&angles, &mut ws_c, &mut cache).unwrap();
+            sim.evolve_into(&angles, &mut ws_cold).unwrap();
+            assert_states_bit_equal(&ws_c.state, &ws_cold.state);
+        }
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.checkpoints(), 0);
+    }
+
+    #[test]
+    fn cached_schedule_mismatch_errors_like_cold() {
+        let n = 4;
+        let obj = vec![1.0; 1 << n];
+        let sim =
+            Simulator::with_mixers(obj, vec![Mixer::transverse_field(n), Mixer::grover_full(n)])
+                .unwrap();
+        let mut cache = sim.prefix_cache();
+        let mut ws = sim.workspace();
+        // Valid two-round evaluation warms the cache.
+        sim.evolve_cached(&Angles::zeros(2), &mut ws, &mut cache)
+            .unwrap();
+        // Three rounds is a schedule mismatch on the cached path too.
+        let err = sim
+            .evolve_cached(&Angles::zeros(3), &mut ws, &mut cache)
+            .unwrap_err();
+        assert!(matches!(err, QaoaError::MixerScheduleMismatch { .. }));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::grover::GroverMixer;
 use crate::pauli_x::PauliXMixer;
 use crate::xy::SubspaceMixer;
-use juliqaoa_linalg::{vector, walsh, Complex64};
+use juliqaoa_linalg::{walsh, Complex64};
 
 /// A pre-computed mixer Hamiltonian, ready to apply to a statevector.
 #[derive(Clone, Debug)]
@@ -76,17 +76,58 @@ impl Mixer {
     pub fn apply_evolution(&self, beta: f64, state: &mut [Complex64], scratch: &mut [Complex64]) {
         assert_eq!(state.len(), self.dim(), "state dimension mismatch");
         match self {
-            Mixer::PauliX(m) => {
-                // e^{-iβ f(X)} = H^{⊗n}·e^{-iβ f(Z)}·H^{⊗n}  (Eq. 2)
-                walsh::walsh_hadamard(state);
-                vector::apply_phases(state, m.eigenvalues(), beta);
-                walsh::walsh_hadamard(state);
+            Mixer::PauliX(_) => {
+                // e^{-iβ f(X)} = H^{⊗n}·e^{-iβ f(Z)}·H^{⊗n}  (Eq. 2), expressed as the
+                // two eigenbasis halves so prefix caches can checkpoint between them.
+                self.to_eigenbasis(state);
+                self.evolve_from_eigenbasis(beta, state);
             }
             Mixer::Grover(m) => m.apply_evolution(beta, state),
             Mixer::Subspace(m) => {
                 assert_eq!(scratch.len(), m.dim(), "scratch dimension mismatch");
                 m.apply_evolution(beta, state, scratch);
             }
+        }
+    }
+
+    /// Whether this mixer supports the split eigenbasis evolution
+    /// ([`Mixer::to_eigenbasis`] + [`Mixer::evolve_from_eigenbasis`]).
+    ///
+    /// True for Pauli-X product mixers, whose diagonalising transform `H^{⊗n}` is
+    /// fixed and cheap; the split lets a sweep over the *last* round's `β` checkpoint
+    /// the state after the rotation and replay only the diagonal phase plus the
+    /// rotation back.
+    pub fn eigenbasis_supported(&self) -> bool {
+        matches!(self, Mixer::PauliX(_))
+    }
+
+    /// Rotates the state into the mixer eigenbasis — the first half of
+    /// [`Mixer::apply_evolution`] for supported mixers.
+    ///
+    /// # Panics
+    /// Panics if [`Mixer::eigenbasis_supported`] is false or on dimension mismatch.
+    pub fn to_eigenbasis(&self, state: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim(), "state dimension mismatch");
+        match self {
+            Mixer::PauliX(_) => walsh::walsh_hadamard(state),
+            _ => panic!("{} does not support eigenbasis splitting", self.name()),
+        }
+    }
+
+    /// Completes `e^{-iβ H_M}` from an eigenbasis state: applies the diagonal phase
+    /// and rotates back.  `to_eigenbasis` followed by this call is bit-identical to
+    /// [`Mixer::apply_evolution`] for supported mixers.
+    ///
+    /// # Panics
+    /// Panics if [`Mixer::eigenbasis_supported`] is false or on dimension mismatch.
+    pub fn evolve_from_eigenbasis(&self, beta: f64, state: &mut [Complex64]) {
+        assert_eq!(state.len(), self.dim(), "state dimension mismatch");
+        match self {
+            Mixer::PauliX(m) => {
+                m.apply_diagonal_evolution(beta, state);
+                walsh::walsh_hadamard(state);
+            }
+            _ => panic!("{} does not support eigenbasis splitting", self.name()),
         }
     }
 
@@ -125,7 +166,7 @@ impl Mixer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use juliqaoa_linalg::vector::{fill_uniform, norm, normalize};
+    use juliqaoa_linalg::vector::{self, fill_uniform, norm, normalize};
 
     fn random_like_state(dim: usize) -> Vec<Complex64> {
         let mut v: Vec<Complex64> = (0..dim)
@@ -249,6 +290,31 @@ mod tests {
                 assert!((w[0] - w[1]).abs() < 1e-10, "{}", mixer.name());
             }
         }
+    }
+
+    #[test]
+    fn eigenbasis_split_is_bit_identical_to_whole_evolution() {
+        let mixer = Mixer::transverse_field(5);
+        assert!(mixer.eigenbasis_supported());
+        let dim = mixer.dim();
+        let orig = random_like_state(dim);
+        let beta = 1.137;
+        let mut whole = orig.clone();
+        let mut scratch = vec![Complex64::ZERO; dim];
+        mixer.apply_evolution(beta, &mut whole, &mut scratch);
+        let mut split = orig.clone();
+        mixer.to_eigenbasis(&mut split);
+        mixer.evolve_from_eigenbasis(beta, &mut split);
+        for (a, b) in whole.iter().zip(split.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn eigenbasis_split_is_unsupported_for_grover_and_subspace() {
+        assert!(!Mixer::grover_full(4).eigenbasis_supported());
+        assert!(!Mixer::clique(5, 2).eigenbasis_supported());
     }
 
     #[test]

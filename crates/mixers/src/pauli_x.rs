@@ -8,7 +8,50 @@
 //! once for all `2ⁿ` states; evolution afterwards is `H^{⊗n} · e^{-iβ·diag(λ)} · H^{⊗n}`.
 
 use juliqaoa_combinatorics::{bits, GosperIter};
+use juliqaoa_linalg::{vector, Complex64};
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Largest number of distinct eigenvalues for which the diagonal evolution takes the
+/// table-driven path; structured mixers (transverse field: `n + 1` values, uniform
+/// products: a few dozen) sit far below this, while an adversarial spectrum falls back
+/// to the dense per-amplitude `cis` sweep.
+const MAX_DIAG_CLASSES: usize = 1024;
+
+thread_local! {
+    /// Reusable per-thread phase table for the diagonal evolution, so the hot loop
+    /// allocates nothing after the first round on each thread.
+    static DIAG_TABLE: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Compression of the Hadamard-basis diagonal: the distinct eigenvalues plus a per-state
+/// index into them — the mixer-side analogue of the objective's phase classes.
+#[derive(Clone, Debug)]
+struct DiagClasses {
+    distinct: Vec<f64>,
+    index: Vec<u16>,
+}
+
+impl DiagClasses {
+    fn build(eigenvalues: &[f64]) -> Option<Self> {
+        let mut by_bits: HashMap<u64, u16> = HashMap::new();
+        let mut distinct = Vec::new();
+        let mut index = Vec::with_capacity(eigenvalues.len());
+        for &lambda in eigenvalues {
+            let next = distinct.len() as u16;
+            let k = *by_bits.entry(lambda.to_bits()).or_insert_with(|| {
+                distinct.push(lambda);
+                next
+            });
+            if distinct.len() > MAX_DIAG_CLASSES {
+                return None;
+            }
+            index.push(k);
+        }
+        Some(DiagClasses { distinct, index })
+    }
+}
 
 /// A single mixer term: a coefficient times a product of `X` operators over the qubits
 /// selected by `mask`.
@@ -29,6 +72,9 @@ pub struct PauliXMixer {
     /// `λ(z)` for every computational basis state `z`, i.e. the mixer eigenvalues in the
     /// Hadamard basis.  Length `2ⁿ`.
     eigenvalues: Vec<f64>,
+    /// Distinct-eigenvalue compression of the diagonal (`None` when the spectrum has
+    /// too many distinct values for the table path to pay).
+    diag_classes: Option<DiagClasses>,
 }
 
 impl PauliXMixer {
@@ -51,10 +97,12 @@ impl PauliXMixer {
             );
         }
         let eigenvalues = compute_eigenvalues(n, &terms);
+        let diag_classes = DiagClasses::build(&eigenvalues);
         PauliXMixer {
             n,
             terms,
             eigenvalues,
+            diag_classes,
         }
     }
 
@@ -109,6 +157,33 @@ impl PauliXMixer {
     /// The pre-computed Hadamard-basis eigenvalues `λ(z)`.
     pub fn eigenvalues(&self) -> &[f64] {
         &self.eigenvalues
+    }
+
+    /// Number of distinct eigenvalues when the diagonal is table-compressible.
+    pub fn distinct_eigenvalues(&self) -> Option<usize> {
+        self.diag_classes.as_ref().map(|c| c.distinct.len())
+    }
+
+    /// Applies `e^{-iβ·diag(λ)}` in the Hadamard basis.
+    ///
+    /// Table-driven when the spectrum compresses (one `cis` per distinct eigenvalue,
+    /// then a gather-multiply sweep); dense per-amplitude `cis` otherwise.  Both paths
+    /// multiply each amplitude by the same `cis(-β·λ(z))` expression, so they are
+    /// bit-identical.
+    pub fn apply_diagonal_evolution(&self, beta: f64, state: &mut [Complex64]) {
+        assert_eq!(
+            state.len(),
+            self.eigenvalues.len(),
+            "state dimension mismatch"
+        );
+        match &self.diag_classes {
+            Some(classes) => DIAG_TABLE.with(|cell| {
+                let mut table = cell.borrow_mut();
+                vector::build_phase_table(&classes.distinct, beta, &mut table);
+                vector::apply_phases_indexed(state, &classes.index, &table);
+            }),
+            None => vector::apply_phases(state, &self.eigenvalues, beta),
+        }
     }
 }
 
@@ -208,6 +283,30 @@ mod tests {
         for z in 0..8u64 {
             let expected = if z.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
             assert_eq!(m.eigenvalues()[z as usize], expected);
+        }
+    }
+
+    #[test]
+    fn transverse_field_diagonal_compresses_to_n_plus_one_values() {
+        let m = PauliXMixer::transverse_field(8);
+        assert_eq!(m.distinct_eigenvalues(), Some(9));
+    }
+
+    #[test]
+    fn diagonal_table_path_is_bit_identical_to_dense() {
+        let n = 6;
+        let m = PauliXMixer::transverse_field(n);
+        assert!(m.distinct_eigenvalues().is_some());
+        let beta = 0.7321;
+        let mut table_state: Vec<Complex64> = (0..1 << n)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut dense_state = table_state.clone();
+        m.apply_diagonal_evolution(beta, &mut table_state);
+        vector::apply_phases(&mut dense_state, m.eigenvalues(), beta);
+        for (a, b) in table_state.iter().zip(dense_state.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
     }
 

@@ -44,9 +44,11 @@ pub mod random_restart;
 pub use basinhopping::{basinhopping, basinhopping_with_control, BasinHoppingOptions};
 pub use bfgs::{bfgs, BfgsOptions};
 pub use control::RunControl;
-pub use gridsearch::{grid_search, grid_search_with_control};
+pub use gridsearch::{grid_search, grid_search_ordered, grid_search_with_control, qaoa_axis_order};
 pub use iterative::{find_angles, IterativeOptions, IterativeResult};
 pub use median::median_angles;
 pub use neldermead::{nelder_mead, NelderMeadOptions};
-pub use objective::{FnObjective, GradientMethod, Objective, OptimizeResult, QaoaObjective};
+pub use objective::{
+    FnObjective, GradientMethod, Objective, OptimizeResult, PrefixCacheHome, QaoaObjective,
+};
 pub use random_restart::{random_restart, random_restart_with_control, RandomRestartOptions};

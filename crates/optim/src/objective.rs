@@ -6,7 +6,11 @@
 //! every evaluation inside the optimization loop is allocation-free, and it counts
 //! evaluations so the benchmark harness can report costs.
 
-use juliqaoa_core::{adjoint_gradient, Angles, Simulator, Workspace};
+use juliqaoa_core::{
+    adjoint_gradient, adjoint_gradient_cached, Angles, PrefixCache, PrefixStats, Simulator,
+    Workspace,
+};
+use std::sync::Mutex;
 
 /// A real-valued function of a flat parameter vector, to be minimised.
 pub trait Objective {
@@ -163,12 +167,96 @@ pub enum GradientMethod {
     },
 }
 
+/// A parking slot through which a [`PrefixCache`] survives across the short-lived
+/// objectives an optimizer run creates.
+///
+/// The outer-loop drivers (`random_restart`, `grid_search`) build objectives through a
+/// per-worker factory and drop them when the run ends, which would discard the
+/// checkpoints a sweep accumulated.  A home outlives the run: objectives built with
+/// [`QaoaObjective::with_cache_home`] check a cache out of the home (or get a fresh
+/// one with the same budget) and return it — counters merged — when dropped.  After
+/// the optimizer returns, the caller reads the aggregated [`PrefixStats`] and can
+/// carry the cache to the next run over the same simulator (e.g. a job service keying
+/// caches by instance).
+///
+/// With several workers, only one objective gets the parked cache; the rest run with
+/// fresh caches whose checkpoints are merged back opportunistically (first returner
+/// wins).  Results are unaffected either way — prefix reuse is bit-identical.
+pub struct PrefixCacheHome {
+    slot: Mutex<Option<PrefixCache>>,
+    budget: usize,
+    stats: Mutex<PrefixStats>,
+}
+
+impl PrefixCacheHome {
+    /// A home seeded with an existing cache (typically checked out of a longer-lived
+    /// store between jobs).
+    pub fn new(cache: PrefixCache) -> Self {
+        let budget = cache.budget_bytes();
+        PrefixCacheHome {
+            slot: Mutex::new(Some(cache)),
+            budget,
+            stats: Mutex::new(PrefixStats::default()),
+        }
+    }
+
+    /// An empty home handing out fresh caches with the given byte budget.
+    pub fn with_budget(budget: usize) -> Self {
+        PrefixCacheHome {
+            slot: Mutex::new(None),
+            budget,
+            stats: Mutex::new(PrefixStats::default()),
+        }
+    }
+
+    /// Takes the parked cache, or a fresh one with the home's budget.
+    pub fn checkout(&self) -> PrefixCache {
+        self.slot
+            .lock()
+            .expect("prefix home poisoned")
+            .take()
+            .unwrap_or_else(|| PrefixCache::with_budget(self.budget))
+    }
+
+    /// Returns a cache to the home, merging its counters into the aggregate.  The
+    /// first cache back parks; later ones are dropped (their counters still count).
+    pub fn check_in(&self, mut cache: PrefixCache) {
+        let stats = cache.take_stats();
+        self.stats
+            .lock()
+            .expect("prefix home poisoned")
+            .absorb(stats);
+        let mut slot = self.slot.lock().expect("prefix home poisoned");
+        if slot.is_none() {
+            *slot = Some(cache);
+        }
+    }
+
+    /// Aggregated reuse counters across every objective that lived in this home.
+    pub fn stats(&self) -> PrefixStats {
+        *self.stats.lock().expect("prefix home poisoned")
+    }
+
+    /// Consumes the home, yielding the parked cache (if any objective returned one).
+    pub fn into_cache(self) -> Option<PrefixCache> {
+        self.slot.into_inner().expect("prefix home poisoned")
+    }
+}
+
 /// The (negated) QAOA expectation value as a minimisation objective.
+///
+/// Evaluations route through a [`PrefixCache`] by default, so sweeps whose
+/// consecutive points share leading rounds (grid scans with suffix-major axis order,
+/// finite-difference gradients, value-then-gradient pairs at one point) resume from
+/// checkpoints instead of re-evolving from round 0 — with bit-identical results.
+/// Disable with [`QaoaObjective::without_prefix_reuse`] to measure the cold path.
 pub struct QaoaObjective<'a> {
     sim: &'a Simulator,
     ws: Workspace,
     gradient_method: GradientMethod,
     evals: usize,
+    prefix: Option<PrefixCache>,
+    home: Option<&'a PrefixCacheHome>,
 }
 
 impl<'a> QaoaObjective<'a> {
@@ -185,7 +273,38 @@ impl<'a> QaoaObjective<'a> {
             sim,
             gradient_method,
             evals: 0,
+            prefix: Some(PrefixCache::new()),
+            home: None,
         }
+    }
+
+    /// Disables prefix-state reuse, forcing every evaluation to re-evolve from round 0.
+    /// Results are bit-identical either way; this exists for benchmarking the win and
+    /// as an escape hatch for memory-constrained sweeps.
+    pub fn without_prefix_reuse(mut self) -> Self {
+        self.prefix = None;
+        self.home = None;
+        self
+    }
+
+    /// Replaces the objective's prefix cache (e.g. one warmed by a previous run over
+    /// the same simulator).
+    pub fn with_prefix_cache(mut self, cache: PrefixCache) -> Self {
+        self.prefix = Some(cache);
+        self
+    }
+
+    /// Checks this objective's prefix cache out of `home`, returning it (with its
+    /// counters) when the objective is dropped — see [`PrefixCacheHome`].
+    pub fn with_cache_home(mut self, home: &'a PrefixCacheHome) -> Self {
+        self.prefix = Some(home.checkout());
+        self.home = Some(home);
+        self
+    }
+
+    /// The prefix cache's reuse counters so far (`None` when reuse is disabled).
+    pub fn prefix_stats(&self) -> Option<PrefixStats> {
+        self.prefix.as_ref().map(|c| c.stats())
     }
 
     /// The number of rounds `p` this objective's parameter vector describes is decided by
@@ -213,20 +332,26 @@ impl Objective for QaoaObjective<'_> {
     fn value(&mut self, x: &[f64]) -> f64 {
         self.evals += 1;
         let angles = Angles::from_flat(x);
-        -self
-            .sim
-            .expectation_with(&angles, &mut self.ws)
-            .expect("simulator and angles are mutually consistent")
+        let e = match self.prefix.as_mut() {
+            Some(cache) => self.sim.expectation_cached(&angles, &mut self.ws, cache),
+            None => self.sim.expectation_with(&angles, &mut self.ws),
+        };
+        -e.expect("simulator and angles are mutually consistent")
     }
 
     fn value_and_gradient(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
         let angles = Angles::from_flat(x);
         match self.gradient_method {
             GradientMethod::Adjoint => {
-                // One reverse sweep ≈ a small constant number of forward passes.
+                // One reverse sweep ≈ a small constant number of forward passes; the
+                // forward pass reuses any checkpoint prefix (commonly the full state
+                // from a just-evaluated value at the same point).
                 self.evals += 1;
-                let g = adjoint_gradient(self.sim, &angles, &mut self.ws)
-                    .expect("simulator and angles are mutually consistent");
+                let g = match self.prefix.as_mut() {
+                    Some(cache) => adjoint_gradient_cached(self.sim, &angles, &mut self.ws, cache),
+                    None => adjoint_gradient(self.sim, &angles, &mut self.ws),
+                }
+                .expect("simulator and angles are mutually consistent");
                 for (dst, src) in grad.iter_mut().zip(g.to_flat()) {
                     *dst = -src;
                 }
@@ -250,6 +375,14 @@ impl Objective for QaoaObjective<'_> {
 
     fn evaluations(&self) -> usize {
         self.evals
+    }
+}
+
+impl Drop for QaoaObjective<'_> {
+    fn drop(&mut self) {
+        if let (Some(home), Some(cache)) = (self.home, self.prefix.take()) {
+            home.check_in(cache);
+        }
     }
 }
 
@@ -334,6 +467,84 @@ mod tests {
         // Finite differences cost 1 + 2·dim simulations, adjoint costs 1.
         assert_eq!(adj.simulation_count(), 1);
         assert_eq!(fd.simulation_count(), 1 + 2 * flat.len());
+    }
+
+    #[test]
+    fn cached_and_uncached_objectives_are_bit_identical() {
+        let sim = small_sim();
+        let mut cached = QaoaObjective::new(&sim);
+        let mut cold = QaoaObjective::new(&sim).without_prefix_reuse();
+        let base = juliqaoa_core::Angles::random(3, &mut StdRng::seed_from_u64(8)).to_flat();
+        // A suffix sweep plus exact repeats: the cached objective takes checkpoint
+        // paths, the cold one re-evolves, and every value must match bit-for-bit.
+        for step in 0..10 {
+            let mut x = base.clone();
+            x[2] += 0.05 * (step % 5) as f64;
+            let a = cached.value(&x);
+            let b = cold.value(&x);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = cached.prefix_stats().expect("cache enabled");
+        assert!(stats.hits > 0, "sweep must reuse prefixes");
+        assert!(cold.prefix_stats().is_none());
+    }
+
+    #[test]
+    fn finite_difference_gradient_reuses_prefixes_bit_identically() {
+        let sim = small_sim();
+        let eps = 1e-6;
+        let mut cached =
+            QaoaObjective::with_gradient_method(&sim, GradientMethod::FiniteDifference { eps });
+        let mut cold =
+            QaoaObjective::with_gradient_method(&sim, GradientMethod::FiniteDifference { eps })
+                .without_prefix_reuse();
+        let x = juliqaoa_core::Angles::random(3, &mut StdRng::seed_from_u64(21)).to_flat();
+        let mut g_cached = vec![0.0; x.len()];
+        let mut g_cold = vec![0.0; x.len()];
+        let v_cached = cached.value_and_gradient(&x, &mut g_cached);
+        let v_cold = cold.value_and_gradient(&x, &mut g_cold);
+        assert_eq!(v_cached.to_bits(), v_cold.to_bits());
+        for (a, b) in g_cached.iter().zip(g_cold.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Perturbing one round at a time shares prefixes with neighbours.
+        let stats = cached.prefix_stats().expect("cache enabled");
+        assert!(stats.hits > 0, "FD gradient must reuse prefixes");
+    }
+
+    #[test]
+    fn adjoint_gradient_after_value_is_a_full_prefix_hit() {
+        let sim = small_sim();
+        let mut obj = QaoaObjective::new(&sim);
+        let x = juliqaoa_core::Angles::random(2, &mut StdRng::seed_from_u64(4)).to_flat();
+        let v = obj.value(&x);
+        let _ = obj.value(&x); // repeat: full hit
+        let mut g = vec![0.0; x.len()];
+        let vg = obj.value_and_gradient(&x, &mut g);
+        assert_eq!(v.to_bits(), vg.to_bits());
+        let stats = obj.prefix_stats().expect("cache enabled");
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn cache_home_round_trips_the_cache_and_aggregates_stats() {
+        let sim = small_sim();
+        let home = PrefixCacheHome::with_budget(1 << 20);
+        let x = juliqaoa_core::Angles::random(2, &mut StdRng::seed_from_u64(6)).to_flat();
+        {
+            let mut obj = QaoaObjective::new(&sim).with_cache_home(&home);
+            let _ = obj.value(&x);
+            let _ = obj.value(&x);
+        } // drop returns the cache
+        assert!(home.stats().hits >= 1);
+        {
+            // The next objective inherits the warmed cache: an immediate full hit.
+            let mut obj = QaoaObjective::new(&sim).with_cache_home(&home);
+            let _ = obj.value(&x);
+        }
+        let stats = home.stats();
+        assert!(stats.hits >= 2, "warm cache must survive the round trip");
+        assert!(home.into_cache().is_some());
     }
 
     #[test]

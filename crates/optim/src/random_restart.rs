@@ -50,7 +50,9 @@ impl Default for RandomRestartOptions {
 /// Runs BFGS from `restarts` random points in the box and returns the best minimum.
 ///
 /// `make_objective` builds one objective instance per worker (e.g. `||
-/// QaoaObjective::new(&sim)`), giving every thread its own workspace; candidates are
+/// QaoaObjective::new(&sim)`), giving every thread its own workspace — and, for QAOA
+/// objectives, its own prefix cache, so each worker's value→gradient pairs and
+/// finite-difference sweeps take the suffix-replay path independently; candidates are
 /// evaluated in parallel when there are enough of them.
 pub fn random_restart<O, F, R>(
     make_objective: F,

@@ -12,14 +12,25 @@
 //! [`Simulator::from_parts`], and drive the requested optimizer with the job's own
 //! seeded RNG — so a job's result is a pure function of its spec, independent of
 //! scheduling, thread count and cache state.
+//!
+//! Two caches sit under that statelessness, both transparent to results:
+//!
+//! 1. the **instance cache** above (objective vector + compression, keyed by
+//!    [`InstanceId`]);
+//! 2. the **simulator slot cache**: per `(instance, mixer)` pair, a shared
+//!    [`Simulator`] (so repeat jobs skip re-cloning the `2ⁿ` objective into a fresh
+//!    simulator) plus a parked [`PrefixCache`] whose per-round checkpoint statevectors
+//!    survive from one job to the next.  Prefix reuse is bit-identical by
+//!    construction, so the determinism guarantee is untouched.
 
 use crate::lru::LruCache;
-use crate::spec::{BuiltProblem, JobResult, JobSpec, OptimizerSpec};
+use crate::spec::{BuiltProblem, JobResult, JobSpec, MixerSpec, OptimizerSpec};
 use juliqaoa_combinatorics::DickeSubspace;
-use juliqaoa_core::{QaoaError, Simulator};
+use juliqaoa_core::{PrefixCache, QaoaError, Simulator};
 use juliqaoa_optim::{
-    basinhopping_with_control, grid_search_with_control, random_restart_with_control,
-    BasinHoppingOptions, OptimizeResult, QaoaObjective, RandomRestartOptions, RunControl,
+    basinhopping_with_control, grid_search_ordered, qaoa_axis_order, random_restart_with_control,
+    BasinHoppingOptions, OptimizeResult, PrefixCacheHome, QaoaObjective, RandomRestartOptions,
+    RunControl,
 };
 use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClasses};
 use rand::rngs::StdRng;
@@ -112,15 +123,43 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Instance-cache misses (pre-computations performed).
     pub cache_misses: u64,
+    /// Evaluations that resumed from a prefix checkpoint instead of round 0.
+    pub prefix_hits: u64,
+    /// Evaluations that ran cold (no usable checkpoint).
+    pub prefix_misses: u64,
+    /// Full QAOA rounds skipped thanks to prefix reuse.
+    pub prefix_rounds_saved: u64,
 }
 
-/// The shared execution engine: instance cache + counters.
+/// A shared simulator plus the parked prefix cache for one `(instance, mixer)` pair.
+struct SimSlot {
+    sim: Arc<Simulator>,
+    cache: Option<PrefixCache>,
+}
+
+/// The simulator-slot LRU: shared, individually locked slots per `(instance, mixer)`.
+type SimSlotCache = LruCache<(InstanceId, MixerSpec), Arc<Mutex<SimSlot>>>;
+
+/// Statevector-sized buffers a parked prefix cache may pin per slot.  The slot's LRU
+/// weight charges for this allowance up front, and [`Engine::run_job`] refuses to park
+/// a cache that has grown beyond it (deep-`p` sweeps simply restart cold next job), so
+/// the byte budget on the slot LRU reflects real resident memory.
+const PARKED_PREFIX_STATES: usize = 8;
+
+/// Bytes of one statevector element (`Complex64`).
+const STATE_ELEM_BYTES: usize = 16;
+
+/// The shared execution engine: instance cache, simulator slots and counters.
 pub struct Engine {
     cache: Mutex<LruCache<InstanceId, Arc<PreparedObjective>>>,
+    sims: Mutex<SimSlotCache>,
     jobs_executed: AtomicU64,
     jobs_failed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    prefix_hits: AtomicU64,
+    prefix_misses: AtomicU64,
+    prefix_rounds_saved: AtomicU64,
 }
 
 /// Default maximum number of cached instances.
@@ -141,11 +180,55 @@ impl Engine {
                 cache_capacity.max(1),
                 Some(DEFAULT_CACHE_BYTES),
             )),
+            sims: Mutex::new(LruCache::with_weight_budget(
+                cache_capacity.max(1),
+                Some(DEFAULT_CACHE_BYTES),
+            )),
             jobs_executed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            prefix_hits: AtomicU64::new(0),
+            prefix_misses: AtomicU64::new(0),
+            prefix_rounds_saved: AtomicU64::new(0),
         }
+    }
+
+    /// Fetches (or builds and caches) the shared simulator slot for a problem/mixer
+    /// pair.  The slot also parks the prefix cache between jobs so checkpoint
+    /// statevectors survive from one job to the next on the same instance.
+    fn simulator_slot(
+        &self,
+        problem: &BuiltProblem,
+        mixer_spec: &MixerSpec,
+        prepared: &PreparedObjective,
+    ) -> Result<Arc<Mutex<SimSlot>>, ServiceError> {
+        let key = (problem.instance_id, *mixer_spec);
+        if let Some(slot) = self.sims.lock().expect("sim cache lock poisoned").get(&key) {
+            return Ok(slot.clone());
+        }
+        // Build outside the lock, mirroring `prepare`: racing workers both build and
+        // the later insert wins; correctness is unaffected because prefix caches
+        // self-invalidate against a simulator they have never seen.
+        let mixer = mixer_spec.build(problem).map_err(ServiceError::Spec)?;
+        let sim = Simulator::from_parts(
+            prepared.values.clone(),
+            prepared.classes.clone(),
+            vec![mixer],
+        )?;
+        let slot = Arc::new(Mutex::new(SimSlot {
+            sim: Arc::new(sim),
+            cache: None,
+        }));
+        // Charge the simulator's own copy of the prepared data plus the checkpoint
+        // allowance a parked prefix cache may later pin (enforced at park time).
+        let weight = prepared.approx_bytes()
+            + (PARKED_PREFIX_STATES * prepared.values.len() * STATE_ELEM_BYTES) as u64;
+        self.sims
+            .lock()
+            .expect("sim cache lock poisoned")
+            .insert_weighted(key, slot.clone(), weight);
+        Ok(slot)
     }
 
     /// Fetches (or computes and caches) the pre-computation for a built problem.
@@ -182,12 +265,20 @@ impl Engine {
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            prefix_misses: self.prefix_misses.load(Ordering::Relaxed),
+            prefix_rounds_saved: self.prefix_rounds_saved.load(Ordering::Relaxed),
         }
     }
 
     /// Number of instances currently cached.
     pub fn cached_instances(&self) -> usize {
         self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Number of `(instance, mixer)` simulator slots currently cached.
+    pub fn cached_simulators(&self) -> usize {
+        self.sims.lock().expect("sim cache lock poisoned").len()
     }
 
     /// Executes one job to completion (or cancellation), returning its result.
@@ -215,12 +306,18 @@ impl Engine {
         }
         let problem = spec.problem.build().map_err(ServiceError::Spec)?;
         let (prepared, cache_hit) = self.prepare(&problem);
-        let mixer = spec.mixer.build(&problem).map_err(ServiceError::Spec)?;
-        let sim = Simulator::from_parts(
-            prepared.values.clone(),
-            prepared.classes.clone(),
-            vec![mixer],
-        )?;
+        let slot = self.simulator_slot(&problem, &spec.mixer, &prepared)?;
+        // Check the shared simulator and the parked prefix cache out of the slot.
+        // Concurrent jobs on the same slot share the simulator; only one gets the
+        // parked checkpoints, the rest start cold — results are identical either way.
+        let (sim, parked) = {
+            let mut slot = slot.lock().expect("sim slot poisoned");
+            (slot.sim.clone(), slot.cache.take())
+        };
+        let home = match parked {
+            Some(cache) => PrefixCacheHome::new(cache),
+            None => PrefixCacheHome::with_budget(juliqaoa_core::prefix::default_prefix_budget()),
+        };
 
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let dim = 2 * spec.p;
@@ -231,7 +328,7 @@ impl Engine {
                     return Err(ServiceError::Spec("restarts must be at least 1".into()));
                 }
                 random_restart_with_control(
-                    || QaoaObjective::new(&sim),
+                    || QaoaObjective::new(&sim).with_cache_home(&home),
                     dim,
                     &RandomRestartOptions {
                         restarts,
@@ -246,7 +343,7 @@ impl Engine {
                 step_size,
                 temperature,
             } => {
-                let mut objective = QaoaObjective::new(&sim);
+                let mut objective = QaoaObjective::new(&sim).with_cache_home(&home);
                 let x0: Vec<f64> = (0..dim)
                     .map(|_| rand::Rng::gen_range(&mut rng, 0.0..tau))
                     .collect();
@@ -275,16 +372,40 @@ impl Engine {
                         "grid of {points} points exceeds the 10^8 limit"
                     )));
                 }
-                grid_search_with_control(
-                    || QaoaObjective::new(&sim),
+                // Deepest round fastest: consecutive grid points share a (p−1)-round
+                // circuit prefix, which the objective's cache replays incrementally.
+                grid_search_ordered(
+                    || QaoaObjective::new(&sim).with_cache_home(&home),
                     dim,
                     0.0,
                     tau,
                     resolution,
+                    &qaoa_axis_order(spec.p),
                     control,
                 )
             }
         };
+
+        // Every objective has been dropped; fold its reuse counters into the engine
+        // and park the (possibly warmed) cache for the next job on this slot.
+        let pstats = home.stats();
+        self.prefix_hits.fetch_add(pstats.hits, Ordering::Relaxed);
+        self.prefix_misses
+            .fetch_add(pstats.misses, Ordering::Relaxed);
+        self.prefix_rounds_saved
+            .fetch_add(pstats.rounds_saved, Ordering::Relaxed);
+        if let Some(cache) = home.into_cache() {
+            // Park only caches within the allowance the slot's LRU weight paid for;
+            // an oversized cache (very deep p) is dropped rather than silently
+            // blowing past the byte budget.
+            let allowance = PARKED_PREFIX_STATES * sim.dim() * STATE_ELEM_BYTES;
+            if cache.bytes() <= allowance {
+                let mut slot = slot.lock().expect("sim slot poisoned");
+                if slot.cache.is_none() {
+                    slot.cache = Some(cache);
+                }
+            }
+        }
 
         let expectation = -res.value;
         let quality = if prepared.max > prepared.min {
@@ -379,6 +500,63 @@ mod tests {
             .unwrap();
         assert!(!other.cache_hit);
         assert_eq!(engine.cached_instances(), 2);
+    }
+
+    #[test]
+    fn repeat_jobs_share_the_simulator_slot_and_record_prefix_reuse() {
+        let engine = Engine::new(8);
+        let a = engine
+            .run_job(&quick_job("a", 0, 1), &RunControl::new())
+            .unwrap();
+        assert_eq!(engine.cached_simulators(), 1);
+        let b = engine
+            .run_job(&quick_job("b", 0, 2), &RunControl::new())
+            .unwrap();
+        // Different seeds explore different angles, but both jobs run on one shared
+        // simulator slot, and each job's value→gradient pairs reuse prefixes.
+        assert_eq!(engine.cached_simulators(), 1);
+        let stats = engine.stats();
+        assert!(
+            stats.prefix_hits > 0,
+            "optimizer evaluation patterns must produce prefix hits"
+        );
+        assert!(stats.prefix_hits + stats.prefix_misses > 0);
+        // A different mixer on the same instance gets its own slot.
+        let mut grover = quick_job("c", 0, 1);
+        grover.mixer = MixerSpec::Grover;
+        engine.run_job(&grover, &RunControl::new()).unwrap();
+        assert_eq!(engine.cached_simulators(), 2);
+        // Slot reuse never changes answers: same-seed re-runs stay bit-identical.
+        let a2 = engine
+            .run_job(&quick_job("a2", 0, 1), &RunControl::new())
+            .unwrap();
+        assert_eq!(a.expectation.to_bits(), a2.expectation.to_bits());
+        assert_eq!(a.angles, a2.angles);
+        drop(b);
+    }
+
+    #[test]
+    fn grid_jobs_reuse_prefixes_heavily() {
+        // Pin the scan serial (as batch/serve workers do): block-parallel scans give
+        // each worker its own cache, which would make the hit count depend on the
+        // host's core count instead of on the access pattern under test.
+        let _guard = juliqaoa_linalg::enter_outer_parallelism();
+        let engine = Engine::new(8);
+        let mut job = quick_job("grid", 0, 3);
+        job.p = 2;
+        job.optimizer = OptimizerSpec::GridSearch { resolution: 5 };
+        let res = engine.run_job(&job, &RunControl::new()).unwrap();
+        assert_eq!(res.function_evals, 625);
+        let stats = engine.stats();
+        // With the suffix-major axis order, the overwhelming majority of the 625
+        // points resume from a checkpoint.
+        assert!(
+            stats.prefix_hits > 500,
+            "expected heavy grid reuse, got {} hits / {} misses",
+            stats.prefix_hits,
+            stats.prefix_misses
+        );
+        assert!(stats.prefix_rounds_saved > 500);
     }
 
     #[test]

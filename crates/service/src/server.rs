@@ -216,7 +216,8 @@ pub struct MetricsBody {
     pub failed: u64,
     /// Instances currently in the cache.
     pub cached_instances: u64,
-    /// Engine counters (cache hits/misses, executed/failed jobs).
+    /// Engine counters (instance-cache hits/misses, prefix-cache hits/misses and
+    /// rounds saved, executed/failed jobs).
     pub engine: EngineStats,
 }
 

@@ -247,7 +247,7 @@ fn check_subspace(n: usize, k: usize) -> Result<(), String> {
 }
 
 /// The mixer family to pair with the problem; dimensions come from the problem.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MixerSpec {
     /// Transverse-field `Σ X_i` (unconstrained problems only).
     TransverseField,
