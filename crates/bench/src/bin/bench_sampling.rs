@@ -1,0 +1,161 @@
+//! Shot-sampling throughput snapshot, written to `BENCH_sampling.json`.
+//!
+//! Measures the two phases of the alias sampler separately per feasible-set
+//! dimension:
+//!
+//! * **build** — the O(dim) alias-table construction from a final statevector;
+//! * **draw**  — O(1)-per-shot batched sampling, serial and with the sharded rayon
+//!   fan-out.
+//!
+//! The headline claim is O(1) per shot: draw throughput (shots/sec) must stay flat
+//! as the dimension grows, with only the build cost scaling.  Every row also asserts
+//! the serial and parallel shard schedules produce **bit-identical** histograms (the
+//! sampler's determinism contract).
+//!
+//! Usage:
+//!   `cargo run --release -p juliqaoa_bench --bin bench_sampling [output.json] [--smoke]`
+//!
+//! `--smoke` runs a small configuration for CI and asserts the flat-throughput
+//! property (largest-dim draw rate within 5x of the smallest-dim rate — a loose
+//! bound that still fails if drawing ever becomes O(dim)).
+
+use juliqaoa_bench::instances::paper_maxcut_instance;
+use juliqaoa_core::{Angles, Simulator};
+use juliqaoa_mixers::Mixer;
+use juliqaoa_problems::{precompute_full, MaxCut};
+use juliqaoa_sampling::{SampleState, StateSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    dim: usize,
+    shots: u64,
+    build_s: f64,
+    draw_serial_s: f64,
+    draw_parallel_s: f64,
+    shots_per_sec_serial: f64,
+    shots_per_sec_parallel: f64,
+    parallel_speedup: f64,
+    histograms_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    description: String,
+    threads: usize,
+    par_threshold: usize,
+    shot_shard_size: u64,
+    rows: Vec<Row>,
+}
+
+fn sampler_for(n: usize) -> StateSampler {
+    let obj = precompute_full(&MaxCut::new(paper_maxcut_instance(n, 0)));
+    let sim = Simulator::new(obj, Mixer::transverse_field(n)).expect("consistent setup");
+    let angles = Angles::random(2, &mut StdRng::seed_from_u64(7));
+    let result = sim.simulate(&angles).expect("simulation succeeds");
+    // Time only the draw below; this warms everything up to the final state.
+    result.sampler(0xBE2C)
+}
+
+fn row(n: usize, shots: u64) -> Row {
+    let obj = precompute_full(&MaxCut::new(paper_maxcut_instance(n, 0)));
+    let sim = Simulator::new(obj, Mixer::transverse_field(n)).expect("consistent setup");
+    let angles = Angles::random(2, &mut StdRng::seed_from_u64(7));
+    let result = sim.simulate(&angles).expect("simulation succeeds");
+
+    let started = Instant::now();
+    let sampler = result.sampler(0xBE2C);
+    let build_s = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let serial = sampler.sample_counts_with_parallelism(shots, false);
+    let draw_serial_s = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let parallel = sampler.sample_counts_with_parallelism(shots, true);
+    let draw_parallel_s = started.elapsed().as_secs_f64();
+
+    let identical = serial == parallel;
+    assert!(
+        identical,
+        "shard fan-out changed the histogram at n={n} — determinism contract broken"
+    );
+
+    let row = Row {
+        n,
+        dim: sampler.dim(),
+        shots,
+        build_s,
+        draw_serial_s,
+        draw_parallel_s,
+        shots_per_sec_serial: shots as f64 / draw_serial_s,
+        shots_per_sec_parallel: shots as f64 / draw_parallel_s,
+        parallel_speedup: draw_serial_s / draw_parallel_s,
+        histograms_identical: identical,
+    };
+    eprintln!(
+        "n={n:2} dim={:>8}  build {:8.2}ms  draw {:>7.1}k shots: serial {:8.2}ms \
+         ({:>6.1}M/s)  parallel {:8.2}ms ({:>6.1}M/s, {:4.2}x)",
+        row.dim,
+        row.build_s * 1e3,
+        shots as f64 / 1e3,
+        row.draw_serial_s * 1e3,
+        row.shots_per_sec_serial / 1e6,
+        row.draw_parallel_s * 1e3,
+        row.shots_per_sec_parallel / 1e6,
+        row.parallel_speedup,
+    );
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sampling.json".to_string());
+
+    let (ns, shots): (Vec<usize>, u64) = if smoke {
+        (vec![6, 10, 14], 1 << 18)
+    } else {
+        (vec![8, 12, 16, 18, 20], 1 << 21)
+    };
+
+    // Warm the thread pool / allocator off the clock.
+    let _ = sampler_for(6).sample_counts(1 << 12);
+
+    let rows: Vec<Row> = ns.iter().map(|&n| row(n, shots)).collect();
+
+    if smoke {
+        // O(1)-per-shot: the draw rate must be flat in dim.  5x covers cache effects
+        // on CI boxes while still catching an O(dim) regression (the smoke dims span
+        // a 256x dimension range).
+        let first = rows.first().expect("rows non-empty").shots_per_sec_serial;
+        let last = rows.last().expect("rows non-empty").shots_per_sec_serial;
+        assert!(
+            last * 5.0 >= first,
+            "draw throughput collapsed with dimension: {first:.0} -> {last:.0} shots/s"
+        );
+    }
+
+    let snapshot = Snapshot {
+        description: "alias-method shot sampling from QAOA final states (MaxCut G(n,0.5), \
+                      transverse-field mixer, p=2): O(dim) table build vs O(1)-per-shot \
+                      draw, serial vs sharded-parallel batching; histograms asserted \
+                      bit-identical across shard schedules"
+            .to_string(),
+        threads: rayon::current_num_threads(),
+        par_threshold: juliqaoa_linalg::par_threshold(),
+        shot_shard_size: juliqaoa_sampling::SHOT_SHARD_SIZE,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    std::fs::write(&output, json).expect("snapshot file is writable");
+    eprintln!("wrote {output}");
+}

@@ -63,6 +63,7 @@ fn jobs_for(n: usize, count: usize, distinct_instances: usize) -> Vec<JobSpec> {
                 temperature: 1.0,
             },
             seed: i as u64,
+            sampling: None,
         })
         .collect()
 }

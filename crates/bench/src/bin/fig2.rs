@@ -119,6 +119,7 @@ fn emit_jobs(cfg: &Config, path: &str) {
                     temperature: 1.0,
                 },
                 seed: 2,
+                sampling: None,
             });
         }
     }

@@ -55,6 +55,7 @@ fn emit_jobs(cfg: &Config, path: &str) {
                     temperature: 1.0,
                 },
                 seed: 1000 + idx as u64,
+                sampling: None,
             });
             jobs.push(JobSpec {
                 id: format!("fig3-i{idx}-p{p}-rr"),
@@ -65,6 +66,7 @@ fn emit_jobs(cfg: &Config, path: &str) {
                     restarts: cfg.restarts,
                 },
                 seed: 2000 + idx as u64,
+                sampling: None,
             });
         }
     }

@@ -37,6 +37,7 @@ mod tests {
                 temperature: 1.0,
             },
             seed: 5,
+            sampling: None,
         }];
         write_job_file(&path, jobs.clone()).unwrap();
         assert_eq!(load_job_file(&path).unwrap(), jobs);

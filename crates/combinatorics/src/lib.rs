@@ -15,7 +15,9 @@
 //! * [`dicke`] — a [`dicke::DickeSubspace`] bundling the above into the index map used by
 //!   the constrained simulator and mixer builders;
 //! * [`partition`] — splitting full-space or subspace enumeration into balanced chunks
-//!   for multi-threaded pre-computation.
+//!   for multi-threaded pre-computation;
+//! * [`seeding`] — the workspace's frozen seed-derivation scheme for named RNG
+//!   substreams (paper instance families, per-shard sampling streams).
 
 pub mod binomial;
 pub mod bits;
@@ -23,8 +25,10 @@ pub mod dicke;
 pub mod gosper;
 pub mod partition;
 pub mod ranking;
+pub mod seeding;
 
 pub use binomial::binomial;
 pub use dicke::DickeSubspace;
 pub use gosper::GosperIter;
 pub use ranking::{rank_combination, unrank_combination};
+pub use seeding::{derive_stream_seed, fold_bits};

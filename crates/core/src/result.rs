@@ -28,20 +28,22 @@ impl SimulationResult {
         let expectation = vector::diagonal_expectation(&statevector, obj_vals);
         let max_value = obj_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min_value = obj_vals.iter().copied().fold(f64::INFINITY, f64::min);
-        // Probability mass on the optimal (maximum objective) states.
-        let optimal_probability = statevector
-            .iter()
-            .zip(obj_vals.iter())
-            .filter(|(_, &v)| v == max_value)
-            .map(|(z, _)| z.norm_sqr())
-            .sum();
-        SimulationResult {
+        let mut result = SimulationResult {
             statevector,
             expectation,
             min_value,
             max_value,
-            optimal_probability,
-        }
+            optimal_probability: 0.0,
+        };
+        // Probability mass on the optimal (maximum objective) states, read through the
+        // same `probabilities()` path samplers and metrics use.
+        result.optimal_probability = result
+            .probabilities()
+            .zip(obj_vals.iter())
+            .filter(|(_, &v)| v == max_value)
+            .map(|(p, _)| p)
+            .sum();
+        result
     }
 
     /// The expectation value `⟨β,γ|C(x)|β,γ⟩` (the quantity the outer loop optimizes).
@@ -59,9 +61,14 @@ impl SimulationResult {
         self.statevector[i]
     }
 
-    /// Measurement probabilities `|ψ_x|²` over the feasible set.
-    pub fn probabilities(&self) -> Vec<f64> {
-        self.statevector.iter().map(|z| z.norm_sqr()).collect()
+    /// Measurement probabilities `|ψ_x|²` over the feasible set, in dense-index order.
+    ///
+    /// Returned as an iterator so consumers that only stream the distribution — the
+    /// alias-table builder in `juliqaoa-sampling`, the optimal-probability and
+    /// total-probability reductions below — share one code path without materialising
+    /// a second `dim`-length vector.  `collect()` when a `Vec` is needed.
+    pub fn probabilities(&self) -> impl ExactSizeIterator<Item = f64> + '_ {
+        self.statevector.iter().map(|z| z.norm_sqr())
     }
 
     /// Probability of measuring a state that attains the maximum objective value
@@ -101,7 +108,7 @@ impl SimulationResult {
     /// Total probability mass (should be 1 for a unitary simulation; exposed for tests
     /// and sanity checks).
     pub fn total_probability(&self) -> f64 {
-        vector::norm_sqr(&self.statevector)
+        self.probabilities().sum()
     }
 }
 
@@ -156,8 +163,8 @@ mod tests {
     #[test]
     fn probabilities_and_amplitudes() {
         let r = make_uniform_result();
-        let probs = r.probabilities();
-        assert_eq!(probs.len(), 4);
+        let probs: Vec<f64> = r.probabilities().collect();
+        assert_eq!(r.probabilities().len(), 4);
         assert!(probs.iter().all(|&p| (p - 0.25).abs() < 1e-12));
         assert!((r.amplitude(2) - Complex64::new(0.5, 0.0)).abs() < 1e-12);
         assert_eq!(r.statevector().len(), 4);

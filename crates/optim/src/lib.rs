@@ -17,6 +17,10 @@
 //!   al. (Listing 3's `find_angles_rand`), with the candidates fanned out across cores.
 //! * [`gridsearch`] — brute-force grid evaluation at small `p`, scanned in parallel
 //!   index blocks.
+//! * [`sampled`] — shot-based objectives ([`sampled::SampledObjective`]): optimize a
+//!   CVaR-α / Gibbs / sample-mean estimate over measured bitstrings instead of the
+//!   exact expectation, with per-point frozen shot noise so every driver stays
+//!   deterministic.
 //!
 //! The parallelism in this crate lives in the *outer* candidate loops: each worker
 //! thread owns a private objective (and simulation workspace) built by a caller
@@ -40,6 +44,7 @@ pub mod neldermead;
 pub mod objective;
 pub mod persistence;
 pub mod random_restart;
+pub mod sampled;
 
 pub use basinhopping::{basinhopping, basinhopping_with_control, BasinHoppingOptions};
 pub use bfgs::{bfgs, BfgsOptions};
@@ -52,3 +57,4 @@ pub use objective::{
     FnObjective, GradientMethod, Objective, OptimizeResult, PrefixCacheHome, QaoaObjective,
 };
 pub use random_restart::{random_restart, random_restart_with_control, RandomRestartOptions};
+pub use sampled::SampledObjective;

@@ -3,20 +3,28 @@
 //! Every figure uses random `G(n, 0.5)` graphs (and, for Figure 2, a clause-density-6
 //! 3-SAT instance); these constructors pin the RNG seed so an instance referenced by
 //! `(n, index)` — from a figure binary or a `qaoa-service` job spec — is bit-identical
-//! everywhere it is regenerated.  The seed formulas are frozen: changing them silently
-//! invalidates every recorded result and cache entry keyed by instance id.
+//! everywhere it is regenerated.  The seed formulas are frozen: both generators derive
+//! their streams through `juliqaoa_combinatorics::seeding::derive_stream_seed` (one
+//! domain tag per family), and changing that scheme silently invalidates every
+//! recorded result and cache entry keyed by instance id.
 
 use crate::sat::KSat;
+use juliqaoa_combinatorics::derive_stream_seed;
 use juliqaoa_graphs::{erdos_renyi, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Stream-family domain tag for the paper's MaxCut `G(n, 0.5)` instances.
+const MAXCUT_DOMAIN: u64 = 0xC0FFEE;
+
+/// Stream-family domain tag for the paper's random k-SAT instances.
+const SAT_DOMAIN: u64 = 0x5A7;
+
 /// The `G(n, 0.5)` MaxCut instance with a fixed per-index seed, as used throughout the
 /// paper's evaluation.
 pub fn paper_maxcut_instance(n: usize, instance_index: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(
-        0xC0FFEE ^ (instance_index.wrapping_mul(0x9E37_79B9)) ^ (n as u64) << 32,
-    );
+    let mut rng =
+        StdRng::seed_from_u64(derive_stream_seed(MAXCUT_DOMAIN, n as u64, instance_index));
     erdos_renyi(n, 0.5, &mut rng)
 }
 
@@ -28,14 +36,25 @@ pub fn paper_sat_instance(n: usize, instance_index: u64) -> KSat {
 /// A seeded random k-SAT instance at an arbitrary clause density (the Figure 2 family
 /// generalised, so job specs can sweep width and density).
 pub fn paper_sat_instance_with(n: usize, k: usize, density: f64, instance_index: u64) -> KSat {
-    let mut rng =
-        StdRng::seed_from_u64(0x5A7 ^ instance_index.wrapping_mul(0x9E37_79B9) ^ (n as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(derive_stream_seed(SAT_DOMAIN, n as u64, instance_index));
     KSat::random_with_density(n, k, density, &mut rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_seeds_match_the_legacy_inline_formulas() {
+        // Before the shared helper existed these expressions were inlined here; the
+        // instances they generate are frozen, so the helper must agree bit-for-bit.
+        #[allow(clippy::precedence)]
+        let legacy_maxcut = 0xC0FFEE ^ (3u64.wrapping_mul(0x9E37_79B9)) ^ (10u64) << 32;
+        assert_eq!(derive_stream_seed(MAXCUT_DOMAIN, 10, 3), legacy_maxcut);
+        #[allow(clippy::precedence)]
+        let legacy_sat = 0x5A7 ^ 7u64.wrapping_mul(0x9E37_79B9) ^ (12u64) << 32;
+        assert_eq!(derive_stream_seed(SAT_DOMAIN, 12, 7), legacy_sat);
+    }
 
     #[test]
     fn maxcut_instances_are_reproducible_and_distinct() {

@@ -1,0 +1,366 @@
+//! Estimators over sampled objective values.
+//!
+//! Hardware QAOA never sees `⟨C⟩` directly: it draws bitstrings and aggregates their
+//! objective values.  This module provides the aggregations the angle-finding outer
+//! loop (and the job service) can optimize in place of the exact expectation:
+//!
+//! * **sample mean** — the unbiased shot estimate of `⟨C⟩`;
+//! * **CVaR-α** — the mean of the best `⌈α·shots⌉` samples (Barkoutsos et al.), a
+//!   risk-seeking objective that rewards the distribution's upper tail; `α = 1`
+//!   recovers the sample mean;
+//! * **Gibbs** — the Gibbs objective of Li et al. (`−ln⟨e^{−ηH}⟩` for an energy `H`
+//!   to minimise), transcribed to this workspace's maximisation convention via
+//!   `H = −C` and scaled by `1/η` so it has the units of `C`:
+//!   `G_η = (1/η)·ln⟨e^{ηC}⟩`, a smooth soft-max that interpolates between the
+//!   sample mean (`η → 0⁺`) and the best sampled value (`η → ∞`), computed with a
+//!   log-sum-exp shift for numerical stability;
+//!
+//! plus per-sample solution metrics: empirical optimal-solution frequency, the best
+//! sampled bitstring, and an approximation-ratio histogram.
+//!
+//! All estimators are deterministic folds over a [`SampleCounts`] histogram — the
+//! draw order never enters, so estimates inherit the sampler's thread-count
+//! independence bit-for-bit.
+
+use crate::sampler::SampleCounts;
+
+/// A shot-based objective estimator (maximisation convention, like `⟨C⟩`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ShotEstimator {
+    /// The sample mean of the objective values.
+    Mean,
+    /// Conditional value-at-risk: the mean of the best `⌈α·shots⌉` samples.
+    CVaR {
+        /// Tail fraction, in `(0, 1]`.
+        alpha: f64,
+    },
+    /// The Gibbs objective in the maximisation convention: `(1/η)·ln⟨e^{ηC}⟩`.
+    Gibbs {
+        /// Inverse-temperature weighting, finite and positive.
+        eta: f64,
+    },
+}
+
+impl ShotEstimator {
+    /// The estimator's wire/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShotEstimator::Mean => "mean",
+            ShotEstimator::CVaR { .. } => "cvar",
+            ShotEstimator::Gibbs { .. } => "gibbs",
+        }
+    }
+
+    /// Validates the estimator's parameters (`0 < α ≤ 1`, `0 < η < ∞`).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ShotEstimator::Mean => Ok(()),
+            ShotEstimator::CVaR { alpha } => {
+                if alpha.is_finite() && 0.0 < alpha && alpha <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("CVaR α must satisfy 0 < α ≤ 1 (got {alpha})"))
+                }
+            }
+            ShotEstimator::Gibbs { eta } => {
+                if eta.is_finite() && eta > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("Gibbs η must be finite and positive (got {eta})"))
+                }
+            }
+        }
+    }
+
+    /// Applies the estimator to a shot histogram over objective values.
+    ///
+    /// # Panics
+    /// Panics if the histogram and objective vector disagree in length, or the
+    /// estimator's parameters are invalid ([`ShotEstimator::validate`]).
+    pub fn estimate(&self, counts: &SampleCounts, obj_vals: &[f64]) -> f64 {
+        self.validate().expect("estimator parameters are valid");
+        match *self {
+            ShotEstimator::Mean => sample_mean(counts, obj_vals),
+            ShotEstimator::CVaR { alpha } => cvar(counts, obj_vals, alpha),
+            ShotEstimator::Gibbs { eta } => gibbs(counts, obj_vals, eta),
+        }
+    }
+}
+
+fn check_dims(counts: &SampleCounts, obj_vals: &[f64]) {
+    assert_eq!(
+        counts.dim(),
+        obj_vals.len(),
+        "histogram and objective vector describe different feasible sets"
+    );
+}
+
+/// The sample mean `Σ c_x·C(x) / shots`.
+pub fn sample_mean(counts: &SampleCounts, obj_vals: &[f64]) -> f64 {
+    check_dims(counts, obj_vals);
+    let sum: f64 = counts
+        .iter_nonzero()
+        .map(|(i, c)| obj_vals[i] * c as f64)
+        .sum();
+    sum / counts.shots() as f64
+}
+
+/// CVaR-α: the mean of the best `⌈α·shots⌉` sampled objective values
+/// (maximisation convention — "best" is largest).
+pub fn cvar(counts: &SampleCounts, obj_vals: &[f64], alpha: f64) -> f64 {
+    check_dims(counts, obj_vals);
+    assert!(
+        alpha.is_finite() && 0.0 < alpha && alpha <= 1.0,
+        "CVaR α must satisfy 0 < α ≤ 1 (got {alpha})"
+    );
+    let tail = ((alpha * counts.shots() as f64).ceil() as u64).clamp(1, counts.shots());
+    // Visit sampled values from best to worst, consuming counts until the tail quota
+    // is filled; ties in value resolve by index, irrelevant to the sum.
+    let mut sampled: Vec<(usize, u64)> = counts.iter_nonzero().collect();
+    sampled.sort_by(|a, b| {
+        obj_vals[b.0]
+            .partial_cmp(&obj_vals[a.0])
+            .expect("objective values are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    let mut remaining = tail;
+    let mut sum = 0.0;
+    for (i, c) in sampled {
+        let take = c.min(remaining);
+        sum += obj_vals[i] * take as f64;
+        remaining -= take;
+        if remaining == 0 {
+            break;
+        }
+    }
+    sum / tail as f64
+}
+
+/// The Gibbs objective `(1/η)·ln( Σ c_x e^{η·C(x)} / shots )`, computed with a
+/// log-sum-exp shift so large `η·C` never overflows.
+///
+/// This is Li et al.'s `−ln⟨e^{−ηH}⟩` rewritten for the maximisation convention
+/// (`H = −C`) and scaled to the units of `C`; Jensen's inequality pins it between
+/// the sample mean and the best sampled value.
+pub fn gibbs(counts: &SampleCounts, obj_vals: &[f64], eta: f64) -> f64 {
+    check_dims(counts, obj_vals);
+    assert!(
+        eta.is_finite() && eta > 0.0,
+        "Gibbs η must be finite and positive (got {eta})"
+    );
+    // exponents e_x = η·C(x); shift by the max over *sampled* states.
+    let shift = counts
+        .iter_nonzero()
+        .map(|(i, _)| eta * obj_vals[i])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = counts
+        .iter_nonzero()
+        .map(|(i, c)| c as f64 * (eta * obj_vals[i] - shift).exp())
+        .sum();
+    (shift + sum.ln() - (counts.shots() as f64).ln()) / eta
+}
+
+/// The empirical frequency of measuring a state attaining the global optimum of
+/// `obj_vals` — the shot-based counterpart of `ground_state_probability`.
+pub fn optimal_frequency(counts: &SampleCounts, obj_vals: &[f64]) -> f64 {
+    check_dims(counts, obj_vals);
+    let max = obj_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let hits: u64 = counts
+        .iter_nonzero()
+        .filter(|&(i, _)| obj_vals[i] == max)
+        .map(|(_, c)| c)
+        .sum();
+    hits as f64 / counts.shots() as f64
+}
+
+/// The sampled state with the largest objective value, as `(dense index, value)`
+/// (ties resolve to the lowest index).  This is the "solution extraction" readout: the
+/// answer a hardware run would actually report.
+pub fn best_sampled(counts: &SampleCounts, obj_vals: &[f64]) -> (usize, f64) {
+    check_dims(counts, obj_vals);
+    counts
+        .iter_nonzero()
+        .map(|(i, _)| (i, obj_vals[i]))
+        .fold(None, |best: Option<(usize, f64)>, (i, v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .expect("a histogram always has at least one outcome")
+}
+
+/// Histogram of normalised sample quality `(C(x) − C_min)/(C_max − C_min)` over
+/// `bins` equal-width bins (the last bin is closed, so quality 1.0 lands in it).
+/// Degenerate objectives (`C_max == C_min`) put every shot in the last bin.
+pub fn ratio_histogram(counts: &SampleCounts, obj_vals: &[f64], bins: usize) -> Vec<u64> {
+    check_dims(counts, obj_vals);
+    assert!(bins > 0, "histogram needs at least one bin");
+    let max = obj_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = obj_vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut hist = vec![0u64; bins];
+    for (i, c) in counts.iter_nonzero() {
+        let quality = if max > min {
+            (obj_vals[i] - min) / (max - min)
+        } else {
+            1.0
+        };
+        let bin = ((quality * bins as f64) as usize).min(bins - 1);
+        hist[bin] += c;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::StateSampler;
+
+    fn counts_for(weights: &[f64], shots: u64, seed: u64) -> SampleCounts {
+        StateSampler::from_probabilities(weights.iter().copied(), seed).sample_counts(shots)
+    }
+
+    #[test]
+    fn concentrated_distribution_gives_the_exact_value_for_every_estimator() {
+        // All mass on one state: mean, CVaR and Gibbs all equal its objective value.
+        let counts = counts_for(&[0.0, 1.0, 0.0], 5000, 3);
+        let obj = [1.0, 4.0, 9.0];
+        assert_eq!(sample_mean(&counts, &obj), 4.0);
+        for alpha in [0.1, 0.5, 1.0] {
+            assert!((cvar(&counts, &obj, alpha) - 4.0).abs() < 1e-12);
+        }
+        for eta in [0.1, 1.0, 10.0] {
+            assert!((gibbs(&counts, &obj, eta) - 4.0).abs() < 1e-9);
+        }
+        assert_eq!(best_sampled(&counts, &obj), (1, 4.0));
+        assert_eq!(optimal_frequency(&counts, &obj), 0.0); // optimum (9.0) never drawn
+    }
+
+    #[test]
+    fn cvar_at_alpha_one_is_the_sample_mean() {
+        let counts = counts_for(&[1.0, 2.0, 3.0, 4.0], 40_000, 9);
+        let obj = [0.0, 1.0, 2.0, 3.0];
+        let mean = sample_mean(&counts, &obj);
+        let c1 = cvar(&counts, &obj, 1.0);
+        assert!((c1 - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cvar_focuses_on_the_upper_tail() {
+        // Uniform over values {0, 10}: mean ≈ 5, CVaR-0.25 ≈ 10 (the best quarter).
+        let counts = counts_for(&[1.0, 1.0], 100_000, 5);
+        let obj = [0.0, 10.0];
+        let mean = sample_mean(&counts, &obj);
+        assert!((mean - 5.0).abs() < 0.2);
+        let tail = cvar(&counts, &obj, 0.25);
+        assert!((tail - 10.0).abs() < 1e-12, "CVaR-0.25 = {tail}");
+        // Monotone: tighter α never decreases the (maximisation) estimate.
+        assert!(cvar(&counts, &obj, 0.5) >= mean - 1e-12);
+    }
+
+    #[test]
+    fn cvar_fills_a_partial_boundary_class() {
+        // 4 shots at value 2, 4 at value 1; α = 0.75 of 8 = 6 shots: 4·2 + 2·1 over 6.
+        let mut sampler_counts = None;
+        // Construct the histogram deterministically through a tiny sampler is
+        // overkill here — build it via repeated single draws of a forced table.
+        for seed in 0.. {
+            let c = counts_for(&[1.0, 1.0], 8, seed);
+            if c.count(0) == 4 {
+                sampler_counts = Some(c);
+                break;
+            }
+        }
+        let counts = sampler_counts.unwrap();
+        let obj = [1.0, 2.0];
+        let expect = (4.0 * 2.0 + 2.0 * 1.0) / 6.0;
+        assert!((cvar(&counts, &obj, 0.75) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gibbs_interpolates_between_mean_and_best_sampled() {
+        let counts = counts_for(&[1.0, 1.0, 1.0, 1.0], 50_000, 17);
+        let obj = [0.0, 1.0, 2.0, 3.0];
+        let mean = sample_mean(&counts, &obj);
+        let g = gibbs(&counts, &obj, 2.0);
+        // Jensen: mean ≤ (1/η)ln⟨e^{ηC}⟩ ≤ max sampled value.
+        assert!(g >= mean - 1e-12);
+        assert!(g <= 3.0 + 1e-12);
+        // η → 0⁺ approaches the mean; larger η pushes toward the upper tail.
+        let g_small = gibbs(&counts, &obj, 1e-6);
+        assert!((g_small - mean).abs() < 1e-4);
+        assert!(gibbs(&counts, &obj, 8.0) > g);
+    }
+
+    #[test]
+    fn gibbs_survives_extreme_exponents() {
+        let counts = counts_for(&[1.0, 1.0], 1000, 2);
+        let obj = [-500.0, 500.0];
+        let g = gibbs(&counts, &obj, 10.0);
+        assert!(g.is_finite());
+        // The η-weighted soft-max is dominated by the *best* sampled value.
+        assert!((g - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn optimal_frequency_tracks_the_global_optimum() {
+        let counts = counts_for(&[3.0, 1.0], 80_000, 21);
+        let obj = [7.0, 2.0]; // optimum at index 0, drawn with probability 3/4
+        let f = optimal_frequency(&counts, &obj);
+        assert!((f - 0.75).abs() < 0.02, "frequency {f}");
+    }
+
+    #[test]
+    fn ratio_histogram_bins_every_shot() {
+        let counts = counts_for(&[1.0, 1.0, 1.0, 1.0], 10_000, 8);
+        let obj = [0.0, 1.0, 2.0, 3.0];
+        let hist = ratio_histogram(&counts, &obj, 3);
+        assert_eq!(hist.iter().sum::<u64>(), 10_000);
+        // quality 0 → bin 0, 1/3 → bin 1 (exactly on the edge), 2/3 → bin 2, 1 → bin 2.
+        assert_eq!(hist[0], counts.count(0));
+        assert_eq!(hist[1], counts.count(1));
+        assert_eq!(hist[2], counts.count(2) + counts.count(3));
+    }
+
+    #[test]
+    fn degenerate_objective_fills_the_top_bin() {
+        let counts = counts_for(&[1.0, 1.0], 100, 4);
+        let hist = ratio_histogram(&counts, &[5.0, 5.0], 4);
+        assert_eq!(hist, vec![0, 0, 0, 100]);
+    }
+
+    #[test]
+    fn estimator_validation() {
+        assert!(ShotEstimator::Mean.validate().is_ok());
+        assert!(ShotEstimator::CVaR { alpha: 0.5 }.validate().is_ok());
+        assert!(ShotEstimator::CVaR { alpha: 1.0 }.validate().is_ok());
+        assert!(ShotEstimator::CVaR { alpha: 0.0 }.validate().is_err());
+        assert!(ShotEstimator::CVaR { alpha: 1.5 }.validate().is_err());
+        assert!(ShotEstimator::CVaR { alpha: f64::NAN }.validate().is_err());
+        assert!(ShotEstimator::Gibbs { eta: 1.0 }.validate().is_ok());
+        assert!(ShotEstimator::Gibbs { eta: 0.0 }.validate().is_err());
+        assert!(ShotEstimator::Gibbs { eta: f64::INFINITY }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn estimator_dispatch_matches_the_free_functions() {
+        let counts = counts_for(&[1.0, 2.0, 3.0], 20_000, 6);
+        let obj = [1.0, 2.0, 3.0];
+        assert_eq!(
+            ShotEstimator::Mean.estimate(&counts, &obj).to_bits(),
+            sample_mean(&counts, &obj).to_bits()
+        );
+        assert_eq!(
+            ShotEstimator::CVaR { alpha: 0.3 }
+                .estimate(&counts, &obj)
+                .to_bits(),
+            cvar(&counts, &obj, 0.3).to_bits()
+        );
+        assert_eq!(
+            ShotEstimator::Gibbs { eta: 0.7 }
+                .estimate(&counts, &obj)
+                .to_bits(),
+            gibbs(&counts, &obj, 0.7).to_bits()
+        );
+    }
+}

@@ -215,6 +215,7 @@ mod tests {
                 p: 1,
                 optimizer: OptimizerSpec::GridSearch { resolution: 6 },
                 seed: i as u64,
+                sampling: None,
             })
             .collect()
     }

@@ -24,15 +24,19 @@
 //!    construction, so the determinism guarantee is untouched.
 
 use crate::lru::LruCache;
-use crate::spec::{BuiltProblem, JobResult, JobSpec, MixerSpec, OptimizerSpec};
+use crate::spec::{
+    BuiltProblem, EstimatorSpec, JobResult, JobSpec, MixerSpec, OptimizerSpec, SampleReport,
+    SamplingSpec, RATIO_HISTOGRAM_BINS,
+};
 use juliqaoa_combinatorics::DickeSubspace;
-use juliqaoa_core::{PrefixCache, QaoaError, Simulator};
+use juliqaoa_core::{Angles, PrefixCache, QaoaError, Simulator};
 use juliqaoa_optim::{
     basinhopping_with_control, grid_search_ordered, qaoa_axis_order, random_restart_with_control,
-    BasinHoppingOptions, OptimizeResult, PrefixCacheHome, QaoaObjective, RandomRestartOptions,
-    RunControl,
+    BasinHoppingOptions, Objective, OptimizeResult, PrefixCacheHome, QaoaObjective,
+    RandomRestartOptions, RunControl, SampledObjective,
 };
 use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClasses};
+use juliqaoa_sampling::{estimator, IndexMap};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,6 +133,11 @@ pub struct EngineStats {
     pub prefix_misses: u64,
     /// Full QAOA rounds skipped thanks to prefix reuse.
     pub prefix_rounds_saved: u64,
+    /// `"sample"` jobs executed (subset of `jobs_executed`).
+    pub sample_jobs: u64,
+    /// Total measurement shots drawn across all sample jobs (every optimizer
+    /// evaluation plus each job's final readout).
+    pub shots_drawn: u64,
 }
 
 /// A shared simulator plus the parked prefix cache for one `(instance, mixer)` pair.
@@ -160,6 +169,66 @@ pub struct Engine {
     prefix_hits: AtomicU64,
     prefix_misses: AtomicU64,
     prefix_rounds_saved: AtomicU64,
+    sample_jobs: AtomicU64,
+    shots_drawn: AtomicU64,
+}
+
+/// The per-worker objective a job's optimizer drives: exact expectation for plain
+/// jobs, a shot estimator for `"sample"` jobs.  One enum so the three optimizer
+/// drivers below stay single-path.
+enum JobObjective<'a> {
+    Exact(QaoaObjective<'a>),
+    Sampled(SampledObjective<'a>),
+}
+
+impl JobObjective<'_> {
+    fn build<'a>(
+        sim: &'a Simulator,
+        home: &'a PrefixCacheHome,
+        sampling: Option<&SamplingSpec>,
+        shot_tally: &'a AtomicU64,
+    ) -> JobObjective<'a> {
+        match sampling {
+            None => JobObjective::Exact(QaoaObjective::new(sim).with_cache_home(home)),
+            // Sampled objectives share the same parked prefix cache as exact jobs
+            // (the forward evolution is identical work) and tally every draw —
+            // including the ones hidden inside FD gradient probes — so the engine's
+            // shots_drawn counter is exact.  Shot streams are derived per
+            // evaluation point, so results stay schedule-independent either way.
+            Some(s) => JobObjective::Sampled(
+                SampledObjective::new(sim, s.shots, s.estimator.build(), s.seed)
+                    .with_cache_home(home)
+                    .with_shot_tally(shot_tally),
+            ),
+        }
+    }
+}
+
+impl Objective for JobObjective<'_> {
+    fn dim(&self) -> usize {
+        0
+    }
+
+    fn value(&mut self, x: &[f64]) -> f64 {
+        match self {
+            JobObjective::Exact(o) => o.value(x),
+            JobObjective::Sampled(o) => o.value(x),
+        }
+    }
+
+    fn value_and_gradient(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        match self {
+            JobObjective::Exact(o) => o.value_and_gradient(x, grad),
+            JobObjective::Sampled(o) => o.value_and_gradient(x, grad),
+        }
+    }
+
+    fn evaluations(&self) -> usize {
+        match self {
+            JobObjective::Exact(o) => o.evaluations(),
+            JobObjective::Sampled(o) => o.evaluations(),
+        }
+    }
 }
 
 /// Default maximum number of cached instances.
@@ -191,6 +260,8 @@ impl Engine {
             prefix_hits: AtomicU64::new(0),
             prefix_misses: AtomicU64::new(0),
             prefix_rounds_saved: AtomicU64::new(0),
+            sample_jobs: AtomicU64::new(0),
+            shots_drawn: AtomicU64::new(0),
         }
     }
 
@@ -268,6 +339,8 @@ impl Engine {
             prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
             prefix_misses: self.prefix_misses.load(Ordering::Relaxed),
             prefix_rounds_saved: self.prefix_rounds_saved.load(Ordering::Relaxed),
+            sample_jobs: self.sample_jobs.load(Ordering::Relaxed),
+            shots_drawn: self.shots_drawn.load(Ordering::Relaxed),
         }
     }
 
@@ -304,6 +377,11 @@ impl Engine {
         if spec.p == 0 {
             return Err(ServiceError::Spec("p must be at least 1".into()));
         }
+        // Sampling parameters are validated up front so a bad α or a zero shot count
+        // fails as a structured spec error (4xx over HTTP), never a worker panic.
+        if let Some(sampling) = &spec.sampling {
+            sampling.validate().map_err(ServiceError::Spec)?;
+        }
         let problem = spec.problem.build().map_err(ServiceError::Spec)?;
         let (prepared, cache_hit) = self.prepare(&problem);
         let slot = self.simulator_slot(&problem, &spec.mixer, &prepared)?;
@@ -322,13 +400,18 @@ impl Engine {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let dim = 2 * spec.p;
         let tau = 2.0 * std::f64::consts::PI;
+        // Exact count of every shot the job draws, including the evaluations the
+        // drivers hide inside finite-difference gradient probes (which
+        // `res.function_evals` does not cover).
+        let shot_tally = AtomicU64::new(0);
+        let sampling = spec.sampling.as_ref();
         let res: OptimizeResult = match spec.optimizer {
             OptimizerSpec::RandomRestart { restarts } => {
                 if restarts == 0 {
                     return Err(ServiceError::Spec("restarts must be at least 1".into()));
                 }
                 random_restart_with_control(
-                    || QaoaObjective::new(&sim).with_cache_home(&home),
+                    || JobObjective::build(&sim, &home, sampling, &shot_tally),
                     dim,
                     &RandomRestartOptions {
                         restarts,
@@ -343,7 +426,7 @@ impl Engine {
                 step_size,
                 temperature,
             } => {
-                let mut objective = QaoaObjective::new(&sim).with_cache_home(&home);
+                let mut objective = JobObjective::build(&sim, &home, sampling, &shot_tally);
                 let x0: Vec<f64> = (0..dim)
                     .map(|_| rand::Rng::gen_range(&mut rng, 0.0..tau))
                     .collect();
@@ -375,7 +458,7 @@ impl Engine {
                 // Deepest round fastest: consecutive grid points share a (p−1)-round
                 // circuit prefix, which the objective's cache replays incrementally.
                 grid_search_ordered(
-                    || QaoaObjective::new(&sim).with_cache_home(&home),
+                    || JobObjective::build(&sim, &home, sampling, &shot_tally),
                     dim,
                     0.0,
                     tau,
@@ -386,8 +469,61 @@ impl Engine {
             }
         };
 
-        // Every objective has been dropped; fold its reuse counters into the engine
-        // and park the (possibly warmed) cache for the next job on this slot.
+        // Sample jobs end with a readout at the best angles: the same seeded shot
+        // streams the optimizer saw at that point, reported as a histogram plus the
+        // best sampled bitstring (the answer a hardware run would hand back).  The
+        // readout runs before the cache home is parked so it replays the prefix the
+        // optimizer just left at `res.x` and its reuse counters fold into the job's.
+        let sample_report = match sampling {
+            None => None,
+            Some(s) => {
+                let obj_vals = sim.objective_values();
+                let shot_estimator = s.estimator.build();
+                let mut readout = SampledObjective::new(&sim, s.shots, shot_estimator, s.seed)
+                    .with_cache_home(&home)
+                    .with_shot_tally(&shot_tally);
+                let counts = readout.counts_at(&res.x);
+                drop(readout);
+                let estimate = shot_estimator.estimate(&counts, obj_vals);
+                let exact_expectation = sim.expectation(&Angles::from_flat(&res.x))?;
+                let map = match problem.subspace_k {
+                    Some(k) => IndexMap::dicke(problem.n, k),
+                    None => IndexMap::full(problem.n),
+                };
+                let (best_idx, best_objective) = estimator::best_sampled(&counts, obj_vals);
+                let (alpha, eta) = match s.estimator {
+                    EstimatorSpec::Mean => (None, None),
+                    EstimatorSpec::CVaR { alpha } => (Some(alpha), None),
+                    EstimatorSpec::Gibbs { eta } => (None, Some(eta)),
+                };
+                let shots_total = shot_tally.load(Ordering::Relaxed);
+                self.sample_jobs.fetch_add(1, Ordering::Relaxed);
+                self.shots_drawn.fetch_add(shots_total, Ordering::Relaxed);
+                Some(SampleReport {
+                    shots: s.shots,
+                    sample_seed: s.seed,
+                    estimator: s.estimator.kind().to_string(),
+                    alpha,
+                    eta,
+                    estimate,
+                    exact_expectation,
+                    best_bitstring: map.bitstring_label(best_idx),
+                    best_objective,
+                    optimal_frequency: estimator::optimal_frequency(&counts, obj_vals),
+                    distinct_outcomes: counts.distinct_outcomes() as u64,
+                    ratio_histogram: estimator::ratio_histogram(
+                        &counts,
+                        obj_vals,
+                        RATIO_HISTOGRAM_BINS,
+                    ),
+                    shots_total,
+                })
+            }
+        };
+
+        // Every objective (and the readout) has been dropped; fold the reuse
+        // counters into the engine and park the (possibly warmed) cache for the
+        // next job on this slot.
         let pstats = home.stats();
         self.prefix_hits.fetch_add(pstats.hits, Ordering::Relaxed);
         self.prefix_misses
@@ -439,6 +575,7 @@ impl Engine {
             converged: res.converged,
             cache_hit,
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            sampling: sample_report,
         })
     }
 }
@@ -466,6 +603,7 @@ mod tests {
                 temperature: 1.0,
             },
             seed,
+            sampling: None,
         }
     }
 
@@ -582,6 +720,124 @@ mod tests {
         huge.optimizer = OptimizerSpec::GridSearch { resolution: 50 };
         let err = engine.run_job(&huge, &RunControl::new()).unwrap_err();
         assert!(err.to_string().contains("10^8"));
+    }
+
+    fn sample_job(id: &str, estimator: EstimatorSpec, shots: u64) -> JobSpec {
+        let mut job = quick_job(id, 0, 5);
+        job.optimizer = OptimizerSpec::GridSearch { resolution: 6 };
+        job.sampling = Some(SamplingSpec {
+            shots,
+            seed: 77,
+            estimator,
+        });
+        job
+    }
+
+    #[test]
+    fn cvar_sample_job_runs_end_to_end_and_is_reproducible() {
+        let engine = Engine::new(8);
+        let spec = sample_job("cvar", EstimatorSpec::CVaR { alpha: 0.2 }, 2048);
+        let a = engine.run_job(&spec, &RunControl::new()).unwrap();
+        assert_eq!(a.status, "done");
+        let report = a.sampling.as_ref().expect("sample jobs carry a report");
+        // The readout redraws the optimizer's own streams at the best point, so the
+        // reported estimate IS the optimized value.
+        assert_eq!(report.estimate.to_bits(), a.expectation.to_bits());
+        assert_eq!(report.estimator, "cvar");
+        assert_eq!(report.alpha, Some(0.2));
+        assert_eq!(report.shots, 2048);
+        assert_eq!(report.ratio_histogram.iter().sum::<u64>(), 2048);
+        assert_eq!(report.shots_total, (a.function_evals as u64 + 1) * 2048);
+        assert!(report.distinct_outcomes > 0);
+        assert_eq!(report.best_bitstring.len(), 7);
+        assert!(report.best_objective <= a.objective_max);
+        // CVaR-0.2 sits between the exact expectation and the objective maximum.
+        assert!(report.estimate >= report.exact_expectation - 1e-9);
+        assert!(report.estimate <= a.objective_max + 1e-9);
+        // Bit-identical on a fresh engine (pure function of the spec).
+        let engine2 = Engine::new(8);
+        let b = engine2.run_job(&spec, &RunControl::new()).unwrap();
+        assert_eq!(a.expectation.to_bits(), b.expectation.to_bits());
+        assert_eq!(a.angles, b.angles);
+        assert_eq!(a.sampling, b.sampling);
+        // Counters: one sample job, every evaluation plus the readout drew shots.
+        let stats = engine.stats();
+        assert_eq!(stats.sample_jobs, 1);
+        assert_eq!(stats.shots_drawn, report.shots_total);
+    }
+
+    #[test]
+    fn sample_jobs_run_through_every_optimizer() {
+        let engine = Engine::new(8);
+        for (id, optimizer) in [
+            ("rr", OptimizerSpec::RandomRestart { restarts: 2 }),
+            (
+                "bh",
+                OptimizerSpec::BasinHopping {
+                    n_hops: 2,
+                    step_size: 0.5,
+                    temperature: 1.0,
+                },
+            ),
+            ("grid", OptimizerSpec::GridSearch { resolution: 4 }),
+        ] {
+            let mut spec = sample_job(id, EstimatorSpec::Mean, 512);
+            spec.optimizer = optimizer;
+            let res = engine.run_job(&spec, &RunControl::new()).unwrap();
+            let report = res.sampling.expect("report present");
+            // The sample mean at the best angles lies inside the objective range.
+            assert!(report.estimate <= res.objective_max + 1e-9, "{id}");
+            assert!(report.estimate >= res.objective_min - 1e-9, "{id}");
+            // Every evaluation plus the readout drew shots; gradient-based
+            // optimizers draw *more* than function_evals suggests (FD probes), and
+            // the tally must capture those too.
+            assert!(
+                report.shots_total >= (res.function_evals as u64 + 1) * 512,
+                "{id}: shots_total {} < floor",
+                report.shots_total
+            );
+            if id != "grid" {
+                assert!(
+                    report.shots_total > (res.function_evals as u64 + 1) * 512,
+                    "{id}: FD gradient probes must be tallied"
+                );
+            }
+        }
+        assert_eq!(engine.stats().sample_jobs, 3);
+        // Sampled forward passes ride the same parked prefix caches as exact jobs.
+        assert!(engine.stats().prefix_hits > 0);
+    }
+
+    #[test]
+    fn exact_jobs_carry_no_sample_report_and_do_not_bump_sample_counters() {
+        let engine = Engine::new(8);
+        let res = engine
+            .run_job(&quick_job("exact", 0, 1), &RunControl::new())
+            .unwrap();
+        assert!(res.sampling.is_none());
+        let stats = engine.stats();
+        assert_eq!(stats.sample_jobs, 0);
+        assert_eq!(stats.shots_drawn, 0);
+    }
+
+    #[test]
+    fn invalid_sampling_specs_are_structured_errors_not_panics() {
+        let engine = Engine::new(8);
+        for (id, estimator, shots) in [
+            ("zero-shots", EstimatorSpec::Mean, 0),
+            ("alpha-zero", EstimatorSpec::CVaR { alpha: 0.0 }, 128),
+            ("alpha-big", EstimatorSpec::CVaR { alpha: 1.5 }, 128),
+            ("eta-neg", EstimatorSpec::Gibbs { eta: -2.0 }, 128),
+        ] {
+            let spec = sample_job(id, estimator, shots);
+            match engine.run_job(&spec, &RunControl::new()) {
+                Err(ServiceError::Spec(msg)) => {
+                    assert!(!msg.is_empty(), "{id}: message must name the problem")
+                }
+                other => panic!("{id}: expected a spec error, got {other:?}"),
+            }
+        }
+        assert_eq!(engine.stats().jobs_failed, 4);
     }
 
     #[test]

@@ -31,5 +31,6 @@ pub use engine::{Engine, EngineStats, PreparedObjective, ServiceError, DEFAULT_C
 pub use lru::LruCache;
 pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig};
 pub use spec::{
-    BuiltProblem, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec, MAX_QUBITS,
+    BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec,
+    ProblemSpec, SampleReport, SamplingSpec, MAX_QUBITS, MAX_SHOTS,
 };

@@ -217,6 +217,7 @@ fn example_jobs(count: usize, n: usize) -> Vec<JobSpec> {
                     temperature: 1.0,
                 },
                 seed: 1000 + i as u64,
+                sampling: None,
             }
         })
         .collect()

@@ -409,11 +409,17 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
     }
     // Reject oversized/incompatible specs at submission time with the cheap shape
     // checks — realising instances and mixers is worker-thread work, and the accept
-    // loop must never block other clients behind an O(2ⁿ) build.
+    // loop must never block other clients behind an O(2ⁿ) build.  Sampling
+    // parameters (shots > 0, 0 < α ≤ 1, …) are validated here too, so a bad sample
+    // job dies with a structured 400 instead of reaching a worker.
     if let Err(e) = spec
         .problem
         .shape()
         .and_then(|(_, subspace_k)| spec.mixer.check_compatible(subspace_k))
+        .and_then(|()| match &spec.sampling {
+            Some(sampling) => sampling.validate(),
+            None => Ok(()),
+        })
     {
         write_error(stream, 400, &format!("invalid job spec: {e}"));
         return;

@@ -302,6 +302,86 @@ impl MixerSpec {
     }
 }
 
+/// The shot estimator a sampled job optimizes (see `juliqaoa_sampling::estimator`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimatorSpec {
+    /// The sample mean of the measured objective values.
+    Mean,
+    /// CVaR-α: the mean of the best `⌈α·shots⌉` samples, `0 < α ≤ 1`.
+    CVaR {
+        /// Tail fraction.
+        alpha: f64,
+    },
+    /// The Gibbs soft-max `(1/η)·ln⟨e^{ηC}⟩`, `0 < η < ∞`.
+    Gibbs {
+        /// Inverse-temperature weighting.
+        eta: f64,
+    },
+}
+
+impl EstimatorSpec {
+    /// The `"kind"` discriminant used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EstimatorSpec::Mean => "mean",
+            EstimatorSpec::CVaR { .. } => "cvar",
+            EstimatorSpec::Gibbs { .. } => "gibbs",
+        }
+    }
+
+    /// The runnable estimator.
+    pub fn build(&self) -> juliqaoa_sampling::ShotEstimator {
+        use juliqaoa_sampling::ShotEstimator;
+        match *self {
+            EstimatorSpec::Mean => ShotEstimator::Mean,
+            EstimatorSpec::CVaR { alpha } => ShotEstimator::CVaR { alpha },
+            EstimatorSpec::Gibbs { eta } => ShotEstimator::Gibbs { eta },
+        }
+    }
+
+    /// Parameter validation (`0 < α ≤ 1`, `0 < η < ∞`) — accept-loop-cheap.
+    pub fn validate(&self) -> Result<(), String> {
+        self.build().validate()
+    }
+}
+
+/// Most shots a single job may request per evaluation; a sampled grid job draws
+/// `shots` per grid point, so this bound keeps one job from monopolising the box.
+pub const MAX_SHOTS: u64 = 1 << 30;
+
+/// The shot-sampling extension of a job: present ⇒ the job is a `"sample"` job whose
+/// optimizer drives the shot estimator instead of the exact expectation, and whose
+/// result carries the measured histogram and best sampled bitstring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingSpec {
+    /// Shots per objective evaluation (and for the final readout at the best angles).
+    pub shots: u64,
+    /// Base seed for every shot stream the job draws (independent of the job's
+    /// optimizer seed, so the same angle search can be re-measured under different
+    /// shot noise).
+    pub seed: u64,
+    /// The estimator to optimize.
+    pub estimator: EstimatorSpec,
+}
+
+impl SamplingSpec {
+    /// Validates the sampling parameters without building anything; request handlers
+    /// call this so invalid specs die with a structured 4xx at submission instead of
+    /// a worker panic mid-job.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shots == 0 {
+            return Err("sampling requires shots > 0".into());
+        }
+        if self.shots > MAX_SHOTS {
+            return Err(format!(
+                "shots={} exceeds the service limit of {MAX_SHOTS} per evaluation",
+                self.shots
+            ));
+        }
+        self.estimator.validate()
+    }
+}
+
 /// The classical angle-finding strategy for a job.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum OptimizerSpec {
@@ -337,8 +417,13 @@ impl OptimizerSpec {
     }
 }
 
-/// One QAOA experiment: problem × mixer × rounds × optimizer × seed.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// One QAOA experiment: problem × mixer × rounds × optimizer × seed, optionally
+/// extended into a `"sample"` job by a [`SamplingSpec`].
+///
+/// Serde is hand-written (not derived) because `sampling` is optional on the wire:
+/// job files written before the sampling subsystem existed must keep loading, and a
+/// `"sample"` job is simply one whose spec carries the extra object.
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     /// Client-chosen job identifier; unique within a batch / service run.
     pub id: String,
@@ -352,6 +437,21 @@ pub struct JobSpec {
     pub optimizer: OptimizerSpec,
     /// Seed for every random draw the job makes (same seed ⇒ bit-identical result).
     pub seed: u64,
+    /// `Some` ⇒ shot-based job: the optimizer drives the estimator over sampled
+    /// bitstrings and the result reports the measured histogram.
+    pub sampling: Option<SamplingSpec>,
+}
+
+impl JobSpec {
+    /// The job's kind on the wire/metrics surface: `"sample"` when a sampling spec
+    /// is present, `"exact"` otherwise.
+    pub fn job_kind(&self) -> &'static str {
+        if self.sampling.is_some() {
+            "sample"
+        } else {
+            "exact"
+        }
+    }
 }
 
 /// A batch of jobs, the top-level shape of a job file.
@@ -380,7 +480,10 @@ pub struct JobResult {
     pub seed: u64,
     /// Feasible-set dimension (statevector length).
     pub dim: usize,
-    /// Best maximised expectation value `⟨C⟩` found.
+    /// Best value of the maximised objective found: the exact `⟨C⟩` for plain jobs,
+    /// the shot-estimator value (e.g. CVaR-α, which systematically exceeds `⟨C⟩`)
+    /// for `"sample"` jobs — compare across job kinds via
+    /// `sampling.exact_expectation`, not this field.
     pub expectation: f64,
     /// Best flat angle vector `[β…, γ…]`.
     pub angles: Vec<f64>,
@@ -388,7 +491,9 @@ pub struct JobResult {
     pub objective_max: f64,
     /// Smallest objective value over the feasible set.
     pub objective_min: f64,
-    /// Normalised quality `(⟨C⟩ − min)/(max − min)`; 1.0 is the optimum.
+    /// Normalised quality `(expectation − min)/(max − min)`; 1.0 is the optimum.
+    /// For `"sample"` jobs this normalises the *estimator* value (see
+    /// `expectation` above), so it is not comparable with an exact job's quality.
     pub quality: f64,
     /// Simulator evaluations spent by the optimizer.
     pub function_evals: usize,
@@ -400,6 +505,44 @@ pub struct JobResult {
     pub cache_hit: bool,
     /// Wall-clock execution time in milliseconds.
     pub elapsed_ms: f64,
+    /// Shot-based readout at the best angles (`Some` for `"sample"` jobs).
+    pub sampling: Option<SampleReport>,
+}
+
+/// Number of bins in a [`SampleReport`]'s approximation-ratio histogram.
+pub const RATIO_HISTOGRAM_BINS: usize = 20;
+
+/// The measured readout of a `"sample"` job at its best angles.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SampleReport {
+    /// Shots per evaluation (and in this readout).
+    pub shots: u64,
+    /// The sampling base seed.
+    pub sample_seed: u64,
+    /// Estimator kind (`"mean"` / `"cvar"` / `"gibbs"`).
+    pub estimator: String,
+    /// CVaR tail fraction, when the estimator is `"cvar"`.
+    pub alpha: Option<f64>,
+    /// Gibbs weighting, when the estimator is `"gibbs"`.
+    pub eta: Option<f64>,
+    /// The estimator's value on the readout histogram (what the optimizer maximised).
+    pub estimate: f64,
+    /// The exact `⟨C⟩` at the same angles, for estimator-vs-exact comparison.
+    pub exact_expectation: f64,
+    /// The best sampled basis state, as an `n`-character binary ket label.
+    pub best_bitstring: String,
+    /// The objective value of the best sampled state.
+    pub best_objective: f64,
+    /// Empirical frequency of sampling a globally optimal state.
+    pub optimal_frequency: f64,
+    /// Distinct basis states measured.
+    pub distinct_outcomes: u64,
+    /// Histogram of normalised sample quality `(C−min)/(max−min)` over
+    /// [`RATIO_HISTOGRAM_BINS`] equal bins (last bin closed).
+    pub ratio_histogram: Vec<u64>,
+    /// Total shots drawn by the whole job (every optimizer evaluation plus the
+    /// readout).
+    pub shots_total: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -581,6 +724,96 @@ impl Deserialize for OptimizerSpec {
     }
 }
 
+impl Serialize for EstimatorSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            EstimatorSpec::Mean => obj(self.kind(), vec![]),
+            EstimatorSpec::CVaR { alpha } => obj(self.kind(), vec![("alpha", alpha.to_value())]),
+            EstimatorSpec::Gibbs { eta } => obj(self.kind(), vec![("eta", eta.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for EstimatorSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        // Accept both the tagged-object form and a bare string (like mixers).
+        let kind = match v {
+            Value::Str(s) => s.as_str(),
+            other => kind_of(other, "estimator spec")?,
+        };
+        match kind {
+            "mean" => Ok(EstimatorSpec::Mean),
+            "cvar" => Ok(EstimatorSpec::CVaR {
+                alpha: f64_field(v, "alpha", kind)?,
+            }),
+            "gibbs" => Ok(EstimatorSpec::Gibbs {
+                eta: f64_field(v, "eta", kind)?,
+            }),
+            other => Err(format!("unknown estimator kind {other:?}")),
+        }
+    }
+}
+
+impl Serialize for SamplingSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("shots".into(), self.shots.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("estimator".into(), self.estimator.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SamplingSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(SamplingSpec {
+            shots: u64_field(v, "shots", "sampling spec")?,
+            seed: u64_field(v, "seed", "sampling spec")?,
+            estimator: EstimatorSpec::from_value(field(v, "estimator", "sampling spec")?)?,
+        })
+    }
+}
+
+impl Serialize for JobSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("problem".to_string(), self.problem.to_value()),
+            ("mixer".to_string(), self.mixer.to_value()),
+            ("p".to_string(), self.p.to_value()),
+            ("optimizer".to_string(), self.optimizer.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        // Omitted entirely for exact jobs, so pre-sampling job files round-trip
+        // byte-compatibly.
+        if let Some(sampling) = &self.sampling {
+            fields.push(("sampling".to_string(), sampling.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for JobSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        if v.as_object().is_none() {
+            return Err("job spec must be an object".into());
+        }
+        let sampling = match v.get_field("sampling") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(SamplingSpec::from_value(s)?),
+        };
+        Ok(JobSpec {
+            id: String::from_value(field(v, "id", "job spec")?)?,
+            problem: ProblemSpec::from_value(field(v, "problem", "job spec")?)?,
+            mixer: MixerSpec::from_value(field(v, "mixer", "job spec")?)?,
+            p: usize_field(v, "p", "job spec")?,
+            optimizer: OptimizerSpec::from_value(field(v, "optimizer", "job spec")?)?,
+            seed: u64_field(v, "seed", "job spec")?,
+            sampling,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +831,7 @@ mod tests {
                     temperature: 1.0,
                 },
                 seed: 7,
+                sampling: None,
             },
             JobSpec {
                 id: "sat".into(),
@@ -611,6 +845,11 @@ mod tests {
                 p: 1,
                 optimizer: OptimizerSpec::GridSearch { resolution: 12 },
                 seed: 8,
+                sampling: Some(SamplingSpec {
+                    shots: 2048,
+                    seed: 99,
+                    estimator: EstimatorSpec::CVaR { alpha: 0.2 },
+                }),
             },
             JobSpec {
                 id: "dks".into(),
@@ -623,6 +862,7 @@ mod tests {
                 p: 1,
                 optimizer: OptimizerSpec::RandomRestart { restarts: 5 },
                 seed: 9,
+                sampling: None,
             },
         ]
     }
@@ -635,6 +875,75 @@ mod tests {
         let json = serde_json::to_string_pretty(&file).unwrap();
         let back: JobFile = serde_json::from_str(&json).unwrap();
         assert_eq!(back, file);
+    }
+
+    #[test]
+    fn job_specs_without_a_sampling_field_still_load() {
+        // The wire format before the sampling subsystem existed — must stay valid.
+        let json = r#"{
+            "id": "legacy",
+            "problem": {"kind": "maxcut_gnp", "n": 8, "instance": 0},
+            "mixer": "grover",
+            "p": 1,
+            "optimizer": {"kind": "gridsearch", "resolution": 4},
+            "seed": 3
+        }"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.sampling, None);
+        assert_eq!(spec.job_kind(), "exact");
+        // Exact jobs serialise without the field, so legacy files round-trip.
+        assert!(!serde_json::to_string(&spec).unwrap().contains("sampling"));
+    }
+
+    #[test]
+    fn estimator_specs_round_trip_in_both_forms() {
+        let m: EstimatorSpec = serde_json::from_str("\"mean\"").unwrap();
+        assert_eq!(m, EstimatorSpec::Mean);
+        let c: EstimatorSpec =
+            serde_json::from_str("{\"kind\": \"cvar\", \"alpha\": 0.1}").unwrap();
+        assert_eq!(c, EstimatorSpec::CVaR { alpha: 0.1 });
+        let g: EstimatorSpec = serde_json::from_str("{\"kind\": \"gibbs\", \"eta\": 2.5}").unwrap();
+        assert_eq!(g, EstimatorSpec::Gibbs { eta: 2.5 });
+        assert!(serde_json::from_str::<EstimatorSpec>("{\"kind\": \"cvar\"}").is_err());
+        assert!(serde_json::from_str::<EstimatorSpec>("{\"kind\": \"median\"}").is_err());
+        for spec in [m, c, g] {
+            let json = serde_json::to_string(&spec).unwrap();
+            assert_eq!(serde_json::from_str::<EstimatorSpec>(&json).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn sampling_spec_validation_catches_bad_parameters() {
+        let ok = SamplingSpec {
+            shots: 1024,
+            seed: 1,
+            estimator: EstimatorSpec::CVaR { alpha: 0.5 },
+        };
+        assert!(ok.validate().is_ok());
+        assert!(SamplingSpec { shots: 0, ..ok }.validate().is_err());
+        assert!(SamplingSpec {
+            shots: MAX_SHOTS + 1,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        for alpha in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                SamplingSpec {
+                    estimator: EstimatorSpec::CVaR { alpha },
+                    ..ok
+                }
+                .validate()
+                .is_err(),
+                "α = {alpha} must be rejected"
+            );
+        }
+        assert!(SamplingSpec {
+            estimator: EstimatorSpec::Gibbs { eta: -1.0 },
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

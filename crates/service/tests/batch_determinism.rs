@@ -67,6 +67,7 @@ fn mixed_jobs(count: usize) -> Vec<JobSpec> {
                 p: 1 + (i % 2),
                 optimizer,
                 seed: 0xD15C0 + i as u64,
+                sampling: None,
             }
         })
         .collect()

@@ -17,6 +17,7 @@ fn job(id: &str, problem: ProblemSpec, mixer: MixerSpec, seed: u64) -> JobSpec {
             temperature: 1.0,
         },
         seed,
+        sampling: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn sample_spec(id: &str) -> JobSpec {
         p: 1,
         optimizer: OptimizerSpec::GridSearch { resolution: 8 },
         seed: 11,
+        sampling: None,
     }
 }
 
@@ -155,6 +156,52 @@ fn full_job_lifecycle_over_http() {
         Some(&serde_json::to_string(&bad).unwrap()),
     );
     assert_eq!(status, 400, "expected rejection, got: {body}");
+
+    // A "sample" job over the same instance: CVaR-optimized angles plus a measured
+    // readout in the result body.
+    let mut shot_job = sample_spec("e2e-sample");
+    shot_job.sampling = Some(juliqaoa_service::SamplingSpec {
+        shots: 1024,
+        seed: 99,
+        estimator: juliqaoa_service::EstimatorSpec::CVaR { alpha: 0.25 },
+    });
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(&serde_json::to_string(&shot_job).unwrap()),
+    );
+    assert_eq!(status, 202, "sample submit failed: {body}");
+    poll_until_done(addr, "e2e-sample");
+    let (status, body) = request(addr, "GET", "/jobs/e2e-sample/result", None);
+    assert_eq!(status, 200);
+    let result: JobResult = serde_json::from_str(&body).expect("sample result json");
+    let report = result.sampling.expect("sample report over HTTP");
+    assert_eq!(report.estimator, "cvar");
+    assert_eq!(report.ratio_histogram.iter().sum::<u64>(), 1024);
+    assert_eq!(report.best_bitstring.len(), 7);
+    // New counters surface in /metrics.
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
+    assert_eq!(metrics.engine.sample_jobs, 1);
+    assert_eq!(metrics.engine.shots_drawn, report.shots_total);
+
+    // Invalid sampling parameters die with a 400 at submission, before any worker.
+    let mut bad_alpha = sample_spec("bad-alpha");
+    bad_alpha.sampling = Some(juliqaoa_service::SamplingSpec {
+        shots: 128,
+        seed: 1,
+        estimator: juliqaoa_service::EstimatorSpec::CVaR { alpha: 2.0 },
+    });
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(&serde_json::to_string(&bad_alpha).unwrap()),
+    );
+    assert_eq!(status, 400, "expected 400 for α > 1, got: {body}");
+    assert!(body.contains("α") || body.contains("alpha") || body.contains("0 <"));
 
     // Graceful shutdown.
     let (status, _) = request(addr, "POST", "/shutdown", None);

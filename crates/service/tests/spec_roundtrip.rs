@@ -3,7 +3,9 @@
 //! Samples specs across every problem kind, mixer, optimizer and a wide seed range,
 //! serialises to JSON, parses back, and compares structurally (including every float).
 
-use juliqaoa_service::{JobFile, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec};
+use juliqaoa_service::{
+    EstimatorSpec, JobFile, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec, SamplingSpec,
+};
 use proptest::prelude::*;
 
 /// Builds the `variant`-th problem spec from sampled parameters.
@@ -65,6 +67,9 @@ proptest! {
         units in 1usize..40,
         step in 0.01..2.0f64,
         seed in 0u64..u64::MAX,
+        sampling_variant in 0usize..4,
+        shots in 1u64..1_000_000,
+        alpha in 0.01..1.0f64,
     ) {
         let k = ((n as f64 * k_frac) as usize).clamp(1, n);
         let problem = problem_from(problem_variant, n, k, density, instance);
@@ -72,6 +77,17 @@ proptest! {
             problem,
             ProblemSpec::DensestKSubgraphGnp { .. } | ProblemSpec::MaxKVertexCoverGnp { .. }
         );
+        let sampling = match sampling_variant % 4 {
+            0 => None,
+            1 => Some(EstimatorSpec::Mean),
+            2 => Some(EstimatorSpec::CVaR { alpha }),
+            _ => Some(EstimatorSpec::Gibbs { eta: step * 3.0 }),
+        }
+        .map(|estimator| SamplingSpec {
+            shots,
+            seed: seed ^ 0xBEEF,
+            estimator,
+        });
         let spec = JobSpec {
             id: format!("prop-{problem_variant}-{instance}-{seed:x}"),
             problem,
@@ -79,6 +95,7 @@ proptest! {
             p,
             optimizer: optimizer_from(optimizer_variant, units, step),
             seed,
+            sampling,
         };
 
         // Single-spec round trip, compact form.

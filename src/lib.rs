@@ -18,6 +18,7 @@
 //! | [`problems`] | MaxCut, k-SAT, Densest-k-Subgraph, Max-k-Vertex-Cover, … + pre-computation |
 //! | [`mixers`] | Pauli-X product, Grover, Clique, Ring and custom mixers |
 //! | [`core`] | the QAOA simulator, adjoint gradients, the Grover fast path |
+//! | [`sampling`] | shot-based measurement: alias sampling, CVaR/Gibbs estimators |
 //! | [`optim`] | BFGS, basin hopping, iterative extrapolated angle finding |
 //! | [`circuit`] | gate-level and dense-operator baseline simulators |
 //!
@@ -52,6 +53,7 @@ pub use juliqaoa_linalg as linalg;
 pub use juliqaoa_mixers as mixers;
 pub use juliqaoa_optim as optim;
 pub use juliqaoa_problems as problems;
+pub use juliqaoa_sampling as sampling;
 
 pub mod listing;
 
