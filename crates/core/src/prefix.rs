@@ -420,6 +420,31 @@ impl PrefixCache {
     pub fn absorb_stats(&mut self, stats: PrefixStats) {
         self.stats.absorb(stats);
     }
+
+    /// A comparable warmth score: how much replay work this cache's checkpoints can
+    /// save the next evaluation.  Full-round checkpoints dominate (each one skips a
+    /// whole round); a tail sub-checkpoint breaks ties between equally deep caches.
+    pub fn warmth(&self) -> usize {
+        2 * self.rounds.len() + usize::from(self.tail.is_some())
+    }
+
+    /// Deepest-wins merge: keeps whichever of the two caches serves deeper prefixes
+    /// (ties favour `self`), folding the other's reuse counters into the survivor so
+    /// no hits are lost when concurrently warmed caches race back to a shared slot.
+    ///
+    /// The two caches' checkpoints are never spliced together — they may describe
+    /// different angle trajectories, and a mixed stack could violate the invariant
+    /// that rounds `0..k` were applied with one consistent angle prefix.  Keeping the
+    /// deeper cache whole is always safe and loses at most the shallower warm-up.
+    pub fn merge_deeper(self, other: PrefixCache) -> PrefixCache {
+        let (mut keep, discard) = if other.warmth() > self.warmth() {
+            (other, self)
+        } else {
+            (self, other)
+        };
+        keep.stats.absorb(discard.stats);
+        keep
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +532,58 @@ mod tests {
         assert_eq!(cache.bytes(), bytes_before);
         cache.push_checkpoint(0.5, 0.6, &state(16, 3.0));
         assert_eq!(cache.bytes(), bytes_before);
+    }
+
+    #[test]
+    fn warmth_orders_caches_by_checkpoint_depth() {
+        let mut shallow = PrefixCache::with_budget(1 << 20);
+        shallow.bind(1, 8);
+        shallow.push_checkpoint(0.1, 0.2, &state(8, 1.0));
+        let mut deep = PrefixCache::with_budget(1 << 20);
+        deep.bind(1, 8);
+        deep.push_checkpoint(0.1, 0.2, &state(8, 1.0));
+        deep.push_checkpoint(0.3, 0.4, &state(8, 2.0));
+        assert!(deep.warmth() > shallow.warmth());
+        // A tail breaks ties between equally deep caches but never outranks a full
+        // round.
+        let mut tailed = PrefixCache::with_budget(1 << 20);
+        tailed.bind(1, 8);
+        tailed.push_checkpoint(0.1, 0.2, &state(8, 1.0));
+        tailed.store_tail(1, 0.5, TailKind::Eigenbasis, &state(8, 3.0));
+        assert!(tailed.warmth() > shallow.warmth());
+        assert!(deep.warmth() > tailed.warmth());
+        assert_eq!(PrefixCache::with_budget(1 << 20).warmth(), 0);
+    }
+
+    #[test]
+    fn merge_deeper_keeps_the_warmer_cache_and_both_counter_sets() {
+        let mut a = PrefixCache::with_budget(1 << 20);
+        a.bind(1, 8);
+        a.push_checkpoint(0.1, 0.2, &state(8, 1.0));
+        a.record_hit(1, false);
+        let mut b = PrefixCache::with_budget(1 << 20);
+        b.bind(1, 8);
+        b.push_checkpoint(0.5, 0.6, &state(8, 4.0));
+        b.push_checkpoint(0.7, 0.8, &state(8, 5.0));
+        b.record_miss();
+        // b is deeper: it survives, carrying a's counters.
+        let merged = a.merge_deeper(b);
+        assert_eq!(merged.checkpoints(), 2);
+        assert_eq!(
+            merged.matching_rounds(&Angles::new(vec![0.6], vec![0.5])),
+            1
+        );
+        assert_eq!(merged.stats().hits, 1);
+        assert_eq!(merged.stats().misses, 1);
+        // Ties keep self (no churn when both are equally warm).
+        let mut c = PrefixCache::with_budget(1 << 20);
+        c.bind(1, 8);
+        c.push_checkpoint(0.9, 0.1, &state(8, 6.0));
+        let mut d = PrefixCache::with_budget(1 << 20);
+        d.bind(1, 8);
+        d.push_checkpoint(0.2, 0.3, &state(8, 7.0));
+        let tied = c.merge_deeper(d);
+        assert_eq!(tied.matching_rounds(&Angles::new(vec![0.1], vec![0.9])), 1);
     }
 
     #[test]

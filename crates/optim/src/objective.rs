@@ -180,8 +180,9 @@ pub enum GradientMethod {
 /// caches by instance).
 ///
 /// With several workers, only one objective gets the parked cache; the rest run with
-/// fresh caches whose checkpoints are merged back opportunistically (first returner
-/// wins).  Results are unaffected either way — prefix reuse is bit-identical.
+/// fresh caches, and at check-in the deepest cache wins the parking slot
+/// ([`PrefixCache::merge_deeper`]).  Results are unaffected either way — prefix
+/// reuse is bit-identical.
 pub struct PrefixCacheHome {
     slot: Mutex<Option<PrefixCache>>,
     budget: usize,
@@ -218,8 +219,11 @@ impl PrefixCacheHome {
             .unwrap_or_else(|| PrefixCache::with_budget(self.budget))
     }
 
-    /// Returns a cache to the home, merging its counters into the aggregate.  The
-    /// first cache back parks; later ones are dropped (their counters still count).
+    /// Returns a cache to the home, merging its counters into the aggregate.  When
+    /// several objectives race back (parallel drivers build one per worker), the
+    /// *deepest* cache parks — [`PrefixCache::merge_deeper`] — so the warmest
+    /// checkpoints survive for the next run instead of whichever cache returned
+    /// first.
     pub fn check_in(&self, mut cache: PrefixCache) {
         let stats = cache.take_stats();
         self.stats
@@ -227,9 +231,10 @@ impl PrefixCacheHome {
             .expect("prefix home poisoned")
             .absorb(stats);
         let mut slot = self.slot.lock().expect("prefix home poisoned");
-        if slot.is_none() {
-            *slot = Some(cache);
-        }
+        *slot = Some(match slot.take() {
+            Some(parked) => parked.merge_deeper(cache),
+            None => cache,
+        });
     }
 
     /// Aggregated reuse counters across every objective that lived in this home.

@@ -85,6 +85,37 @@ impl ShotEstimator {
             ShotEstimator::Gibbs { eta } => gibbs(counts, obj_vals, eta),
         }
     }
+
+    /// The checked boundary for untrusted inputs: validates the estimator's
+    /// parameters *and* the objective vector ([`validate_objective_values`]) before
+    /// estimating, so a hostile or degenerate instance surfaces as an `Err` a
+    /// service can turn into a structured failure — never as a worker panic.
+    pub fn try_estimate(&self, counts: &SampleCounts, obj_vals: &[f64]) -> Result<f64, String> {
+        self.validate()?;
+        validate_objective_values(obj_vals)?;
+        if counts.dim() != obj_vals.len() {
+            return Err(format!(
+                "histogram over {} outcomes does not match an objective vector of length {}",
+                counts.dim(),
+                obj_vals.len()
+            ));
+        }
+        Ok(self.estimate(counts, obj_vals))
+    }
+}
+
+/// Validates that every objective value is finite — the precondition all estimators
+/// in this module assume.  NaN values would poison every aggregation (and previously
+/// panicked CVaR's sort); infinite values make means and soft-maxes meaningless.
+/// Returns the first offending index so the caller can name the culprit.
+pub fn validate_objective_values(obj_vals: &[f64]) -> Result<(), String> {
+    match obj_vals.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(i) => Err(format!(
+            "objective value at index {i} is {}; estimators need finite values",
+            obj_vals[i]
+        )),
+    }
 }
 
 fn check_dims(counts: &SampleCounts, obj_vals: &[f64]) {
@@ -115,14 +146,12 @@ pub fn cvar(counts: &SampleCounts, obj_vals: &[f64], alpha: f64) -> f64 {
     );
     let tail = ((alpha * counts.shots() as f64).ceil() as u64).clamp(1, counts.shots());
     // Visit sampled values from best to worst, consuming counts until the tail quota
-    // is filled; ties in value resolve by index, irrelevant to the sum.
+    // is filled; ties in value resolve by index, irrelevant to the sum.  `total_cmp`
+    // keeps the sort total even over NaN objective values — a degenerate instance
+    // yields a garbage (but deterministic) estimate instead of a panic; callers that
+    // need an error go through [`ShotEstimator::try_estimate`].
     let mut sampled: Vec<(usize, u64)> = counts.iter_nonzero().collect();
-    sampled.sort_by(|a, b| {
-        obj_vals[b.0]
-            .partial_cmp(&obj_vals[a.0])
-            .expect("objective values are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    sampled.sort_by(|a, b| obj_vals[b.0].total_cmp(&obj_vals[a.0]).then(a.0.cmp(&b.0)));
     let mut remaining = tail;
     let mut sum = 0.0;
     for (i, c) in sampled {
@@ -339,6 +368,64 @@ mod tests {
         assert!(ShotEstimator::Gibbs { eta: 0.0 }.validate().is_err());
         assert!(ShotEstimator::Gibbs { eta: f64::INFINITY }
             .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn cvar_does_not_panic_on_nan_objective_values() {
+        // A degenerate instance can realise NaN objective values (e.g. ∞ − ∞ from
+        // overflowing weights).  The sort must stay total: deterministic result, no
+        // worker panic.  The *checked* boundary below is what rejects such inputs.
+        let counts = counts_for(&[1.0, 1.0, 1.0], 1000, 11);
+        let obj = [1.0, f64::NAN, 2.0];
+        let a = cvar(&counts, &obj, 0.5);
+        let b = cvar(&counts, &obj, 0.5);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "NaN handling must be deterministic"
+        );
+    }
+
+    #[test]
+    fn objective_value_validation_names_the_offending_index() {
+        assert!(validate_objective_values(&[1.0, -2.0, 0.0]).is_ok());
+        assert!(validate_objective_values(&[]).is_ok());
+        let err = validate_objective_values(&[1.0, f64::NAN, 2.0]).unwrap_err();
+        assert!(err.contains("index 1"), "{err}");
+        let err = validate_objective_values(&[f64::INFINITY]).unwrap_err();
+        assert!(err.contains("index 0"), "{err}");
+    }
+
+    #[test]
+    fn try_estimate_rejects_bad_inputs_and_matches_estimate_on_good_ones() {
+        let counts = counts_for(&[1.0, 2.0, 3.0], 5000, 13);
+        let obj = [1.0, 2.0, 3.0];
+        for est in [
+            ShotEstimator::Mean,
+            ShotEstimator::CVaR { alpha: 0.4 },
+            ShotEstimator::Gibbs { eta: 1.5 },
+        ] {
+            assert_eq!(
+                est.try_estimate(&counts, &obj).unwrap().to_bits(),
+                est.estimate(&counts, &obj).to_bits()
+            );
+        }
+        // NaN objective values: an error, not a panic.
+        let nan_obj = [1.0, f64::NAN, 3.0];
+        for est in [
+            ShotEstimator::Mean,
+            ShotEstimator::CVaR { alpha: 0.4 },
+            ShotEstimator::Gibbs { eta: 1.5 },
+        ] {
+            assert!(est.try_estimate(&counts, &nan_obj).is_err());
+        }
+        // Bad parameters and mismatched dimensions are errors too.
+        assert!(ShotEstimator::CVaR { alpha: 0.0 }
+            .try_estimate(&counts, &obj)
+            .is_err());
+        assert!(ShotEstimator::Mean
+            .try_estimate(&counts, &[1.0, 2.0])
             .is_err());
     }
 

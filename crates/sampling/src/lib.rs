@@ -43,7 +43,8 @@ pub mod sampler;
 
 pub use alias::AliasTable;
 pub use estimator::{
-    best_sampled, cvar, gibbs, optimal_frequency, ratio_histogram, sample_mean, ShotEstimator,
+    best_sampled, cvar, gibbs, optimal_frequency, ratio_histogram, sample_mean,
+    validate_objective_values, ShotEstimator,
 };
 pub use sampler::{IndexMap, SampleCounts, StateSampler, SHOT_SHARD_SIZE};
 

@@ -149,23 +149,28 @@ pub fn run_batch(
         .map_init(
             // Workers hold the guard: job-internal loops stay serial (see module docs).
             enter_outer_parallelism,
-            |_guard, spec| match engine.run_job(spec, &juliqaoa_optim::RunControl::new()) {
-                Ok(result) => {
-                    if let Ok(line) = serde_json::to_string(&result) {
-                        append_line(&line);
+            |_guard, spec| {
+                // Panic-isolated execution, as in the serve-mode worker pool: a
+                // panicking job becomes a structured "failed" line instead of
+                // unwinding into rayon and aborting the whole batch.
+                match engine.run_job_isolated(spec, &juliqaoa_optim::RunControl::new()) {
+                    Ok(result) => {
+                        if let Ok(line) = serde_json::to_string(&result) {
+                            append_line(&line);
+                        }
+                        0usize
                     }
-                    0usize
-                }
-                Err(err) => {
-                    let line = FailedLine {
-                        id: spec.id.clone(),
-                        status: "failed".into(),
-                        error: err.to_string(),
-                    };
-                    if let Ok(line) = serde_json::to_string(&line) {
-                        append_line(&line);
+                    Err(err) => {
+                        let line = FailedLine {
+                            id: spec.id.clone(),
+                            status: "failed".into(),
+                            error: err.to_string(),
+                        };
+                        if let Ok(line) = serde_json::to_string(&line) {
+                            append_line(&line);
+                        }
+                        1usize
                     }
-                    1usize
                 }
             },
         )
@@ -299,6 +304,28 @@ mod tests {
         let summary2 = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
         assert_eq!(summary2.skipped, 1);
         assert_eq!(summary2.executed, 1);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn a_panicking_job_fails_structured_and_the_batch_continues() {
+        // The engine's chaos hook panics the job whose id matches; the id is unique
+        // to this test, so concurrently running tests are unaffected.
+        crate::engine::set_test_panic_job_id(Some("batch-boom"));
+        let out = temp_path("panic");
+        let mut jobs = tiny_jobs(3);
+        jobs[1].id = "batch-boom".into();
+        let engine = Engine::new(8);
+        let summary = run_batch(&engine, &jobs, &out, true).unwrap();
+        crate::engine::set_test_panic_job_id(None);
+        assert_eq!(summary.executed, 3);
+        assert_eq!(summary.failed, 1, "the panic becomes a structured failure");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("panicked mid-run"), "{text}");
+        assert_eq!(read_results(&out).len(), 2, "the other jobs still finish");
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_panicked, 1);
+        assert_eq!(stats.jobs_failed, 1);
         let _ = std::fs::remove_file(&out);
     }
 

@@ -19,11 +19,28 @@
 //!    [`InstanceId`]);
 //! 2. the **simulator slot cache**: per `(instance, mixer)` pair, a shared
 //!    [`Simulator`] (so repeat jobs skip re-cloning the `2ⁿ` objective into a fresh
-//!    simulator) plus a parked [`PrefixCache`] whose per-round checkpoint statevectors
-//!    survive from one job to the next.  Prefix reuse is bit-identical by
-//!    construction, so the determinism guarantee is untouched.
+//!    simulator) plus a bounded pool of parked [`PrefixCache`]s whose per-round
+//!    checkpoint statevectors survive from one job to the next.  Prefix reuse is
+//!    bit-identical by construction, so the determinism guarantee is untouched.
+//!
+//! # Concurrency scaling
+//!
+//! The engine is built so job throughput scales with the worker count instead of
+//! serialising on shared state:
+//!
+//! * both caches are [`ShardedLru`]s — lookups on different keys never share a lock;
+//! * instance preparation is **single-flight**: concurrent misses on one
+//!   [`InstanceId`] coalesce, one worker builds the `2ⁿ` pre-computation while the
+//!   rest block on the in-flight entry and share the result (counted in
+//!   `prep_coalesced`), so a thundering herd on a cold hot instance pays one build,
+//!   not one per worker;
+//! * each simulator slot parks a small **pool** of prefix caches, not a single
+//!   `Option` — concurrent jobs on the same `(instance, mixer)` each check out a
+//!   warm set of checkpoints, and returns merge *deepest-wins*
+//!   ([`PrefixCache::merge_deeper`]) instead of keeping whichever cache came back
+//!   first.
 
-use crate::lru::LruCache;
+use crate::lru::ShardedLru;
 use crate::spec::{
     BuiltProblem, EstimatorSpec, JobResult, JobSpec, MixerSpec, OptimizerSpec, SampleReport,
     SamplingSpec, RATIO_HISTOGRAM_BINS,
@@ -39,8 +56,10 @@ use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClas
 use juliqaoa_sampling::{estimator, IndexMap};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Errors surfaced by job execution.
@@ -52,6 +71,9 @@ pub enum ServiceError {
     Simulation(QaoaError),
     /// Reading or writing job/result files failed.
     Io(String),
+    /// The job panicked mid-run and was converted to a structured failure by
+    /// [`Engine::run_job_isolated`].
+    Panicked(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -60,6 +82,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Spec(msg) => write!(f, "invalid job spec: {msg}"),
             ServiceError::Simulation(e) => write!(f, "simulation error: {e}"),
             ServiceError::Io(msg) => write!(f, "I/O error: {msg}"),
+            ServiceError::Panicked(msg) => write!(f, "job panicked mid-run: {msg}"),
         }
     }
 }
@@ -82,6 +105,10 @@ pub struct PreparedObjective {
     pub max: f64,
     /// Smallest objective value.
     pub min: f64,
+    /// Whether every objective value is finite.  Degenerate instances (overflowing
+    /// explicit weights) can realise `±∞` or NaN values; jobs on such instances are
+    /// rejected with a structured error before any estimator or optimizer sees them.
+    pub finite: bool,
 }
 
 impl PreparedObjective {
@@ -94,13 +121,22 @@ impl PreparedObjective {
             None => precompute_full(problem.cost.as_ref()),
         };
         let classes = PhaseClasses::build(&values);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        let mut finite = true;
+        // One pass: `f64::max`/`min` silently skip NaN, so finiteness needs its own
+        // check — a finite-looking (max, min) pair can hide NaN entries.
+        for &v in &values {
+            finite &= v.is_finite();
+            max = max.max(v);
+            min = min.min(v);
+        }
         PreparedObjective {
             values,
             classes,
             max,
             min,
+            finite,
         }
     }
 
@@ -127,6 +163,16 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Instance-cache misses (pre-computations performed).
     pub cache_misses: u64,
+    /// Prepared-objective builds actually performed.  With single-flight coalescing
+    /// this equals `cache_misses`: concurrent misses on one instance produce one
+    /// build, and the waiters count as hits.
+    pub instance_builds: u64,
+    /// Preparations that blocked on another worker's in-flight build instead of
+    /// duplicating it (the coalesced share of concurrent misses).
+    pub prep_coalesced: u64,
+    /// Jobs that panicked mid-run and were converted to structured failures by the
+    /// worker pool (a subset of `jobs_failed`).
+    pub jobs_panicked: u64,
     /// Evaluations that resumed from a prefix checkpoint instead of round 0.
     pub prefix_hits: u64,
     /// Evaluations that ran cold (no usable checkpoint).
@@ -140,32 +186,123 @@ pub struct EngineStats {
     pub shots_drawn: u64,
 }
 
-/// A shared simulator plus the parked prefix cache for one `(instance, mixer)` pair.
+/// A shared simulator plus the parked checkpoint pool for one `(instance, mixer)`
+/// pair.  The pool holds up to [`PARKED_POOL_CACHES`] prefix caches so *each* of a
+/// small worker pool's concurrent jobs on the slot can start from warm checkpoints —
+/// a single parked `Option` hands warmth to one job and starts the rest cold.
 struct SimSlot {
     sim: Arc<Simulator>,
-    cache: Option<PrefixCache>,
+    pool: Vec<PrefixCache>,
 }
 
-/// The simulator-slot LRU: shared, individually locked slots per `(instance, mixer)`.
-type SimSlotCache = LruCache<(InstanceId, MixerSpec), Arc<Mutex<SimSlot>>>;
+/// The simulator-slot cache: shared, individually locked slots per `(instance, mixer)`.
+type SimSlotCache = ShardedLru<(InstanceId, MixerSpec), Arc<Mutex<SimSlot>>>;
 
-/// Statevector-sized buffers a parked prefix cache may pin per slot.  The slot's LRU
-/// weight charges for this allowance up front, and [`Engine::run_job`] refuses to park
-/// a cache that has grown beyond it (deep-`p` sweeps simply restart cold next job), so
-/// the byte budget on the slot LRU reflects real resident memory.
+/// Maximum prefix caches parked per simulator slot.  Sized for a small worker pool
+/// hammering one hot instance: each concurrent job checks a warm cache out and parks
+/// it back.  More would pin statevector memory for warmth nobody collects.
+const PARKED_POOL_CACHES: usize = 4;
+
+/// Statevector-sized buffers one parked prefix cache may pin.  [`Engine::run_job`]
+/// refuses to park a cache that has grown beyond this allowance (deep-`p` sweeps
+/// simply restart cold next job), and the slot's LRU weight is re-priced to the
+/// *actually parked* bytes at every checkout and park, so the byte budget on the
+/// slot LRU tracks real resident memory instead of a worst-case reservation.
 const PARKED_PREFIX_STATES: usize = 8;
 
 /// Bytes of one statevector element (`Complex64`).
 const STATE_ELEM_BYTES: usize = 16;
 
+/// Lock shards for the instance and simulator-slot caches.  Sized comfortably above
+/// any worker count this service runs with, so concurrent lookups on different keys
+/// effectively never contend.
+const CACHE_SHARDS: usize = 8;
+
+/// Single-flight coordination for one in-progress instance preparation: the builder
+/// publishes exactly once, waiters block on the condvar.
+struct PrepFlight {
+    /// `None` while building; `Some(Some(_))` once published; `Some(None)` when the
+    /// builder panicked (waiters then retry, one becoming the new builder).
+    result: Mutex<Option<Option<Arc<PreparedObjective>>>>,
+    done: Condvar,
+}
+
+impl PrepFlight {
+    fn new() -> Self {
+        PrepFlight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, out: Option<Arc<PreparedObjective>>) {
+        *self.result.lock().expect("prep flight poisoned") = Some(out);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Option<Arc<PreparedObjective>> {
+        let mut result = self.result.lock().expect("prep flight poisoned");
+        loop {
+            match &*result {
+                Some(out) => return out.clone(),
+                None => result = self.done.wait(result).expect("prep flight poisoned"),
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload as text (the common `&str`/`String` payloads;
+/// anything else gets a placeholder) for [`Engine::run_job_isolated`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// In-process override for the panic chaos hook (see [`set_test_panic_job_id`]).
+static TEST_PANIC_JOB_ID: Mutex<Option<String>> = Mutex::new(None);
+
+/// Test-only: makes the next job whose id equals `id` panic mid-run, exercising
+/// worker-pool panic isolation.  Tests must use this setter rather than mutating
+/// the `JULIQAOA_TEST_PANIC_JOB_ID` environment variable — `std::env::set_var`
+/// racing another thread's `getenv` is undefined behaviour on glibc.  The
+/// environment variable remains the hook for *spawned* processes (CI smoke),
+/// where it is set before the process starts and never mutated at runtime.
+#[doc(hidden)]
+pub fn set_test_panic_job_id(id: Option<&str>) {
+    *TEST_PANIC_JOB_ID.lock().expect("panic hook lock poisoned") = id.map(str::to_string);
+}
+
+fn test_panic_job_id_matches(job_id: &str) -> bool {
+    if let Some(target) = TEST_PANIC_JOB_ID
+        .lock()
+        .expect("panic hook lock poisoned")
+        .as_deref()
+    {
+        return target == job_id;
+    }
+    std::env::var("JULIQAOA_TEST_PANIC_JOB_ID").is_ok_and(|target| target == job_id)
+}
+
 /// The shared execution engine: instance cache, simulator slots and counters.
 pub struct Engine {
-    cache: Mutex<LruCache<InstanceId, Arc<PreparedObjective>>>,
-    sims: Mutex<SimSlotCache>,
+    cache: ShardedLru<InstanceId, Arc<PreparedObjective>>,
+    /// In-flight preparations, for single-flight coalescing.  A plain mutex is fine
+    /// here: it is touched only on instance-cache misses, and the expensive build
+    /// happens outside it.
+    inflight: Mutex<HashMap<InstanceId, Arc<PrepFlight>>>,
+    sims: SimSlotCache,
     jobs_executed: AtomicU64,
     jobs_failed: AtomicU64,
+    jobs_panicked: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    instance_builds: AtomicU64,
+    prep_coalesced: AtomicU64,
     prefix_hits: AtomicU64,
     prefix_misses: AtomicU64,
     prefix_rounds_saved: AtomicU64,
@@ -245,18 +382,24 @@ impl Engine {
     /// bounded to [`DEFAULT_CACHE_BYTES`] total.
     pub fn new(cache_capacity: usize) -> Self {
         Engine {
-            cache: Mutex::new(LruCache::with_weight_budget(
+            cache: ShardedLru::with_shards(
+                CACHE_SHARDS,
                 cache_capacity.max(1),
                 Some(DEFAULT_CACHE_BYTES),
-            )),
-            sims: Mutex::new(LruCache::with_weight_budget(
+            ),
+            inflight: Mutex::new(HashMap::new()),
+            sims: ShardedLru::with_shards(
+                CACHE_SHARDS,
                 cache_capacity.max(1),
                 Some(DEFAULT_CACHE_BYTES),
-            )),
+            ),
             jobs_executed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            instance_builds: AtomicU64::new(0),
+            prep_coalesced: AtomicU64::new(0),
             prefix_hits: AtomicU64::new(0),
             prefix_misses: AtomicU64::new(0),
             prefix_rounds_saved: AtomicU64::new(0),
@@ -266,7 +409,7 @@ impl Engine {
     }
 
     /// Fetches (or builds and caches) the shared simulator slot for a problem/mixer
-    /// pair.  The slot also parks the prefix cache between jobs so checkpoint
+    /// pair.  The slot also parks the checkpoint pool between jobs so prefix
     /// statevectors survive from one job to the next on the same instance.
     fn simulator_slot(
         &self,
@@ -275,12 +418,12 @@ impl Engine {
         prepared: &PreparedObjective,
     ) -> Result<Arc<Mutex<SimSlot>>, ServiceError> {
         let key = (problem.instance_id, *mixer_spec);
-        if let Some(slot) = self.sims.lock().expect("sim cache lock poisoned").get(&key) {
-            return Ok(slot.clone());
+        if let Some(slot) = self.sims.get(&key) {
+            return Ok(slot);
         }
-        // Build outside the lock, mirroring `prepare`: racing workers both build and
-        // the later insert wins; correctness is unaffected because prefix caches
-        // self-invalidate against a simulator they have never seen.
+        // Build outside the lock; racing workers may both build, but
+        // `get_or_insert_weighted` hands every caller the one winning slot, so the
+        // checkpoint pool is never split across two live copies.
         let mixer = mixer_spec.build(problem).map_err(ServiceError::Spec)?;
         let sim = Simulator::from_parts(
             prepared.values.clone(),
@@ -289,44 +432,127 @@ impl Engine {
         )?;
         let slot = Arc::new(Mutex::new(SimSlot {
             sim: Arc::new(sim),
-            cache: None,
+            pool: Vec::new(),
         }));
-        // Charge the simulator's own copy of the prepared data plus the checkpoint
-        // allowance a parked prefix cache may later pin (enforced at park time).
-        let weight = prepared.approx_bytes()
-            + (PARKED_PREFIX_STATES * prepared.values.len() * STATE_ELEM_BYTES) as u64;
+        // A fresh slot weighs only the simulator's copy of the prepared data; the
+        // checkpoint pool's bytes are charged as they are actually parked (see
+        // `update_slot_weight`), so an idle slot never pays for warmth it does not
+        // hold — charging the whole-pool worst case up front would cut co-resident
+        // slots ~4× at larger `n` for no resident memory at all.
+        Ok(self
+            .sims
+            .get_or_insert_weighted(key, slot, prepared.approx_bytes()))
+    }
+
+    /// Re-prices a slot in the LRU as the sum of its prepared data and the bytes its
+    /// pool *actually* parks right now.  Called after every checkout (weight drops)
+    /// and park (weight grows).  Uses `update_weight`, never an insert: if the LRU
+    /// has already evicted this slot, a job still holding its `Arc` must not
+    /// resurrect it and evict a live slot in its place — the orphaned pool simply
+    /// dies with the last `Arc`.  Concurrent jobs may briefly leave the recorded
+    /// weight one update stale; the next checkout or park corrects it.
+    fn update_slot_weight(
+        &self,
+        key: (InstanceId, MixerSpec),
+        slot: &Arc<Mutex<SimSlot>>,
+        prepared_bytes: u64,
+    ) {
+        let pooled: usize = {
+            let slot = slot.lock().expect("sim slot poisoned");
+            slot.pool.iter().map(|cache| cache.bytes()).sum()
+        };
         self.sims
-            .lock()
-            .expect("sim cache lock poisoned")
-            .insert_weighted(key, slot.clone(), weight);
-        Ok(slot)
+            .update_weight(&key, prepared_bytes + pooled as u64);
     }
 
     /// Fetches (or computes and caches) the pre-computation for a built problem.
     /// Returns the shared data plus whether it was a cache hit.
+    ///
+    /// Preparation is **single-flight**: when several workers miss on the same
+    /// instance concurrently, exactly one builds (a cache miss) while the rest block
+    /// on the in-flight entry and share its result (cache hits, tallied in
+    /// `prep_coalesced`).  If a build panics, waiters wake, and retry; one of them
+    /// becomes the new builder, so a poisoned build never wedges the instance.
     pub fn prepare(&self, problem: &BuiltProblem) -> (Arc<PreparedObjective>, bool) {
-        if let Some(found) = self
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&problem.instance_id)
-        {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return (found.clone(), true);
+        loop {
+            if let Some(found) = self.cache.get(&problem.instance_id) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return (found, true);
+            }
+            // Miss: join the in-flight build for this instance, or start one.
+            let (flight, this_worker_builds) = {
+                let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+                match inflight.get(&problem.instance_id) {
+                    Some(flight) => (flight.clone(), false),
+                    None => {
+                        // Re-check the cache while holding the inflight lock: a
+                        // builder that finished between our miss above and this
+                        // lock has already filled the cache (it inserts *before*
+                        // retiring its flight), and registering as a new builder
+                        // here would duplicate its 2ⁿ build.  Lock order is always
+                        // inflight → cache shard, so this cannot deadlock.
+                        if let Some(found) = self.cache.get(&problem.instance_id) {
+                            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            return (found, true);
+                        }
+                        let flight = Arc::new(PrepFlight::new());
+                        inflight.insert(problem.instance_id, flight.clone());
+                        (flight, true)
+                    }
+                }
+            };
+            if !this_worker_builds {
+                self.prep_coalesced.fetch_add(1, Ordering::Relaxed);
+                match flight.wait() {
+                    Some(prepared) => {
+                        // A coalesced miss is a hit for accounting: this worker paid
+                        // a wait, not a build.
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return (prepared, true);
+                    }
+                    // The builder panicked; retry (the flight entry is gone, so some
+                    // retrying worker becomes the new builder).
+                    None => continue,
+                }
+            }
+            // This worker builds, outside every lock, so a slow pre-computation
+            // never serialises the pool.  Prepared data is a pure function of the
+            // instance, so whoever builds, everyone reads the same values.
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.instance_builds.fetch_add(1, Ordering::Relaxed);
+            let built = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                Arc::new(PreparedObjective::compute(problem))
+            }));
+            match built {
+                Ok(prepared) => {
+                    // Order matters: fill the cache *before* retiring the flight.
+                    // A new caller arriving in between then hits the cache instead
+                    // of finding neither and starting a duplicate build.  Waiters
+                    // hold the flight `Arc`, so publishing after removal still
+                    // reaches every one of them.
+                    let weight = prepared.approx_bytes();
+                    self.cache
+                        .insert_weighted(problem.instance_id, prepared.clone(), weight);
+                    self.inflight
+                        .lock()
+                        .expect("inflight table poisoned")
+                        .remove(&problem.instance_id);
+                    flight.publish(Some(prepared.clone()));
+                    return (prepared, false);
+                }
+                Err(payload) => {
+                    // Failure order is the reverse: retire the flight *before*
+                    // waking the waiters, so a retrying waiter can never rejoin the
+                    // dead flight — one of them becomes the new builder.
+                    self.inflight
+                        .lock()
+                        .expect("inflight table poisoned")
+                        .remove(&problem.instance_id);
+                    flight.publish(None);
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
-        // Compute outside the lock so a slow pre-computation never serialises the
-        // whole worker pool.  Two workers racing on the same instance both compute;
-        // the later insert simply replaces the identical value — wasted work bounded
-        // by one pre-computation, and correctness is unaffected because prepared data
-        // is a pure function of the instance.
-        let prepared = Arc::new(PreparedObjective::compute(problem));
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let weight = prepared.approx_bytes();
-        self.cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert_weighted(problem.instance_id, prepared.clone(), weight);
-        (prepared, false)
     }
 
     /// A snapshot of the engine counters.
@@ -334,8 +560,11 @@ impl Engine {
         EngineStats {
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            instance_builds: self.instance_builds.load(Ordering::Relaxed),
+            prep_coalesced: self.prep_coalesced.load(Ordering::Relaxed),
             prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
             prefix_misses: self.prefix_misses.load(Ordering::Relaxed),
             prefix_rounds_saved: self.prefix_rounds_saved.load(Ordering::Relaxed),
@@ -346,12 +575,48 @@ impl Engine {
 
     /// Number of instances currently cached.
     pub fn cached_instances(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.cache.len()
     }
 
     /// Number of `(instance, mixer)` simulator slots currently cached.
     pub fn cached_simulators(&self) -> usize {
-        self.sims.lock().expect("sim cache lock poisoned").len()
+        self.sims.len()
+    }
+
+    /// Total prefix caches currently parked across all simulator-slot pools — how
+    /// many concurrent jobs could start from warm checkpoints right now.
+    pub fn parked_prefix_caches(&self) -> usize {
+        self.sims
+            .values()
+            .iter()
+            .map(|slot| slot.lock().expect("sim slot poisoned").pool.len())
+            .sum()
+    }
+
+    /// Records a job that died in a panic after a `catch_unwind` recovered it —
+    /// `run_job` never returned, so its own failure accounting did not run.  Keeps
+    /// `jobs_failed` covering every job that entered the engine.
+    pub fn record_panicked_job(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`Engine::run_job`] with panic isolation: a job that panics mid-run returns
+    /// [`ServiceError::Panicked`] (tallied in `jobs_failed`/`jobs_panicked`)
+    /// instead of unwinding into the calling worker thread.  Both front-ends route
+    /// job execution through this, so a hostile job can never shrink a worker pool
+    /// or abort a batch.
+    pub fn run_job_isolated(
+        &self,
+        spec: &JobSpec,
+        control: &RunControl,
+    ) -> Result<JobResult, ServiceError> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| self.run_job(spec, control))).unwrap_or_else(
+            |payload| {
+                self.record_panicked_job();
+                Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+            },
+        )
     }
 
     /// Executes one job to completion (or cancellation), returning its result.
@@ -384,14 +649,42 @@ impl Engine {
         }
         let problem = spec.problem.build().map_err(ServiceError::Spec)?;
         let (prepared, cache_hit) = self.prepare(&problem);
+        // Hostile or degenerate instances (overflowing explicit weights) can realise
+        // non-finite objective values; estimators and quality normalisation are
+        // meaningless over them, so the job dies here with a structured error.
+        if !prepared.finite {
+            return Err(ServiceError::Spec(
+                "instance realises non-finite objective values; \
+                 check the problem's weights for overflow"
+                    .into(),
+            ));
+        }
+        // Chaos hook for tests and CI smoke: a matching job id panics mid-run,
+        // exercising the worker pool's panic isolation end-to-end.
+        if test_panic_job_id_matches(&spec.id) {
+            panic!("test hook: job {:?} panicked mid-run", spec.id);
+        }
+        let slot_key = (problem.instance_id, spec.mixer);
         let slot = self.simulator_slot(&problem, &spec.mixer, &prepared)?;
-        // Check the shared simulator and the parked prefix cache out of the slot.
-        // Concurrent jobs on the same slot share the simulator; only one gets the
-        // parked checkpoints, the rest start cold — results are identical either way.
+        // Check the shared simulator and the warmest parked prefix cache out of the
+        // slot's pool.  Concurrent jobs on the same slot share the simulator, and up
+        // to PARKED_POOL_CACHES of them start from warm checkpoints — results are
+        // identical warm or cold.
         let (sim, parked) = {
             let mut slot = slot.lock().expect("sim slot poisoned");
-            (slot.sim.clone(), slot.cache.take())
+            let warmest = slot
+                .pool
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, cache)| cache.warmth())
+                .map(|(i, _)| i);
+            let parked = warmest.map(|i| slot.pool.swap_remove(i));
+            (slot.sim.clone(), parked)
         };
+        if parked.is_some() {
+            // The checked-out cache's bytes left the pool; re-price the slot.
+            self.update_slot_weight(slot_key, &slot, prepared.approx_bytes());
+        }
         let home = match parked {
             Some(cache) => PrefixCacheHome::new(cache),
             None => PrefixCacheHome::with_budget(juliqaoa_core::prefix::default_prefix_budget()),
@@ -484,7 +777,12 @@ impl Engine {
                     .with_shot_tally(&shot_tally);
                 let counts = readout.counts_at(&res.x);
                 drop(readout);
-                let estimate = shot_estimator.estimate(&counts, obj_vals);
+                // The finiteness gate above makes this infallible for instances the
+                // engine admits; the checked boundary stays as a second line of
+                // defence should a non-finite value ever reach the readout.
+                let estimate = shot_estimator
+                    .try_estimate(&counts, obj_vals)
+                    .map_err(ServiceError::Spec)?;
                 let exact_expectation = sim.expectation(&Angles::from_flat(&res.x))?;
                 let map = match problem.subspace_k {
                     Some(k) => IndexMap::dicke(problem.n, k),
@@ -531,15 +829,32 @@ impl Engine {
         self.prefix_rounds_saved
             .fetch_add(pstats.rounds_saved, Ordering::Relaxed);
         if let Some(cache) = home.into_cache() {
-            // Park only caches within the allowance the slot's LRU weight paid for;
-            // an oversized cache (very deep p) is dropped rather than silently
-            // blowing past the byte budget.
+            // Park only caches within the per-cache allowance; an oversized cache
+            // (very deep p) is dropped rather than pinning unbounded statevector
+            // memory for one slot.
             let allowance = PARKED_PREFIX_STATES * sim.dim() * STATE_ELEM_BYTES;
             if cache.bytes() <= allowance {
-                let mut slot = slot.lock().expect("sim slot poisoned");
-                if slot.cache.is_none() {
-                    slot.cache = Some(cache);
+                {
+                    let mut slot = slot.lock().expect("sim slot poisoned");
+                    if slot.pool.len() < PARKED_POOL_CACHES {
+                        slot.pool.push(cache);
+                    } else if let Some(coldest) = slot
+                        .pool
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, pooled)| pooled.warmth())
+                        .map(|(i, _)| i)
+                    {
+                        // Full pool: deepest wins.  `merge_deeper` keeps whichever
+                        // of the returning cache and the coldest pooled entry serves
+                        // deeper prefixes, so a warmer cache is never discarded for
+                        // returning late.
+                        let evicted = slot.pool.swap_remove(coldest);
+                        slot.pool.push(cache.merge_deeper(evicted));
+                    }
                 }
+                // The parked bytes are now resident; re-price the slot in the LRU.
+                self.update_slot_weight(slot_key, &slot, prepared.approx_bytes());
             }
         }
 
@@ -695,6 +1010,63 @@ mod tests {
             stats.prefix_misses
         );
         assert!(stats.prefix_rounds_saved > 500);
+    }
+
+    #[test]
+    fn a_follower_job_on_a_warm_slot_checks_out_the_parked_cache_and_records_hits() {
+        // Regression test for the parked-cache write-back policy: the warmth a job
+        // leaves behind must actually reach the next job on the slot.  The
+        // hand-off is observable in the pool count — the follower checks the parked
+        // cache *out* (so the pool holds one cache after it returns, not two) — and
+        // in the follower recording prefix hits of its own.  Serial scan (guard
+        // held) keeps the counters deterministic.
+        let _guard = juliqaoa_linalg::enter_outer_parallelism();
+        let grid_job = |id: &str| {
+            let mut job = quick_job(id, 0, 3);
+            job.p = 2;
+            job.optimizer = OptimizerSpec::GridSearch { resolution: 4 };
+            job
+        };
+        let engine = Engine::new(8);
+        let warm = engine
+            .run_job(&grid_job("warmup"), &RunControl::new())
+            .unwrap();
+        assert_eq!(engine.parked_prefix_caches(), 1, "warm-up parks its cache");
+        let before = engine.stats();
+        let follow = engine
+            .run_job(&grid_job("follower"), &RunControl::new())
+            .unwrap();
+        let follower_hits = engine.stats().prefix_hits - before.prefix_hits;
+        assert!(
+            follower_hits > 0,
+            "a follower on a warm slot must record prefix hits"
+        );
+        assert_eq!(
+            engine.parked_prefix_caches(),
+            1,
+            "the follower must check out the parked cache (a second pooled cache \
+             would mean the hand-off never happened)"
+        );
+        // Warmth never changes answers.
+        assert_eq!(warm.expectation.to_bits(), follow.expectation.to_bits());
+        assert_eq!(warm.angles, follow.angles);
+    }
+
+    #[test]
+    fn non_finite_instances_are_rejected_with_a_structured_error() {
+        // Overflowing explicit weights realise ±∞ objective values; the engine must
+        // refuse them with a spec error instead of feeding them to estimators.
+        let engine = Engine::new(8);
+        let graph = juliqaoa_graphs::Graph::from_weighted_edges(4, &[(0, 1, 1e308), (2, 3, 1e308)]);
+        let mut job = quick_job("inf", 0, 1);
+        job.problem = ProblemSpec::MaxCut { graph };
+        match engine.run_job(&job, &RunControl::new()) {
+            Err(ServiceError::Spec(msg)) => {
+                assert!(msg.contains("non-finite"), "{msg}")
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+        assert_eq!(engine.stats().jobs_failed, 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod spec;
 
 pub use batch::{completed_ids, load_job_file, run_batch, BatchSummary};
 pub use engine::{Engine, EngineStats, PreparedObjective, ServiceError, DEFAULT_CACHE_CAPACITY};
-pub use lru::LruCache;
+pub use lru::{LruCache, ShardedLru};
 pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig};
 pub use spec::{
     BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec,

@@ -4,7 +4,9 @@
 //! bounded FIFO work queue, and a pool of worker threads sharing one [`Engine`] — so
 //! concurrent jobs on the same instance share cached pre-computations.  Workers hold
 //! the outer-parallelism guard while running a job, keeping per-job inner kernels
-//! serial exactly as batch mode does.
+//! serial exactly as batch mode does.  Job execution is panic-isolated: a panicking
+//! job is recorded as `failed` with a structured error and the worker keeps serving,
+//! so the pool never silently shrinks.
 //!
 //! Endpoints:
 //!
@@ -317,7 +319,12 @@ fn worker_loop(state: &ServiceState) {
                 record.progress_total.store(total, Ordering::Relaxed);
             }
         });
-        match state.engine.run_job(&record.spec, &control) {
+        // Panic-isolated execution: without it, one panicking job would kill this
+        // thread for the rest of the process — silently shrinking the pool and
+        // leaving the job in `Running` forever.  Instead a panic surfaces below as
+        // an ordinary failed job (visible in `jobs_failed`/`jobs_panicked`) and
+        // the worker lives on.
+        match state.engine.run_job_isolated(&record.spec, &control) {
             Ok(result) => {
                 // The engine sets "cancelled" only on an actual cancel request;
                 // optimizer non-convergence is still a done job.

@@ -210,6 +210,61 @@ fn full_job_lifecycle_over_http() {
 }
 
 #[test]
+fn a_panicking_job_fails_structured_and_the_sole_worker_survives() {
+    // One worker: if the panic killed the thread, nothing would ever run again and
+    // the follow-up job below would hang in `queued`.  The job id is unique to this
+    // test, so the chaos hook cannot touch other tests' jobs.
+    juliqaoa_service::engine::set_test_panic_job_id(Some("e2e-panic-boom"));
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 8,
+        results_path: None,
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let spec_json = serde_json::to_string(&sample_spec("e2e-panic-boom")).unwrap();
+    let (status, _) = request(addr, "POST", "/jobs", Some(&spec_json));
+    assert_eq!(status, 202);
+    let final_status = poll_until_done(addr, "e2e-panic-boom");
+    assert_eq!(final_status.status, "failed", "panic must become `failed`");
+
+    // The failure is structured and fetchable, not a dropped connection.
+    let (status, body) = request(addr, "GET", "/jobs/e2e-panic-boom/result", None);
+    assert_eq!(status, 500);
+    assert!(body.contains("panicked"), "{body}");
+
+    // The server is still healthy and the (sole) worker still serves jobs.
+    let (status, _) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let after_json = serde_json::to_string(&sample_spec("e2e-after-panic")).unwrap();
+    let (status, _) = request(addr, "POST", "/jobs", Some(&after_json));
+    assert_eq!(status, 202);
+    let final_status = poll_until_done(addr, "e2e-after-panic");
+    assert_eq!(
+        final_status.status, "done",
+        "the worker must survive the panic"
+    );
+
+    // The panic is counted: a failed job, attributed to a panic.
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
+    assert_eq!(metrics.failed, 1);
+    assert_eq!(metrics.engine.jobs_panicked, 1);
+    assert_eq!(metrics.engine.jobs_failed, 1);
+    assert_eq!(metrics.done, 1);
+    juliqaoa_service::engine::set_test_panic_job_id(None);
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn queue_overflow_returns_429_and_cancellation_works() {
     // One worker and a tiny queue: hold the worker busy with slow jobs, overflow the
     // queue, then cancel a queued job.
