@@ -101,6 +101,7 @@ fn jobs_for(n: usize, count: usize, distinct_instances: usize) -> Vec<JobSpec> {
             },
             seed: i as u64,
             sampling: None,
+            timeout_ms: None,
         })
         .collect()
 }

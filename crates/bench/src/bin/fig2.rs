@@ -120,6 +120,7 @@ fn emit_jobs(cfg: &Config, path: &str) {
                 },
                 seed: 2,
                 sampling: None,
+                timeout_ms: None,
             });
         }
     }

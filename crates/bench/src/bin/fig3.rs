@@ -56,6 +56,7 @@ fn emit_jobs(cfg: &Config, path: &str) {
                 },
                 seed: 1000 + idx as u64,
                 sampling: None,
+                timeout_ms: None,
             });
             jobs.push(JobSpec {
                 id: format!("fig3-i{idx}-p{p}-rr"),
@@ -67,6 +68,7 @@ fn emit_jobs(cfg: &Config, path: &str) {
                 },
                 seed: 2000 + idx as u64,
                 sampling: None,
+                timeout_ms: None,
             });
         }
     }

@@ -38,6 +38,7 @@ mod tests {
             },
             seed: 5,
             sampling: None,
+            timeout_ms: None,
         }];
         write_job_file(&path, jobs.clone()).unwrap();
         assert_eq!(load_job_file(&path).unwrap(), jobs);

@@ -77,7 +77,8 @@ pub fn basinhopping_with_control<O: Objective + ?Sized, R: Rng + ?Sized>(
 
     let mut trial = vec![0.0; x0.len()];
     for hop in 0..opts.n_hops {
-        if control.is_cancelled() {
+        // Cancelled or past the deadline: stop hopping, return the best so far.
+        if control.should_stop() {
             break;
         }
         // Perturb the *current* accepted minimum.

@@ -11,14 +11,27 @@
 //! A default [`RunControl`] is free: no flag to poll, no callback to invoke, and the
 //! plain driver entry points (`random_restart`, `basinhopping`, `grid_search`) use
 //! exactly that, so existing callers see identical behaviour.
+//!
+//! # Deadlines
+//!
+//! A control may also carry a **deadline** ([`RunControl::with_deadline`] /
+//! [`RunControl::deadline_in`]).  Drivers poll [`RunControl::should_stop`] at the
+//! exact points they already polled the cancel flag, so a run whose deadline expires
+//! stops at the next unit boundary and returns the best of the work it finished —
+//! the caller distinguishes the two stop reasons via [`RunControl::is_cancelled`]
+//! vs [`RunControl::is_timed_out`].  A pathological job (a huge grid, a hard
+//! landscape) therefore costs bounded wall-clock, never a stuck worker.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Shared handle that can cancel a running optimization and observe its progress.
+/// Shared handle that can cancel a running optimization, bound its wall-clock time
+/// and observe its progress.
 #[derive(Clone, Default)]
 pub struct RunControl {
     cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
     progress: Option<Arc<dyn Fn(u64, u64) + Send + Sync>>,
 }
 
@@ -33,8 +46,21 @@ impl RunControl {
     pub fn with_cancel(flag: Arc<AtomicBool>) -> Self {
         RunControl {
             cancel: Some(flag),
+            deadline: None,
             progress: None,
         }
+    }
+
+    /// Attaches an absolute deadline; the run stops cooperatively at the first unit
+    /// boundary at or after it.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a deadline `timeout` from now.
+    pub fn deadline_in(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
     }
 
     /// Attaches a progress callback, invoked with `(completed, total)` work units.
@@ -54,6 +80,25 @@ impl RunControl {
             .unwrap_or(false)
     }
 
+    /// Whether the deadline (if any) has passed.
+    pub fn is_timed_out(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the run should stop at the next unit boundary — cancelled *or* past
+    /// its deadline.  This is what drivers poll; without a flag or deadline it is a
+    /// pair of `None` checks, so the default control stays free.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.is_timed_out()
+    }
+
+    /// The remaining time before the deadline (`None` when no deadline is set;
+    /// `Some(0)` once it has passed).
+    pub fn time_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Reports `done` of `total` work units complete.
     pub fn report(&self, done: u64, total: u64) {
         if let Some(f) = &self.progress {
@@ -66,6 +111,7 @@ impl std::fmt::Debug for RunControl {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunControl")
             .field("cancellable", &self.cancel.is_some())
+            .field("has_deadline", &self.deadline.is_some())
             .field("has_progress", &self.progress.is_some())
             .finish()
     }
@@ -80,7 +126,31 @@ mod tests {
     fn default_control_never_cancels() {
         let c = RunControl::new();
         assert!(!c.is_cancelled());
+        assert!(!c.is_timed_out());
+        assert!(!c.should_stop());
+        assert_eq!(c.time_remaining(), None);
         c.report(1, 2); // no callback: must be a no-op, not a panic
+    }
+
+    #[test]
+    fn deadlines_expire_and_compose_with_cancellation() {
+        // A deadline far in the future does not stop the run.
+        let future = RunControl::new().deadline_in(Duration::from_secs(3600));
+        assert!(!future.is_timed_out());
+        assert!(!future.should_stop());
+        assert!(future.time_remaining().unwrap() > Duration::from_secs(3500));
+        // An already-past deadline stops it immediately.
+        let past = RunControl::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(past.is_timed_out());
+        assert!(past.should_stop());
+        assert!(!past.is_cancelled(), "timeout is not cancellation");
+        assert_eq!(past.time_remaining(), Some(Duration::ZERO));
+        // Cancellation still stops a run whose deadline has not passed.
+        let flag = Arc::new(AtomicBool::new(true));
+        let both = RunControl::with_cancel(flag).deadline_in(Duration::from_secs(3600));
+        assert!(both.should_stop());
+        assert!(both.is_cancelled());
+        assert!(!both.is_timed_out());
     }
 
     #[test]

@@ -37,7 +37,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Minimum number of grid points before fanning out across threads pays.
 const MIN_PARALLEL_POINTS: u128 = 256;
 
-/// Cancellation is polled once per this many grid points inside a block scan.
+/// Cancellation and deadline expiry are polled once per this many grid points inside
+/// a block scan.
 const CANCEL_POLL_STRIDE: usize = 1024;
 
 /// The axis order that maximises circuit-prefix sharing for a flat QAOA angle vector
@@ -113,7 +114,7 @@ fn scan_block<O: Objective + ?Sized>(
     let mut best_index = start;
     let mut scanned = 0;
     for index in start..end {
-        if scanned % CANCEL_POLL_STRIDE == 0 && control.is_cancelled() {
+        if scanned % CANCEL_POLL_STRIDE == 0 && control.should_stop() {
             break;
         }
         let value = objective.value(&point);

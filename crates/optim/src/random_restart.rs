@@ -96,7 +96,9 @@ where
     let total = opts.restarts as u64;
     let completed = AtomicU64::new(0);
     let run_one = |objective: &mut O, x0: &[f64]| -> Option<OptimizeResult> {
-        if control.is_cancelled() {
+        // Cancelled or past the deadline: skip remaining candidates, keep the best
+        // of the ones that finished.
+        if control.should_stop() {
             return None;
         }
         let res = bfgs(objective, x0, &opts.bfgs);

@@ -1,13 +1,20 @@
 //! Batch execution: run a job file with sharded rayon parallelism, append results to
-//! JSONL, and resume after interruption.
+//! a crash-safe JSONL journal, and resume after interruption.
 //!
-//! Results are written one JSON object per line as jobs finish, each line flushed
-//! immediately — killing the process mid-batch loses at most in-flight jobs.  Resuming
-//! re-reads the output file, collects the ids of `"done"` lines, and skips those jobs;
-//! everything else (including jobs that were mid-flight or previously cancelled) runs
-//! again.  Per-job results are pure functions of the spec, so a resumed batch produces
-//! the same set of result lines as an uninterrupted one, just possibly in a different
-//! order.
+//! Results are written one JSON object per line as jobs finish, each line checksummed
+//! and flushed through the [`crate::journal`] — killing the process mid-batch loses at
+//! most in-flight jobs.  Resuming first *recovers* the journal (truncating any torn
+//! trailing line a kill left behind, so the next append cannot glue onto a fragment),
+//! then collects the ids of `"done"` lines and skips those jobs; everything else
+//! (including jobs that were mid-flight, previously cancelled, timed out or failed)
+//! runs again.  Per-job results are pure functions of the spec, so a resumed batch
+//! produces the same set of result lines as an uninterrupted one, just possibly in a
+//! different order.
+//!
+//! Transient failures — a panicked job attempt, an I/O error on the journal — are
+//! re-attempted under the batch's [`RetryPolicy`] with deterministic backoff; jobs
+//! whose spec carries a `timeout_ms` run under a cooperative deadline and report
+//! `"timed_out"` with their partial best when it expires.
 //!
 //! Parallelism is the same outer-loop pattern as the angle-finding drivers: jobs fan
 //! out across worker threads, each worker holds the `enter_outer_parallelism` guard so
@@ -15,16 +22,18 @@
 //! instead of nesting fan-outs.
 
 use crate::engine::{Engine, ServiceError};
+use crate::journal::{self, FsyncPolicy, Journal, LineCheck};
+use crate::retry::RetryPolicy;
 use crate::spec::{JobFile, JobSpec};
 use juliqaoa_linalg::enter_outer_parallelism;
+use juliqaoa_optim::RunControl;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashSet;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Summary of a batch run.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -70,8 +79,8 @@ pub fn load_job_file(path: impl AsRef<Path>) -> Result<Vec<JobSpec>, ServiceErro
 /// Ids of jobs with a `"done"` result line in an existing JSONL output file.
 ///
 /// Tolerant of interruption artefacts: unparsable lines (e.g. a half-written final
-/// line from a killed process) are ignored, as are non-`done` lines — those jobs
-/// simply run again.
+/// line from a killed process) are ignored, as are non-`done` lines and lines whose
+/// journal checksum fails — those jobs simply run again.
 pub fn completed_ids(out_path: impl AsRef<Path>) -> HashSet<String> {
     let mut done = HashSet::new();
     let Ok(file) = File::open(out_path.as_ref()) else {
@@ -80,6 +89,11 @@ pub fn completed_ids(out_path: impl AsRef<Path>) -> HashSet<String> {
     for line in BufReader::new(file).lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
+            continue;
+        }
+        // A checksummed line that fails verification was torn or altered; its
+        // `"done"` cannot be trusted, so the job reruns.
+        if journal::verify_line(line.trim_end_matches('\r')) == LineCheck::Corrupt {
             continue;
         }
         let Ok(v) = serde_json::from_str::<Value>(&line) else {
@@ -102,17 +116,53 @@ struct FailedLine {
     error: String,
 }
 
+/// Knobs for one batch run beyond the job list itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchOptions {
+    /// Skip jobs whose `"done"` line already exists in the output (and recover the
+    /// journal's tail before appending).
+    pub resume: bool,
+    /// How hard each result line is pushed toward the disk.
+    pub fsync: FsyncPolicy,
+    /// Retry policy for transient failures — panicked job attempts and journal
+    /// write errors.  Off by default.
+    pub retry: RetryPolicy,
+}
+
 /// Runs `jobs` against `engine`, appending one JSONL line per job to `out_path`.
 ///
 /// With `resume`, jobs whose `"done"` line already exists in `out_path` are skipped.
+/// Shorthand for [`run_batch_with`] at the default fsync/retry options.
 pub fn run_batch(
     engine: &Engine,
     jobs: &[JobSpec],
     out_path: impl AsRef<Path>,
     resume: bool,
 ) -> Result<BatchSummary, ServiceError> {
+    run_batch_with(
+        engine,
+        jobs,
+        out_path,
+        &BatchOptions {
+            resume,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`run_batch`] with explicit fault-tolerance options.
+pub fn run_batch_with(
+    engine: &Engine,
+    jobs: &[JobSpec],
+    out_path: impl AsRef<Path>,
+    opts: &BatchOptions,
+) -> Result<BatchSummary, ServiceError> {
     let out_path = out_path.as_ref();
-    let already_done = if resume {
+    let already_done = if opts.resume {
+        // Recover before reading *or* appending: a torn trailing line from a killed
+        // run is truncated away here, so it can neither shadow a job id nor have
+        // this run's first result glued onto it.
+        journal::recover(out_path)?;
         completed_ids(out_path)
     } else {
         HashSet::new()
@@ -123,24 +173,27 @@ pub fn run_batch(
         .collect();
     let skipped = jobs.len() - pending.len();
 
-    if let Some(parent) = out_path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| ServiceError::Io(format!("creating {}: {e}", parent.display())))?;
+    let journal = Journal::open(out_path, opts.fsync)?;
+    // Appends ride the same retry policy as job execution: an injected (or real)
+    // write error re-attempts with deterministic backoff instead of silently
+    // dropping a computed result.  Returns whether the line finally landed.
+    let append_with_retry = |key: &str, line: &str| -> bool {
+        let mut attempt = 0;
+        loop {
+            match journal.append(line) {
+                Ok(()) => return true,
+                Err(e) if attempt < opts.retry.max_retries => {
+                    engine.record_retry();
+                    eprintln!("batch: append for {key} failed ({e}); retrying");
+                    std::thread::sleep(opts.retry.delay(key, attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    eprintln!("batch: dropping result line for {key}: {e}");
+                    return false;
+                }
+            }
         }
-    }
-    let file = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out_path)
-        .map_err(|e| ServiceError::Io(format!("opening {}: {e}", out_path.display())))?;
-    let writer = Mutex::new(file);
-    let append_line = |line: &str| {
-        let mut file = writer.lock().expect("result writer poisoned");
-        // Write + flush as one locked unit so lines never interleave and a kill loses
-        // at most the line being written.
-        let _ = writeln!(file, "{line}");
-        let _ = file.flush();
     };
 
     let started = Instant::now();
@@ -150,16 +203,24 @@ pub fn run_batch(
             // Workers hold the guard: job-internal loops stay serial (see module docs).
             enter_outer_parallelism,
             |_guard, spec| {
+                // Per-job deadline from the spec, enforced cooperatively inside the
+                // optimizer drivers.  The deadline also bounds retries: a transient
+                // failure is never re-attempted into a dead deadline.
+                let mut control = RunControl::new();
+                if let Some(ms) = spec.timeout_ms {
+                    control = control.deadline_in(Duration::from_millis(ms));
+                }
                 // Panic-isolated execution, as in the serve-mode worker pool: a
-                // panicking job becomes a structured "failed" line instead of
-                // unwinding into rayon and aborting the whole batch.
-                match engine.run_job_isolated(spec, &juliqaoa_optim::RunControl::new()) {
-                    Ok(result) => {
-                        if let Ok(line) = serde_json::to_string(&result) {
-                            append_line(&line);
-                        }
-                        0usize
-                    }
+                // panicking job becomes a structured "failed" line (after the
+                // policy's retries) instead of unwinding into rayon and aborting
+                // the whole batch.
+                match engine.run_job_with_retry(spec, &control, &opts.retry) {
+                    Ok(result) => match serde_json::to_string(&result) {
+                        Ok(line) if append_with_retry(&spec.id, &line) => 0usize,
+                        // A result that could not be recorded is a failure for
+                        // resume purposes: the job must run again.
+                        _ => 1usize,
+                    },
                     Err(err) => {
                         let line = FailedLine {
                             id: spec.id.clone(),
@@ -167,7 +228,7 @@ pub fn run_batch(
                             error: err.to_string(),
                         };
                         if let Ok(line) = serde_json::to_string(&line) {
-                            append_line(&line);
+                            let _ = append_with_retry(&spec.id, &line);
                         }
                         1usize
                     }
@@ -221,6 +282,7 @@ mod tests {
                 optimizer: OptimizerSpec::GridSearch { resolution: 6 },
                 seed: i as u64,
                 sampling: None,
+                timeout_ms: None,
             })
             .collect()
     }
@@ -282,12 +344,82 @@ mod tests {
         // Simulate a kill mid-write: append a torn, unparsable line.
         {
             use std::io::Write;
-            let mut f = OpenOptions::new().append(true).open(&out).unwrap();
+            let mut f = std::fs::OpenOptions::new().append(true).open(&out).unwrap();
             write!(f, "{{\"id\": \"job-1\", \"status\": \"do").unwrap();
         }
         let summary = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
         assert_eq!(summary.skipped, 1, "only the complete line counts");
         assert_eq!(summary.executed, 1);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_tail_so_the_next_append_is_not_glued_onto_it() {
+        // Regression test for the real torn-line bug: before journal recovery, a
+        // resumed run opened the file in append mode and wrote its first result
+        // straight after the torn fragment — corrupting BOTH lines, so the file
+        // ended with one unparsable glued line and the resumed job's result was
+        // unreadable forever after.
+        let out = temp_path("torn_glue");
+        let jobs = tiny_jobs(2);
+        run_batch(&Engine::new(8), &jobs[..1], &out, true).unwrap();
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&out).unwrap();
+            write!(f, "{{\"id\": \"job-1\", \"status\": \"do").unwrap();
+        }
+        let summary = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
+        assert_eq!(summary.skipped, 1);
+        assert_eq!(summary.executed, 1);
+        // The recovered file holds exactly two complete, verifiable result lines —
+        // the torn fragment is gone rather than fused with job-1's line.
+        let text = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert_eq!(lines.len(), 2, "torn fragment must not survive: {text:?}");
+        for line in &lines {
+            assert_ne!(journal::verify_line(line), LineCheck::Corrupt, "{line}");
+        }
+        let results = read_results(&out);
+        assert_eq!(results.len(), 2, "both results must parse after recovery");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn batch_jobs_with_a_timeout_report_timed_out_and_rerun_on_resume() {
+        let out = temp_path("deadline");
+        let mut jobs = tiny_jobs(2);
+        // An effectively-unfinishable grid (60⁴ ≈ 13M points) with a 50 ms budget:
+        // long enough to guarantee partial progress, far too short to finish, so
+        // the job deterministically reports "timed_out" with its best-so-far.
+        jobs[1].p = 2;
+        jobs[1].optimizer = OptimizerSpec::GridSearch { resolution: 60 };
+        jobs[1].timeout_ms = Some(50);
+        let engine = Engine::new(8);
+        let summary = run_batch(&engine, &jobs, &out, true).unwrap();
+        assert_eq!(summary.executed, 2);
+        assert_eq!(engine.stats().jobs_timed_out, 1);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("timed_out"), "{text}");
+        // A timed-out line is not "done": resume runs the job again.
+        let resumed = run_batch(&Engine::new(8), &jobs, &out, true).unwrap();
+        assert_eq!(resumed.skipped, 1);
+        assert_eq!(resumed.executed, 1);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn batch_result_lines_carry_verifiable_journal_checksums() {
+        let out = temp_path("checksums");
+        run_batch(&Engine::new(8), &tiny_jobs(3), &out, true).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let mut checked = 0;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            assert_eq!(journal::verify_line(line), LineCheck::Valid, "{line}");
+            checked += 1;
+        }
+        assert_eq!(checked, 3);
+        // And the checksum field is invisible to the result reader.
+        assert_eq!(read_results(&out).len(), 3);
         let _ = std::fs::remove_file(&out);
     }
 

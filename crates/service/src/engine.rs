@@ -74,6 +74,20 @@ pub enum ServiceError {
     /// The job panicked mid-run and was converted to a structured failure by
     /// [`Engine::run_job_isolated`].
     Panicked(String),
+    /// The job's deadline expired before it produced even a partial result.  (A
+    /// deadline that expires after some progress returns a `"timed_out"`
+    /// [`JobResult`] carrying the best-so-far angles instead of this error.)
+    TimedOut(String),
+}
+
+impl ServiceError {
+    /// Whether a retry could plausibly succeed.  Panics (poisoned single-flight
+    /// builds, chaos injection) and I/O errors are transient; spec and simulation
+    /// errors are deterministic properties of the job, and a timeout would only
+    /// burn its budget again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServiceError::Panicked(_) | ServiceError::Io(_))
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -83,6 +97,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Simulation(e) => write!(f, "simulation error: {e}"),
             ServiceError::Io(msg) => write!(f, "I/O error: {msg}"),
             ServiceError::Panicked(msg) => write!(f, "job panicked mid-run: {msg}"),
+            ServiceError::TimedOut(msg) => write!(f, "job timed out: {msg}"),
         }
     }
 }
@@ -173,6 +188,13 @@ pub struct EngineStats {
     /// Jobs that panicked mid-run and were converted to structured failures by the
     /// worker pool (a subset of `jobs_failed`).
     pub jobs_panicked: u64,
+    /// Jobs whose deadline expired mid-run.  Jobs that got far enough to report
+    /// partial best-so-far angles count under `jobs_executed` too; jobs that timed
+    /// out before any evaluation count under `jobs_failed`.
+    pub jobs_timed_out: u64,
+    /// Transient-failure re-attempts performed under a [`crate::retry::RetryPolicy`]
+    /// (one increment per re-run, however it then fared).
+    pub jobs_retried: u64,
     /// Evaluations that resumed from a prefix checkpoint instead of round 0.
     pub prefix_hits: u64,
     /// Evaluations that ran cold (no usable checkpoint).
@@ -299,6 +321,8 @@ pub struct Engine {
     jobs_executed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_panicked: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    jobs_retried: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     instance_builds: AtomicU64,
@@ -396,6 +420,8 @@ impl Engine {
             jobs_executed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_panicked: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             instance_builds: AtomicU64::new(0),
@@ -520,6 +546,9 @@ impl Engine {
             // instance, so whoever builds, everyone reads the same values.
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
             self.instance_builds.fetch_add(1, Ordering::Relaxed);
+            // Chaos hook: an installed fault plan may stall the build here, widening
+            // the coalescing window for single-flight and queue-deadline tests.
+            crate::fault::delay_prep();
             let built = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 Arc::new(PreparedObjective::compute(problem))
             }));
@@ -561,6 +590,8 @@ impl Engine {
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             instance_builds: self.instance_builds.load(Ordering::Relaxed),
@@ -601,6 +632,13 @@ impl Engine {
         self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a transient-failure re-attempt performed *outside*
+    /// [`Engine::run_job_with_retry`] — e.g. the batch journal retrying a failed
+    /// append — so `jobs_retried` covers every retry the service performs.
+    pub fn record_retry(&self) {
+        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// [`Engine::run_job`] with panic isolation: a job that panics mid-run returns
     /// [`ServiceError::Panicked`] (tallied in `jobs_failed`/`jobs_panicked`)
     /// instead of unwinding into the calling worker thread.  Both front-ends route
@@ -617,6 +655,36 @@ impl Engine {
                 Err(ServiceError::Panicked(panic_message(payload.as_ref())))
             },
         )
+    }
+
+    /// [`Engine::run_job_isolated`] under a retry policy: transient failures —
+    /// panics and I/O errors, per [`ServiceError::is_transient`] — are re-attempted
+    /// up to `policy.max_retries` times, sleeping the policy's deterministic
+    /// backoff between attempts (tallied in `jobs_retried`, one per re-run).
+    /// Spec/simulation errors and timeouts return immediately, as does any failure
+    /// once the job's own deadline or cancel flag is set — retrying into a dead
+    /// deadline only burns worker time.
+    pub fn run_job_with_retry(
+        &self,
+        spec: &JobSpec,
+        control: &RunControl,
+        policy: &crate::retry::RetryPolicy,
+    ) -> Result<JobResult, ServiceError> {
+        let mut attempt = 0;
+        loop {
+            match self.run_job_isolated(spec, control) {
+                Err(e)
+                    if e.is_transient()
+                        && attempt < policy.max_retries
+                        && !control.should_stop() =>
+                {
+                    self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.delay(&spec.id, attempt));
+                    attempt += 1;
+                }
+                out => return out,
+            }
+        }
     }
 
     /// Executes one job to completion (or cancellation), returning its result.
@@ -659,10 +727,16 @@ impl Engine {
                     .into(),
             ));
         }
-        // Chaos hook for tests and CI smoke: a matching job id panics mid-run,
-        // exercising the worker pool's panic isolation end-to-end.
+        // Chaos hooks for tests and CI smoke: a matching job id panics mid-run,
+        // exercising the worker pool's panic isolation end-to-end.  The legacy
+        // single-id hook panics unconditionally; a [`crate::fault::FaultPlan`]
+        // budgets its panics per attempt, so retry tests can watch a job fail
+        // deterministically `times` times and then succeed.
         if test_panic_job_id_matches(&spec.id) {
             panic!("test hook: job {:?} panicked mid-run", spec.id);
+        }
+        if crate::fault::job_should_panic(&spec.id) {
+            panic!("fault injection: job {:?} panicked mid-run", spec.id);
         }
         let slot_key = (problem.instance_id, spec.mixer);
         let slot = self.simulator_slot(&problem, &spec.mixer, &prepared)?;
@@ -762,6 +836,23 @@ impl Engine {
             }
         };
 
+        // Deadline bookkeeping comes first: a job whose deadline expired before the
+        // optimizer completed even one evaluation has no partial result to report —
+        // and a ±∞ "best value" would not survive JSON serialisation — so it dies
+        // here as a structured timeout error.  A deadline that expired after some
+        // progress falls through and reports `"timed_out"` with the best-so-far
+        // angles below.
+        let timed_out = control.is_timed_out();
+        if timed_out {
+            self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+            if !res.value.is_finite() {
+                return Err(ServiceError::TimedOut(format!(
+                    "deadline expired before job {:?} completed any evaluation",
+                    spec.id
+                )));
+            }
+        }
+
         // Sample jobs end with a readout at the best angles: the same seeded shot
         // streams the optimizer saw at that point, reported as a histogram plus the
         // best sampled bitstring (the answer a hardware run would hand back).  The
@@ -769,6 +860,9 @@ impl Engine {
         // optimizer just left at `res.x` and its reuse counters fold into the job's.
         let sample_report = match sampling {
             None => None,
+            // A timed-out sample job skips its readout — the time budget is spent,
+            // and the partial result already carries the estimator's best value.
+            Some(_) if timed_out => None,
             Some(s) => {
                 let obj_vals = sim.objective_values();
                 let shot_estimator = s.estimator.build();
@@ -866,8 +960,12 @@ impl Engine {
         };
         // "cancelled" means *someone asked to stop*, never that the optimizer merely
         // hit an iteration cap — BFGS can report `converged: false` on a hard
-        // landscape, and that is still a finished, resumable-as-done job.
-        let status = if control.is_cancelled() {
+        // landscape, and that is still a finished, resumable-as-done job.  A job
+        // that was both cancelled and past its deadline reports the deadline: that
+        // is the state a client can act on (resubmit with a bigger budget).
+        let status = if timed_out {
+            "timed_out"
+        } else if control.is_cancelled() {
             "cancelled"
         } else {
             "done"
@@ -919,6 +1017,7 @@ mod tests {
             },
             seed,
             sampling: None,
+            timeout_ms: None,
         }
     }
 
@@ -1210,6 +1309,94 @@ mod tests {
             }
         }
         assert_eq!(engine.stats().jobs_failed, 4);
+    }
+
+    #[test]
+    fn an_expired_deadline_mid_grid_returns_a_partial_timed_out_result() {
+        use std::time::Duration;
+        // Serial scan so the deadline is polled on the one scanning thread.
+        let _guard = juliqaoa_linalg::enter_outer_parallelism();
+        let engine = Engine::new(8);
+        let mut job = quick_job("deadline", 0, 3);
+        job.p = 2;
+        // 60⁴ ≈ 13M grid points: far more than 150 ms of scanning, so the deadline
+        // expires mid-grid with real partial progress behind it.
+        job.optimizer = OptimizerSpec::GridSearch { resolution: 60 };
+        let control = RunControl::new().deadline_in(Duration::from_millis(150));
+        let res = engine.run_job(&job, &control).unwrap();
+        assert_eq!(res.status, "timed_out");
+        assert!(!res.converged);
+        assert!(
+            res.expectation.is_finite(),
+            "partial best must be reportable"
+        );
+        assert!(res.function_evals > 0, "some points were scanned");
+        assert!(
+            res.function_evals < 60usize.pow(4),
+            "the grid was cut short"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_timed_out, 1);
+        assert_eq!(
+            stats.jobs_executed, 1,
+            "a partial result still counts as executed"
+        );
+        assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn a_deadline_expired_before_any_evaluation_is_a_structured_timeout_error() {
+        use std::time::Duration;
+        let engine = Engine::new(8);
+        let mut job = quick_job("instant-deadline", 0, 3);
+        job.optimizer = OptimizerSpec::GridSearch { resolution: 8 };
+        let control = RunControl::new().deadline_in(Duration::ZERO);
+        match engine.run_job(&job, &control) {
+            Err(ServiceError::TimedOut(msg)) => assert!(msg.contains("instant-deadline")),
+            other => panic!("expected a timeout error, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_timed_out, 1);
+        assert_eq!(
+            stats.jobs_failed, 1,
+            "zero-progress timeouts count as failures"
+        );
+    }
+
+    #[test]
+    fn transient_panics_are_retried_under_a_policy_and_tallied() {
+        let engine = Engine::new(8);
+        // The job panics on its first attempt only; the retry must then succeed.
+        crate::fault::install(crate::fault::FaultPlan {
+            panic_jobs: vec![crate::fault::PanicFault {
+                id: "flaky-once".into(),
+                times: 1,
+            }],
+            ..Default::default()
+        });
+        let policy = crate::retry::RetryPolicy {
+            max_retries: 2,
+            base_delay_ms: 1,
+            max_delay_ms: 2,
+            jitter_seed: 0,
+        };
+        let res =
+            engine.run_job_with_retry(&quick_job("flaky-once", 0, 1), &RunControl::new(), &policy);
+        crate::fault::clear();
+        assert_eq!(res.unwrap().status, "done");
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_panicked, 1);
+        assert_eq!(stats.jobs_retried, 1);
+        assert_eq!(stats.jobs_failed, 1, "the panicked first attempt");
+        assert_eq!(stats.jobs_executed, 1, "the successful retry");
+        // Deterministic errors are returned immediately, never retried.
+        let mut bad = quick_job("bad-spec", 0, 1);
+        bad.p = 0;
+        assert!(matches!(
+            engine.run_job_with_retry(&bad, &RunControl::new(), &policy),
+            Err(ServiceError::Spec(_))
+        ));
+        assert_eq!(engine.stats().jobs_retried, 1, "spec errors must not retry");
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Deterministic fault injection: a seeded, replayable chaos plan.
+//!
+//! The engine's original chaos hook was a single hard-coded environment variable
+//! (`JULIQAOA_TEST_PANIC_JOB_ID`) that could do exactly one thing: panic one job,
+//! every time it ran.  A [`FaultPlan`] generalises it into a small declarative plan
+//! covering the failure surface the service actually has:
+//!
+//! * **`panic_jobs`** — panic a named job mid-run, for its first `times` attempts
+//!   (so `times: 1` + a retry policy exercises *recovery*, not just isolation);
+//! * **`fail_writes`** — inject an I/O error on the `k`-th journal write (0-based,
+//!   counted process-wide), exercising the batch writer's retry path;
+//! * **`torn_write_at`** — on the `k`-th journal write, write only a prefix of the
+//!   line (no newline), force it to disk and abort the process — a deterministic
+//!   stand-in for `SIGKILL` landing mid-`write(2)`, used by the kill-mid-batch CI
+//!   smoke to manufacture a torn trailing line at a seeded point;
+//! * **`prep_delay_ms`** — stall every instance preparation, widening race windows
+//!   for single-flight and queue-deadline tests;
+//! * **`seed`** — labels the plan (folded into nothing at runtime yet, but recorded
+//!   so two chaos runs can assert they replayed the same plan).
+//!
+//! Every trigger is counter-based, never clock- or scheduling-based, so a plan
+//! replays bit-identically at one worker; at several workers the *set* of injected
+//! faults is fixed even when interleaving varies.
+//!
+//! Plans load once per process from the `JULIQAOA_FAULT_PLAN` environment variable
+//! (inline JSON, or `@path` to a JSON file) — the right hook for spawned-process CI
+//! smokes — or are installed in-process by tests via [`install`]/[`clear`], which
+//! must be used instead of mutating the environment (`set_var` racing `getenv` is
+//! undefined behaviour on glibc).
+
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+/// Panic a named job for its first `times` attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicFault {
+    /// The job id to hit.
+    pub id: String,
+    /// How many attempts panic before the job is allowed to succeed
+    /// (`u32::MAX` ⇒ every attempt, the legacy env-hook behaviour).
+    pub times: u32,
+}
+
+/// A declarative, seeded set of faults to inject into this process.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Plan label, echoed in logs so reruns can assert they replayed one plan.
+    pub seed: u64,
+    /// Jobs to panic mid-run.
+    pub panic_jobs: Vec<PanicFault>,
+    /// 0-based journal-write indices that fail with an injected I/O error.
+    pub fail_writes: Vec<u64>,
+    /// Journal write at which to write a torn prefix and abort the process.
+    pub torn_write_at: Option<u64>,
+    /// Milliseconds to stall every instance preparation.
+    pub prep_delay_ms: u64,
+}
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> Value {
+        let panic_jobs: Vec<Value> = self
+            .panic_jobs
+            .iter()
+            .map(|f| {
+                Value::Object(vec![
+                    ("id".into(), f.id.to_value()),
+                    ("times".into(), f.times.to_value()),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("panic_jobs".to_string(), Value::Array(panic_jobs)),
+            ("fail_writes".to_string(), self.fail_writes.to_value()),
+            ("prep_delay_ms".to_string(), self.prep_delay_ms.to_value()),
+        ];
+        if let Some(k) = self.torn_write_at {
+            fields.push(("torn_write_at".to_string(), k.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        if v.as_object().is_none() {
+            return Err("fault plan must be a JSON object".into());
+        }
+        let u64_or = |name: &str, default: u64| -> Result<u64, String> {
+            match v.get_field(name) {
+                None | Some(Value::Null) => Ok(default),
+                Some(f) => f
+                    .as_u64()
+                    .ok_or_else(|| format!("fault plan: {name} must be an unsigned integer")),
+            }
+        };
+        let panic_jobs = match v.get_field("panic_jobs") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(list) => list
+                .as_array()
+                .ok_or("fault plan: panic_jobs must be an array")?
+                .iter()
+                .map(|f| {
+                    let id = f
+                        .get_field("id")
+                        .and_then(Value::as_str)
+                        .ok_or("fault plan: panic_jobs entries need a string id")?
+                        .to_string();
+                    let times = match f.get_field("times") {
+                        None | Some(Value::Null) => 1,
+                        Some(t) => t
+                            .as_u64()
+                            .ok_or("fault plan: panic_jobs times must be an unsigned integer")?
+                            .min(u32::MAX as u64) as u32,
+                    };
+                    Ok(PanicFault { id, times })
+                })
+                .collect::<Result<_, String>>()?,
+        };
+        let fail_writes = match v.get_field("fail_writes") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(list) => Vec::<u64>::from_value(list)?,
+        };
+        let torn_write_at = match v.get_field("torn_write_at") {
+            None | Some(Value::Null) => None,
+            Some(k) => Some(
+                k.as_u64()
+                    .ok_or("fault plan: torn_write_at must be an unsigned integer")?,
+            ),
+        };
+        Ok(FaultPlan {
+            seed: u64_or("seed", 0)?,
+            panic_jobs,
+            fail_writes,
+            torn_write_at,
+            prep_delay_ms: u64_or("prep_delay_ms", 0)?,
+        })
+    }
+}
+
+impl FaultPlan {
+    /// Parses a plan from inline JSON or, with a leading `@`, a JSON file path.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let json = match text.strip_prefix('@') {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("reading fault plan {path}: {e}"))?,
+            None => text.to_string(),
+        };
+        serde_json::from_str(&json).map_err(|e| format!("parsing fault plan: {e}"))
+    }
+}
+
+/// The effect the journal must apply to one write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write normally.
+    None,
+    /// Fail this write with an injected I/O error (the bytes never reach the file).
+    IoError,
+    /// Write a torn prefix of the line, sync it to disk, then abort the process.
+    TornAbort,
+}
+
+/// Live injection state: the plan plus its consumption counters.
+struct FaultState {
+    plan: FaultPlan,
+    /// Process-wide journal-write counter (indexes `fail_writes`/`torn_write_at`).
+    writes: AtomicU64,
+    /// Attempts seen per panic-fault job id.
+    attempts: Mutex<HashMap<String, u32>>,
+}
+
+/// The installed plan, if any.  A `Mutex<Option<Arc<_>>>` (not `OnceLock`) so tests
+/// can install and clear plans per-test; the environment is consulted exactly once.
+static ACTIVE: Mutex<Option<Arc<FaultState>>> = Mutex::new(None);
+static ENV_LOADED: Once = Once::new();
+
+fn active() -> Option<Arc<FaultState>> {
+    ENV_LOADED.call_once(|| {
+        if let Ok(text) = std::env::var("JULIQAOA_FAULT_PLAN") {
+            match FaultPlan::parse(&text) {
+                Ok(plan) => {
+                    eprintln!(
+                        "fault injection: plan seed {} active ({} panic job(s), {} failed write(s){})",
+                        plan.seed,
+                        plan.panic_jobs.len(),
+                        plan.fail_writes.len(),
+                        match plan.torn_write_at {
+                            Some(k) => format!(", torn abort at write {k}"),
+                            None => String::new(),
+                        },
+                    );
+                    install(plan);
+                }
+                Err(e) => eprintln!("fault injection: ignoring JULIQAOA_FAULT_PLAN: {e}"),
+            }
+        }
+    });
+    ACTIVE.lock().expect("fault plan lock poisoned").clone()
+}
+
+/// Installs a plan in-process (tests/CI harnesses), replacing any previous one and
+/// resetting all consumption counters.
+pub fn install(plan: FaultPlan) {
+    *ACTIVE.lock().expect("fault plan lock poisoned") = Some(Arc::new(FaultState {
+        plan,
+        writes: AtomicU64::new(0),
+        attempts: Mutex::new(HashMap::new()),
+    }));
+}
+
+/// Removes the installed plan (faults stop firing).
+pub fn clear() {
+    // Make sure the env var cannot resurrect a plan after an explicit clear.
+    ENV_LOADED.call_once(|| {});
+    *ACTIVE.lock().expect("fault plan lock poisoned") = None;
+}
+
+/// Engine hook: should this attempt of `job_id` panic?  Consumes one `times` charge.
+pub fn job_should_panic(job_id: &str) -> bool {
+    let Some(state) = active() else { return false };
+    let Some(fault) = state.plan.panic_jobs.iter().find(|f| f.id == job_id) else {
+        return false;
+    };
+    let mut attempts = state.attempts.lock().expect("fault attempts lock poisoned");
+    let seen = attempts.entry(job_id.to_string()).or_insert(0);
+    if *seen < fault.times {
+        *seen = seen.saturating_add(1);
+        true
+    } else {
+        false
+    }
+}
+
+/// Engine hook: stall an instance preparation per the plan (no-op without one).
+pub fn delay_prep() {
+    if let Some(state) = active() {
+        if state.plan.prep_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(state.plan.prep_delay_ms));
+        }
+    }
+}
+
+/// Journal hook: the fault (if any) to apply to the next write.  Each call consumes
+/// one write index, matching the journal's own append numbering.
+pub fn next_write_fault() -> WriteFault {
+    let Some(state) = active() else {
+        return WriteFault::None;
+    };
+    let index = state.writes.fetch_add(1, Ordering::SeqCst);
+    if state.plan.torn_write_at == Some(index) {
+        WriteFault::TornAbort
+    } else if state.plan.fail_writes.contains(&index) {
+        WriteFault::IoError
+    } else {
+        WriteFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_round_trip_and_tolerate_missing_fields() {
+        let plan = FaultPlan {
+            seed: 42,
+            panic_jobs: vec![PanicFault {
+                id: "boom".into(),
+                times: 2,
+            }],
+            fail_writes: vec![0, 3],
+            torn_write_at: Some(5),
+            prep_delay_ms: 10,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(FaultPlan::parse(&json).unwrap(), plan);
+        // An empty object is the empty plan; `times` defaults to 1.
+        assert_eq!(FaultPlan::parse("{}").unwrap(), FaultPlan::default());
+        let sparse = FaultPlan::parse(r#"{"panic_jobs": [{"id": "x"}]}"#).unwrap();
+        assert_eq!(
+            sparse.panic_jobs,
+            vec![PanicFault {
+                id: "x".into(),
+                times: 1
+            }]
+        );
+        assert!(FaultPlan::parse("[1, 2]").is_err());
+        assert!(FaultPlan::parse("@/no/such/fault_plan.json").is_err());
+    }
+
+    // The consumption counters are process-global, so the behavioural tests
+    // (install → faults fire in order → clear) live in the serial integration
+    // suite `tests/fault_injection.rs`, not here where tests run concurrently.
+}

@@ -60,7 +60,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         }
         let n = stream
             .read(&mut chunk)
-            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+            .map_err(|e| HttpError::new(read_error_status(&e), format!("read error: {e}")))?;
         if n == 0 {
             return Err(HttpError::new(400, "connection closed mid-request"));
         }
@@ -99,7 +99,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     while body.len() < content_length {
         let n = stream
             .read(&mut chunk)
-            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+            .map_err(|e| HttpError::new(read_error_status(&e), format!("read error: {e}")))?;
         if n == 0 {
             return Err(HttpError::new(400, "connection closed mid-body"));
         }
@@ -114,6 +114,16 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// The status a failed socket read maps to: a connection-timeout expiry (surfaced as
+/// `WouldBlock` or `TimedOut` depending on platform) is the *client's* slowness and
+/// gets a structured `408 Request Timeout`; everything else stays a 400.
+fn read_error_status(e: &std::io::Error) -> u16 {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => 408,
+        _ => 400,
+    }
+}
+
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -121,22 +131,39 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
 /// Writes a JSON response and flushes; errors are ignored (the client is gone).
 pub fn write_json(stream: &mut TcpStream, status: u16, json: &str) {
+    write_json_with_headers(stream, status, &[], json);
+}
+
+/// [`write_json`] with extra response headers (e.g. `Retry-After` on a 503).
+pub fn write_json_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, String)],
+    json: &str,
+) {
+    let extra: String = headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     let _ = write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         status,
         reason(status),
         json.len(),
+        extra,
         json
     );
     let _ = stream.flush();

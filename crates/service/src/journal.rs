@@ -1,0 +1,403 @@
+//! Crash-safe JSONL result journal: checksummed line framing, configurable fsync,
+//! and torn-tail recovery.
+//!
+//! Batch output is append-only JSONL, and the failure that actually corrupts it is
+//! not a lost line — it is a *torn* one: a kill (or power cut) landing mid-`write(2)`
+//! leaves a partial line with no newline at the end of the file, and the next
+//! resumed run, opening in append mode, glues its first result onto that fragment.
+//! One crash then corrupts **two** results: the torn one and the perfectly good one
+//! written after it.  The journal closes that hole from both ends:
+//!
+//! * **Framing** ([`frame_line`]): each line carries a `journal_fnv` field — the
+//!   FNV-1a 64 checksum of the line *without* that field — spliced in as the last
+//!   JSON member.  Readers that know nothing about journals still parse the line
+//!   (the vendored serde derive ignores unknown fields), while [`verify_line`] can
+//!   tell a complete line from a torn or bit-rotted one without guessing.
+//! * **Recovery** ([`recover`]): before a resumed run appends anything, the tail of
+//!   the file is validated and any torn trailing data — bytes after the last
+//!   newline, plus a final newline-terminated line whose checksum fails — is
+//!   truncated away.  Interior lines are never touched: a bad line in the middle
+//!   (hand-edited, bit-rotted) is the *reader's* problem to skip, and truncating
+//!   there would destroy every good line after it.
+//! * **Durability** ([`FsyncPolicy`]): every line is flushed to the OS as one locked
+//!   unit (a kill loses at most the line in flight); `FsyncPolicy::EveryLine`
+//!   additionally `fsync`s per line, extending the guarantee to power loss at the
+//!   cost of one disk round-trip per result.
+//!
+//! Lines written by pre-journal versions of this service carry no checksum field;
+//! they verify as [`LineCheck::Legacy`] and are trusted as-is, so old result files
+//! keep resuming.
+
+use crate::engine::ServiceError;
+use crate::fault::{self, WriteFault};
+use juliqaoa_problems::Fnv64;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The textual splice that carries a line's checksum, always the final member of
+/// the JSON object: `…,"journal_fnv":"0123456789abcdef"}`.
+const CHECKSUM_MARKER: &str = ",\"journal_fnv\":\"";
+
+/// Hex digits in the checksum field's value.
+const CHECKSUM_HEX_LEN: usize = 16;
+
+/// How hard an appended line is pushed toward the platter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Flush each line to the OS only (survives process death, not power loss).
+    #[default]
+    Flush,
+    /// `fsync` after every line (survives power loss; one disk round-trip per line).
+    EveryLine,
+}
+
+/// FNV-1a 64 over a byte string.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Wraps one compact JSON object in the journal framing: the object with a
+/// `journal_fnv` checksum field spliced in as its last member.  `body` must be a
+/// single-line JSON object (`{…}`); anything else is passed through unframed and
+/// will verify as [`LineCheck::Legacy`].
+pub fn frame_line(body: &str) -> String {
+    if body.len() < 2 || !body.starts_with('{') || !body.ends_with('}') || body.contains('\n') {
+        return body.to_string();
+    }
+    format!(
+        "{}{}{:016x}\"}}",
+        &body[..body.len() - 1],
+        CHECKSUM_MARKER,
+        fnv64(body.as_bytes())
+    )
+}
+
+/// The verdict on one journal line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineCheck {
+    /// Framed, and the checksum matches.
+    Valid,
+    /// No checksum field — written before journal framing existed.  Trusted.
+    Legacy,
+    /// Framed but the checksum does not match, or the framing itself is mangled:
+    /// the line was torn mid-write or altered after the fact.
+    Corrupt,
+}
+
+/// Verifies one line (without its trailing newline) against its embedded checksum.
+pub fn verify_line(line: &str) -> LineCheck {
+    // The checksum field is spliced in last, so the marker's *final* occurrence is
+    // the framing (earlier ones could only come from string values inside the body).
+    let Some(idx) = line.rfind(CHECKSUM_MARKER) else {
+        return LineCheck::Legacy;
+    };
+    let hex_start = idx + CHECKSUM_MARKER.len();
+    let rest = &line[hex_start..];
+    if rest.len() != CHECKSUM_HEX_LEN + 2 || !rest.ends_with("\"}") {
+        return LineCheck::Corrupt;
+    }
+    let Ok(recorded) = u64::from_str_radix(&rest[..CHECKSUM_HEX_LEN], 16) else {
+        return LineCheck::Corrupt;
+    };
+    // Reconstruct the exact bytes the checksum was computed over.
+    let body = format!("{}}}", &line[..idx]);
+    if fnv64(body.as_bytes()) == recorded {
+        LineCheck::Valid
+    } else {
+        LineCheck::Corrupt
+    }
+}
+
+/// What [`recover`] found and did to a journal file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete lines retained (valid, legacy, or interior-corrupt-but-complete).
+    pub lines_kept: usize,
+    /// Torn trailing bytes truncated away (0 for a clean file).
+    pub truncated_bytes: u64,
+    /// Interior lines whose checksum failed.  These are *kept* (truncating the
+    /// middle of a journal would destroy good lines after them) and left for the
+    /// reader to skip, but their presence is worth surfacing.
+    pub corrupt_interior: usize,
+}
+
+/// Validates the tail of a journal file and truncates torn trailing data, making
+/// the file safe to append to.  Missing files are fine (nothing to recover).
+///
+/// Truncated: bytes after the last newline (a classic torn write), and a final
+/// newline-terminated line whose checksum fails (torn inside a short write that
+/// still got its newline out).  Never truncated: interior lines, whatever their
+/// state, and unframed legacy tails.
+pub fn recover(path: impl AsRef<Path>) -> Result<RecoveryReport, ServiceError> {
+    let path = path.as_ref();
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(RecoveryReport::default()),
+        Err(e) => return Err(ServiceError::Io(format!("reading {}: {e}", path.display()))),
+    };
+    let text = String::from_utf8_lossy(&bytes);
+
+    // Byte offset up to which the file is kept.  Walk complete (newline-terminated)
+    // lines; the last one is held to its checksum, interior ones are only counted.
+    let mut keep_end = 0usize;
+    let mut lines_kept = 0usize;
+    let mut corrupt_interior = 0usize;
+    let mut offset = 0usize;
+    let mut pending: Option<(usize, LineCheck)> = None; // (end offset, verdict) of previous line
+    for line in text.split_inclusive('\n') {
+        offset += line.len();
+        if !line.ends_with('\n') {
+            break; // torn tail; handled below
+        }
+        if let Some((end, _)) = pending.take() {
+            // The previous complete line now has a successor, so it is interior:
+            // keep it regardless of verdict.
+            keep_end = end;
+            lines_kept += 1;
+        }
+        let check = verify_line(line.trim_end_matches(['\n', '\r']));
+        if check == LineCheck::Corrupt {
+            corrupt_interior += 1;
+        }
+        pending = Some((offset, check));
+    }
+    if let Some((end, check)) = pending {
+        // The final complete line: a failing checksum here means the crash tore the
+        // line but its newline made it out — truncate it with the tail.
+        if check == LineCheck::Corrupt {
+            corrupt_interior -= 1;
+        } else {
+            keep_end = end;
+            lines_kept += 1;
+        }
+    }
+
+    let truncated = bytes.len() as u64 - keep_end as u64;
+    if truncated > 0 {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| ServiceError::Io(format!("opening {}: {e}", path.display())))?;
+        file.set_len(keep_end as u64)
+            .map_err(|e| ServiceError::Io(format!("truncating {}: {e}", path.display())))?;
+        file.sync_all()
+            .map_err(|e| ServiceError::Io(format!("syncing {}: {e}", path.display())))?;
+        eprintln!(
+            "journal: truncated {truncated} torn trailing byte(s) from {}",
+            path.display()
+        );
+    }
+    Ok(RecoveryReport {
+        lines_kept,
+        truncated_bytes: truncated,
+        corrupt_interior,
+    })
+}
+
+/// An append-only, checksummed JSONL writer shared across worker threads.
+pub struct Journal {
+    file: Mutex<File>,
+    fsync: FsyncPolicy,
+    path: String,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal for appending.  Callers resuming an
+    /// interrupted run should [`recover`] the path first; `open` itself never
+    /// rewrites existing bytes.
+    pub fn open(path: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<Journal, ServiceError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| ServiceError::Io(format!("creating {}: {e}", parent.display())))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ServiceError::Io(format!("opening {}: {e}", path.display())))?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            fsync,
+            path: path.display().to_string(),
+        })
+    }
+
+    /// Appends one framed line atomically with respect to other appenders: frame,
+    /// write, flush (and fsync per policy) happen as one locked unit, so lines
+    /// never interleave and a kill loses at most the line in flight.
+    ///
+    /// This is also where the fault plan's write faults land: an injected I/O
+    /// error fails the append with the bytes unwritten (the caller's retry policy
+    /// takes it from there); a torn-abort writes a deterministic partial line,
+    /// forces it to disk, and aborts the process — the kill-mid-batch smoke.
+    pub fn append(&self, body: &str) -> Result<(), ServiceError> {
+        let line = frame_line(body);
+        let mut file = self.file.lock().expect("journal writer poisoned");
+        match fault::next_write_fault() {
+            WriteFault::None => {}
+            WriteFault::IoError => {
+                return Err(ServiceError::Io(format!(
+                    "injected write fault on {}",
+                    self.path
+                )));
+            }
+            WriteFault::TornAbort => {
+                // A deterministic stand-in for SIGKILL mid-write(2): half the line,
+                // no newline, forced all the way to disk so the torn state is what
+                // the resuming process actually sees.
+                let torn = &line.as_bytes()[..line.len() / 2];
+                let _ = file.write_all(torn);
+                let _ = file.flush();
+                let _ = file.sync_all();
+                eprintln!("fault injection: tearing write and aborting {}", self.path);
+                std::process::abort();
+            }
+        }
+        writeln!(file, "{line}")
+            .map_err(|e| ServiceError::Io(format!("appending to {}: {e}", self.path)))?;
+        file.flush()
+            .map_err(|e| ServiceError::Io(format!("flushing {}: {e}", self.path)))?;
+        if self.fsync == FsyncPolicy::EveryLine {
+            file.sync_all()
+                .map_err(|e| ServiceError::Io(format!("syncing {}: {e}", self.path)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "juliqaoa_journal_{tag}_{}_{id}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn framed_lines_verify_and_still_parse_as_the_original_object() {
+        let body = r#"{"id":"job-1","status":"done","value":1.5}"#;
+        let line = frame_line(body);
+        assert_eq!(verify_line(&line), LineCheck::Valid);
+        assert!(line.contains("journal_fnv"));
+        // Readers ignorant of framing still see every original field.
+        let v: serde::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(
+            v.get_field("id").and_then(serde::Value::as_str),
+            Some("job-1")
+        );
+        assert_eq!(
+            v.get_field("value").and_then(serde::Value::as_f64),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn tampered_and_torn_lines_are_corrupt_and_legacy_lines_pass() {
+        let line = frame_line(r#"{"id":"job-1","status":"done"}"#);
+        // Flip a byte in the body.
+        let tampered = line.replace("done", "dome");
+        assert_eq!(verify_line(&tampered), LineCheck::Corrupt);
+        // Tear the line after the marker.
+        assert_eq!(verify_line(&line[..line.len() - 4]), LineCheck::Corrupt);
+        // Pre-journal lines carry no marker and are trusted.
+        assert_eq!(
+            verify_line(r#"{"id":"old","status":"done"}"#),
+            LineCheck::Legacy
+        );
+        // A body that *contains* the marker text as data still verifies: the
+        // framing is always the final occurrence.
+        let tricky = frame_line(r#"{"note":",\"journal_fnv\":\"00\"}","x":1}"#);
+        assert_eq!(verify_line(&tricky), LineCheck::Valid);
+    }
+
+    #[test]
+    fn recover_truncates_torn_tails_but_keeps_interior_lines() {
+        let path = temp_path("recover");
+        let good1 = frame_line(r#"{"id":"a","status":"done"}"#);
+        let good2 = frame_line(r#"{"id":"b","status":"done"}"#);
+        // A torn fragment with no newline at the tail.
+        std::fs::write(&path, format!("{good1}\n{good2}\n{{\"id\":\"c\",\"sta")).unwrap();
+        let report = recover(&path).unwrap();
+        assert_eq!(report.lines_kept, 2);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(report.corrupt_interior, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            format!("{good1}\n{good2}\n"),
+            "clean tail after recovery"
+        );
+        // Recovery is idempotent.
+        let again = recover(&path).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.lines_kept, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_truncates_a_checksum_failing_final_line_only() {
+        let path = temp_path("recover_tail");
+        let good = frame_line(r#"{"id":"a","status":"done"}"#);
+        let torn_mid = frame_line(r#"{"id":"bad","status":"done"}"#).replace("done", "dome");
+        // Interior corrupt line (kept, reported) then a good line, then a corrupt
+        // final line (truncated with its newline).
+        std::fs::write(&path, format!("{torn_mid}\n{good}\n{torn_mid}\n")).unwrap();
+        let report = recover(&path).unwrap();
+        assert_eq!(report.lines_kept, 2);
+        assert_eq!(report.corrupt_interior, 1);
+        assert_eq!(report.truncated_bytes as usize, torn_mid.len() + 1);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            format!("{torn_mid}\n{good}\n")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_handles_missing_empty_and_legacy_files() {
+        assert_eq!(
+            recover(temp_path("missing")).unwrap(),
+            RecoveryReport::default()
+        );
+        let path = temp_path("legacy");
+        std::fs::write(&path, "{\"id\":\"old\",\"status\":\"done\"}\n").unwrap();
+        let report = recover(&path).unwrap();
+        assert_eq!(report.lines_kept, 1);
+        assert_eq!(report.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_appends_framed_lines_under_both_fsync_policies() {
+        for (tag, policy) in [
+            ("flush", FsyncPolicy::Flush),
+            ("sync", FsyncPolicy::EveryLine),
+        ] {
+            let path = temp_path(tag);
+            let journal = Journal::open(&path, policy).unwrap();
+            journal.append(r#"{"id":"x","status":"done"}"#).unwrap();
+            journal.append(r#"{"id":"y","status":"done"}"#).unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines.len(), 2);
+            for line in lines {
+                assert_eq!(verify_line(line), LineCheck::Valid);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

@@ -12,6 +12,12 @@
 //!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /metrics`) with a bounded work
 //!   queue, a worker pool, per-job progress reporting and cooperative cancellation.
 //!
+//! Both front-ends share one fault-tolerance layer: cooperative per-job deadlines
+//! ([`spec::JobSpec::timeout_ms`]), deterministic retry with seeded backoff
+//! ([`retry`]), a checksummed crash-safe result journal with torn-tail recovery
+//! ([`journal`]), and a seeded fault-injection harness ([`fault`]) that makes all of
+//! it testable to the byte.
+//!
 //! The [`engine`] underneath caches instance pre-computations — the objective-value
 //! vector and its `PhaseClasses` compression, keyed by the canonical
 //! `juliqaoa_problems::InstanceId` — in an LRU ([`lru`]), so repeated jobs on the same
@@ -21,14 +27,22 @@
 
 pub mod batch;
 pub mod engine;
+pub mod fault;
 pub mod http;
+pub mod journal;
 pub mod lru;
+pub mod retry;
 pub mod server;
 pub mod spec;
 
-pub use batch::{completed_ids, load_job_file, run_batch, BatchSummary};
+pub use batch::{
+    completed_ids, load_job_file, run_batch, run_batch_with, BatchOptions, BatchSummary,
+};
 pub use engine::{Engine, EngineStats, PreparedObjective, ServiceError, DEFAULT_CACHE_CAPACITY};
+pub use fault::{FaultPlan, PanicFault, WriteFault};
+pub use journal::{FsyncPolicy, Journal, LineCheck, RecoveryReport};
 pub use lru::{LruCache, ShardedLru};
+pub use retry::RetryPolicy;
 pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig};
 pub use spec::{
     BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec,

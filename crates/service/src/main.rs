@@ -2,17 +2,27 @@
 //!
 //! ```text
 //! qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
+//!                    [--retries N] [--fsync flush|every-line]
 //! qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
-//!                    [--out results.jsonl]
+//!                    [--out results.jsonl] [--read-timeout-ms N] [--write-timeout-ms N]
+//!                    [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
+//!                    [--drain-ms N] [--retries N] [--fsync flush|every-line]
 //! qaoa-service example-jobs <path> [--count N] [--n QUBITS]
 //! ```
+//!
+//! `serve` installs a SIGTERM handler: on receipt the server stops accepting
+//! connections and drains in-flight jobs under the `--drain-ms` budget.
 
 use juliqaoa_service::{
-    load_job_file, run_batch, Engine, JobFile, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec,
-    Server, ServerConfig,
+    load_job_file, run_batch_with, BatchOptions, Engine, FsyncPolicy, JobFile, JobSpec, MixerSpec,
+    OptimizerSpec, ProblemSpec, RetryPolicy, Server, ServerConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the SIGTERM handler; polled by the serve accept loop.
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +51,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
-  qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N] [--out results.jsonl]
+                     [--retries N] [--fsync flush|every-line]
+  qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
+                     [--out results.jsonl] [--read-timeout-ms N] [--write-timeout-ms N]
+                     [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
+                     [--drain-ms N] [--retries N] [--fsync flush|every-line]
   qaoa-service example-jobs <path> [--count N] [--n QUBITS]";
 
 /// Pulls the value after a `--flag`, parsing it with `parse`.
@@ -58,17 +72,55 @@ fn flag_value<T>(
     parse(raw).ok_or_else(|| format!("invalid value {raw:?} for {flag}"))
 }
 
+fn parse_fsync(s: &str) -> Option<FsyncPolicy> {
+    match s {
+        "flush" => Some(FsyncPolicy::Flush),
+        "every-line" => Some(FsyncPolicy::EveryLine),
+        _ => None,
+    }
+}
+
+/// Installs a SIGTERM handler that raises [`STOP_REQUESTED`].  The libc crate
+/// is not vendored, so this binds `signal(2)` directly; the handler only
+/// stores to an atomic, which is async-signal-safe.
+#[cfg(unix)]
+fn install_stop_signal() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        STOP_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_signal() {}
+
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut jobs_path: Option<PathBuf> = None;
     let mut out_path = PathBuf::from("results.jsonl");
-    let mut resume = true;
+    let mut opts = BatchOptions {
+        resume: true,
+        ..Default::default()
+    };
     let mut cache = juliqaoa_service::DEFAULT_CACHE_CAPACITY;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => out_path = flag_value(args, &mut i, "--out", |s| Some(PathBuf::from(s)))?,
-            "--no-resume" => resume = false,
+            "--no-resume" => opts.resume = false,
             "--cache" => cache = flag_value(args, &mut i, "--cache", |s| s.parse().ok())?,
+            "--retries" => {
+                opts.retry =
+                    RetryPolicy::with_retries(flag_value(args, &mut i, "--retries", |s| {
+                        s.parse().ok()
+                    })?)
+            }
+            "--fsync" => opts.fsync = flag_value(args, &mut i, "--fsync", parse_fsync)?,
             other if jobs_path.is_none() && !other.starts_with("--") => {
                 jobs_path = Some(PathBuf::from(other));
             }
@@ -85,7 +137,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         out_path.display()
     );
     let engine = Engine::new(cache);
-    let summary = run_batch(&engine, &jobs, &out_path, resume).map_err(|e| e.to_string())?;
+    let summary = run_batch_with(&engine, &jobs, &out_path, &opts).map_err(|e| e.to_string())?;
     let stats = engine.stats();
     eprintln!(
         "batch: executed {} (skipped {}, failed {}) in {:.2}s — {:.2} jobs/s, cache {}/{} hit",
@@ -131,14 +183,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     Some(PathBuf::from(s))
                 })?)
             }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms =
+                    flag_value(args, &mut i, "--read-timeout-ms", |s| s.parse().ok())?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms =
+                    flag_value(args, &mut i, "--write-timeout-ms", |s| s.parse().ok())?
+            }
+            "--default-timeout-ms" => {
+                config.default_timeout_ms =
+                    Some(flag_value(args, &mut i, "--default-timeout-ms", |s| {
+                        s.parse().ok()
+                    })?)
+            }
+            "--max-timeout-ms" => {
+                config.max_timeout_ms = Some(flag_value(args, &mut i, "--max-timeout-ms", |s| {
+                    s.parse().ok()
+                })?)
+            }
+            "--queue-wait-ms" => {
+                config.queue_wait_ms = Some(flag_value(args, &mut i, "--queue-wait-ms", |s| {
+                    s.parse().ok()
+                })?)
+            }
+            "--drain-ms" => {
+                config.drain_ms = flag_value(args, &mut i, "--drain-ms", |s| s.parse().ok())?
+            }
+            "--retries" => {
+                config.retry = RetryPolicy::with_retries(flag_value(args, &mut i, "--retries", {
+                    |s| s.parse().ok()
+                })?)
+            }
+            "--fsync" => config.fsync = flag_value(args, &mut i, "--fsync", parse_fsync)?,
             other => return Err(format!("unexpected argument {other:?}")),
         }
         i += 1;
     }
+    install_stop_signal();
     let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("qaoa-service listening on http://{addr} (POST /jobs, GET /metrics, POST /shutdown)");
-    server.run().map_err(|e| e.to_string())
+    server.run_until(&STOP_REQUESTED).map_err(|e| e.to_string())
 }
 
 /// Writes a small mixed-problem job file, used by the CI smoke test and as a starting
@@ -218,6 +304,7 @@ fn example_jobs(count: usize, n: usize) -> Vec<JobSpec> {
                 },
                 seed: 1000 + i as u64,
                 sampling: None,
+                timeout_ms: None,
             }
         })
         .collect()

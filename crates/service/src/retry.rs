@@ -1,0 +1,150 @@
+//! Deterministic retry with exponential backoff and seeded jitter.
+//!
+//! Transient failures — a panicked single-flight preparation, an injected or real
+//! I/O error on the batch journal — should cost a bounded, *reproducible* number of
+//! re-attempts, not an immediate job failure and not an unpredictable retry storm.
+//! [`RetryPolicy`] fixes both: the attempt count and base/max delays bound the work,
+//! and the jitter is a pure function of `(jitter_seed, job id, attempt)` via FNV-1a,
+//! so two runs of the same faulted batch produce byte-identical retry schedules.
+//! (Conventional random jitter exists to de-synchronise *independent* clients; a
+//! deterministic per-job hash spreads retries just as well while keeping chaos tests
+//! and CI smokes exactly replayable.)
+//!
+//! The policy is data, not behaviour: [`Engine::run_job_with_retry`] and the batch
+//! journal writer consult it and own their own sleep/retry loops.
+//!
+//! [`Engine::run_job_with_retry`]: crate::engine::Engine::run_job_with_retry
+
+use juliqaoa_problems::Fnv64;
+use std::time::Duration;
+
+/// A bounded, deterministic retry schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum *re*-attempts after the first try (0 disables retry entirely).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) starts at `base_delay_ms << k`.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, jitter included.
+    pub max_delay_ms: u64,
+    /// Seed folded into the per-attempt jitter, so distinct deployments (or test
+    /// scenarios) get distinct but individually reproducible schedules.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Retry is **off** by default (`max_retries = 0`): a failure surfaces
+    /// immediately, exactly the pre-retry behaviour.  Front-ends opt in via
+    /// `--retries`.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_ms: 25,
+            max_delay_ms: 2_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` re-attempts and the default delays.
+    pub fn with_retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..Default::default()
+        }
+    }
+
+    /// The backoff to sleep before retry `attempt` (0-based: the delay between the
+    /// first failure and the first re-attempt is `delay(key, 0)`).
+    ///
+    /// Pure function: exponential base doubling capped at `max_delay_ms`, plus a
+    /// jitter in `[0, delay/2]` derived from `(jitter_seed, key, attempt)` — no
+    /// clock, no RNG state, so the full schedule for a job is known up front.
+    pub fn delay(&self, key: &str, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_delay_ms);
+        let mut h = Fnv64::new();
+        h.write_u64(self.jitter_seed);
+        h.write_str(key);
+        h.write_u64(attempt as u64);
+        let jitter = match exp / 2 {
+            0 => 0,
+            half => h.finish() % (half + 1),
+        };
+        Duration::from_millis((exp + jitter).min(self.max_delay_ms))
+    }
+
+    /// The full deterministic schedule for one key: the delays before each of the
+    /// `max_retries` re-attempts.
+    pub fn schedule(&self, key: &str) -> Vec<Duration> {
+        (0..self.max_retries).map(|k| self.delay(key, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_never_retries() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 0);
+        assert!(p.schedule("job").is_empty());
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_retries: 6,
+            base_delay_ms: 25,
+            max_delay_ms: 500,
+            jitter_seed: 7,
+        };
+        let a = p.schedule("job-1");
+        let b = p.schedule("job-1");
+        assert_eq!(a, b, "same key must replay the identical schedule");
+        assert_eq!(a.len(), 6);
+        for (k, d) in a.iter().enumerate() {
+            let exp = (25u64 << k).min(500);
+            assert!(d.as_millis() as u64 >= exp, "retry {k}: below base backoff");
+            assert!(d.as_millis() as u64 <= 500, "retry {k}: above max delay");
+        }
+        // Backoff grows until the cap.
+        assert!(a[1] >= a[0]);
+    }
+
+    #[test]
+    fn jitter_separates_keys_and_seeds() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 60_000,
+            jitter_seed: 1,
+        };
+        assert_ne!(
+            p.schedule("job-a"),
+            p.schedule("job-b"),
+            "distinct jobs must not retry in lockstep"
+        );
+        let other_seed = RetryPolicy {
+            jitter_seed: 2,
+            ..p
+        };
+        assert_ne!(p.schedule("job-a"), other_seed.schedule("job-a"));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_delay_ms: u64::MAX / 2,
+            max_delay_ms: 1_000,
+            jitter_seed: 0,
+        };
+        assert!(p.delay("x", 63).as_millis() as u64 <= 1_000);
+        assert!(p.delay("x", 64).as_millis() as u64 <= 1_000);
+    }
+}

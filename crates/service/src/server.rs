@@ -12,22 +12,33 @@
 //!
 //! | Method & path          | Behaviour                                              |
 //! |------------------------|--------------------------------------------------------|
-//! | `POST /jobs`           | Submit a [`JobSpec`]; `202` + status, `429` queue full |
+//! | `POST /jobs`           | Submit a [`JobSpec`]; `202` + status, `429` queue full,|
+//! |                        | `503` + `Retry-After` while the queue head is stale    |
 //! | `GET /jobs/:id`        | Job status + progress                                  |
 //! | `GET /jobs/:id/result` | The [`JobResult`] (`409` until finished)               |
 //! | `POST /jobs/:id/cancel`| Request cooperative cancellation                       |
 //! | `GET /metrics`         | Queue/engine/cache counters                            |
 //! | `GET /healthz`         | Liveness probe                                         |
 //! | `POST /shutdown`       | Graceful stop (drains workers); used by CI             |
+//!
+//! Fault tolerance: per-job deadlines (`timeout_ms`, clamped by
+//! [`ServerConfig::max_timeout_ms`]) end jobs cooperatively with a partial
+//! `timed_out` result; transient failures are retried per
+//! [`ServerConfig::retry`]; queued jobs older than
+//! [`ServerConfig::queue_wait_ms`] are shed instead of run; results are written
+//! through the checksummed [`crate::journal`]; and [`Server::run_until`] drains
+//! in-flight work under [`ServerConfig::drain_ms`] when an external stop flag
+//! (e.g. SIGTERM) is raised.
 
-use crate::engine::{Engine, EngineStats};
-use crate::http::{read_request, write_error, write_json, Request};
+use crate::engine::{Engine, EngineStats, ServiceError};
+use crate::http::{read_request, write_error, write_json, write_json_with_headers, Request};
+use crate::journal::{FsyncPolicy, Journal};
+use crate::retry::RetryPolicy;
 use crate::spec::{JobResult, JobSpec};
 use juliqaoa_linalg::enter_outer_parallelism;
 use juliqaoa_optim::RunControl;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
-use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,9 +57,30 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Instance-cache capacity of the shared engine.
     pub cache_capacity: usize,
-    /// Optional JSONL file finished results are appended to (same format as batch
-    /// mode, so serve-mode output can seed a later `batch --resume`).
+    /// Optional JSONL file finished results are appended to (same checksummed
+    /// journal format as batch mode, so serve-mode output can seed a later
+    /// `batch --resume`; a torn tail from a previous crash is recovered on bind).
     pub results_path: Option<PathBuf>,
+    /// Per-connection socket read timeout in milliseconds (expiry → `408`).
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout in milliseconds.
+    pub write_timeout_ms: u64,
+    /// Deadline applied to jobs that do not set their own `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Upper bound clamped onto every job deadline (including jobs with no
+    /// requested timeout at all).
+    pub max_timeout_ms: Option<u64>,
+    /// Admission-control deadline: a queued job older than this is shed instead
+    /// of run, and new submissions are rejected with `503` + `Retry-After`
+    /// while the job at the head of the queue is already stale.
+    pub queue_wait_ms: Option<u64>,
+    /// Shutdown drain budget: after this long, still-live jobs are
+    /// cooperatively cancelled so shutdown stays bounded.
+    pub drain_ms: u64,
+    /// Retry policy for transiently-failed jobs (default: no retries).
+    pub retry: RetryPolicy,
+    /// Durability policy for the results journal.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +91,14 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
             results_path: None,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            default_timeout_ms: None,
+            max_timeout_ms: None,
+            queue_wait_ms: None,
+            drain_ms: 10_000,
+            retry: RetryPolicy::default(),
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -70,6 +110,8 @@ enum JobState {
     Running,
     Done,
     Cancelled,
+    TimedOut,
+    Shed,
     Failed,
 }
 
@@ -80,6 +122,8 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
+            JobState::Shed => "shed",
             JobState::Failed => "failed",
         }
     }
@@ -90,6 +134,7 @@ struct JobRecord {
     spec: JobSpec,
     state: Mutex<JobState>,
     cancel: Arc<AtomicBool>,
+    enqueued_at: Instant,
     progress_done: AtomicU64,
     progress_total: AtomicU64,
     result: Mutex<Option<JobResult>>,
@@ -102,6 +147,7 @@ impl JobRecord {
             spec,
             state: Mutex::new(JobState::Queued),
             cancel: Arc::new(AtomicBool::new(false)),
+            enqueued_at: Instant::now(),
             progress_done: AtomicU64::new(0),
             progress_total: AtomicU64::new(0),
             result: Mutex::new(None),
@@ -166,6 +212,12 @@ impl WorkQueue {
         self.inner.lock().expect("queue lock").len()
     }
 
+    /// How long the job at the head of the queue has been waiting.
+    fn head_wait(&self) -> Option<Duration> {
+        let q = self.inner.lock().expect("queue lock");
+        q.front().map(|job| job.enqueued_at.elapsed())
+    }
+
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.ready.notify_all();
@@ -175,13 +227,15 @@ impl WorkQueue {
 /// State shared by the accept loop and the worker pool.
 struct ServiceState {
     engine: Engine,
+    config: ServerConfig,
     jobs: Mutex<HashMap<String, Arc<JobRecord>>>,
     queue: WorkQueue,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     auto_id: AtomicU64,
     started: Instant,
-    results: Option<Mutex<std::fs::File>>,
+    results: Option<Journal>,
 }
 
 /// Status body returned by `POST /jobs`, `GET /jobs/:id` and `POST /jobs/:id/cancel`.
@@ -189,7 +243,8 @@ struct ServiceState {
 pub struct JobStatusBody {
     /// The job id.
     pub id: String,
-    /// `queued` / `running` / `done` / `cancelled` / `failed`.
+    /// `queued` / `running` / `done` / `cancelled` / `timed_out` / `shed` /
+    /// `failed`.
     pub status: String,
     /// Completed optimizer work units.
     pub progress_done: u64,
@@ -214,6 +269,11 @@ pub struct MetricsBody {
     pub done: u64,
     /// Jobs in a terminal `cancelled` state.
     pub cancelled: u64,
+    /// Jobs in a terminal `timed_out` state (deadline expired mid-run).
+    pub timed_out: u64,
+    /// Jobs shed by admission control: stale queued jobs dropped by workers
+    /// plus submissions rejected with `503` while the queue head was stale.
+    pub jobs_shed: u64,
     /// Jobs in a terminal `failed` state.
     pub failed: u64,
     /// Instances currently in the cache.
@@ -237,17 +297,13 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let results = match &config.results_path {
             Some(path) => {
-                if let Some(parent) = path.parent() {
-                    if !parent.as_os_str().is_empty() {
-                        std::fs::create_dir_all(parent)?;
-                    }
-                }
-                Some(Mutex::new(
-                    std::fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(path)?,
-                ))
+                // Recover a torn tail left by a previous crash before the first
+                // append, so a restarted server never glues a new line onto a
+                // half-written one.
+                crate::journal::recover(path)
+                    .and_then(|_| Journal::open(path, config.fsync))
+                    .map(Some)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?
             }
             None => None,
         };
@@ -257,11 +313,13 @@ impl Server {
             queue: WorkQueue::new(config.queue_capacity),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             auto_id: AtomicU64::new(0),
             started: Instant::now(),
             results,
+            config,
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..state.config.workers.max(1))
             .map(|i| {
                 let state = state.clone();
                 std::thread::Builder::new()
@@ -284,20 +342,90 @@ impl Server {
 
     /// Serves requests until `POST /shutdown`, then drains and joins the workers.
     pub fn run(self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            let Ok(mut stream) = stream else { continue };
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-            let keep_going = handle_connection(&self.state, &mut stream);
-            if !keep_going {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    /// [`Server::run`], but also stops when `stop` becomes true — the hook the
+    /// binary uses to turn SIGTERM into a graceful drain.  The listener is
+    /// polled nonblockingly so an external stop is noticed between connections,
+    /// not only after the next client happens to connect.
+    pub fn run_until(self, stop: &AtomicBool) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if stop.load(Ordering::SeqCst) {
                 break;
             }
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    // The accepted socket must not inherit nonblocking mode:
+                    // request reads rely on the configured read timeout, not on
+                    // a WouldBlock spin.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+                        self.state.config.read_timeout_ms.max(1),
+                    )));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                        self.state.config.write_timeout_ms.max(1),
+                    )));
+                    let keep_going = handle_connection(&self.state, &mut stream);
+                    if !keep_going {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => {}
+            }
         }
+        self.drain()
+    }
+
+    /// Stops accepting work and drains the pool: queued jobs still run (unless
+    /// shed or cancelled), and a watchdog cooperatively cancels whatever is
+    /// left once [`ServerConfig::drain_ms`] elapses, so shutdown is bounded
+    /// even with slow jobs in flight.
+    fn drain(self) -> std::io::Result<()> {
         self.state.queue.begin_shutdown();
+        let drained = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let state = self.state.clone();
+            let drained = drained.clone();
+            let deadline = Instant::now() + Duration::from_millis(state.config.drain_ms);
+            std::thread::spawn(move || {
+                while !drained.load(Ordering::SeqCst) {
+                    if Instant::now() >= deadline {
+                        let jobs = state.jobs.lock().expect("jobs lock");
+                        for record in jobs.values() {
+                            if matches!(record.state(), JobState::Queued | JobState::Running) {
+                                record.cancel.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        };
         for worker in self.workers {
             let _ = worker.join();
         }
+        drained.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
         Ok(())
+    }
+}
+
+/// The deadline a job actually runs under: its own `timeout_ms`, falling back
+/// to the server default, both clamped by the server maximum.
+fn effective_timeout_ms(spec: &JobSpec, config: &ServerConfig) -> Option<u64> {
+    match (
+        spec.timeout_ms.or(config.default_timeout_ms),
+        config.max_timeout_ms,
+    ) {
+        (Some(t), Some(max)) => Some(t.min(max)),
+        (Some(t), None) => Some(t),
+        (None, max) => max,
     }
 }
 
@@ -310,8 +438,20 @@ fn worker_loop(state: &ServiceState) {
             record.set_state(JobState::Cancelled);
             continue;
         }
+        // Admission control: a job that already waited past the queue-wait
+        // deadline is stale — its submitter has long since timed out — so shed
+        // it instead of burning a worker on it.
+        if let Some(limit) = state.config.queue_wait_ms {
+            if record.enqueued_at.elapsed() > Duration::from_millis(limit) {
+                *record.error.lock().expect("error lock") =
+                    Some(format!("shed after waiting more than {limit} ms in queue"));
+                record.set_state(JobState::Shed);
+                state.shed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
         record.set_state(JobState::Running);
-        let control = RunControl::with_cancel(record.cancel.clone()).on_progress({
+        let mut control = RunControl::with_cancel(record.cancel.clone()).on_progress({
             // The callback outlives this loop iteration, so it owns its own Arc.
             let record = record.clone();
             move |done, total| {
@@ -319,33 +459,50 @@ fn worker_loop(state: &ServiceState) {
                 record.progress_total.store(total, Ordering::Relaxed);
             }
         });
+        if let Some(ms) = effective_timeout_ms(&record.spec, &state.config) {
+            control = control.deadline_in(Duration::from_millis(ms));
+        }
         // Panic-isolated execution: without it, one panicking job would kill this
         // thread for the rest of the process — silently shrinking the pool and
         // leaving the job in `Running` forever.  Instead a panic surfaces below as
         // an ordinary failed job (visible in `jobs_failed`/`jobs_panicked`) and
-        // the worker lives on.
-        match state.engine.run_job_isolated(&record.spec, &control) {
+        // the worker lives on.  Transient failures (panics, journal I/O) are
+        // retried per the server's policy before giving up.
+        match state
+            .engine
+            .run_job_with_retry(&record.spec, &control, &state.config.retry)
+        {
             Ok(result) => {
-                // The engine sets "cancelled" only on an actual cancel request;
-                // optimizer non-convergence is still a done job.
-                let terminal = if result.status == "cancelled" {
-                    JobState::Cancelled
-                } else {
-                    JobState::Done
+                // The engine sets "cancelled"/"timed_out" only on an actual
+                // stop request; optimizer non-convergence is still a done job.
+                let terminal = match result.status.as_str() {
+                    "cancelled" => JobState::Cancelled,
+                    "timed_out" => JobState::TimedOut,
+                    _ => JobState::Done,
                 };
-                if let Some(out) = &state.results {
+                if let Some(journal) = &state.results {
                     if let Ok(line) = serde_json::to_string(&result) {
-                        let mut file = out.lock().expect("results file lock");
-                        let _ = writeln!(file, "{line}");
-                        let _ = file.flush();
+                        if let Err(e) = journal.append(&line) {
+                            eprintln!(
+                                "[serve] failed to journal result for {:?}: {e}",
+                                record.spec.id
+                            );
+                        }
                     }
                 }
                 *record.result.lock().expect("result lock") = Some(result);
                 record.set_state(terminal);
             }
             Err(err) => {
+                // A deadline that expired before the first evaluation is still
+                // a timeout to the client, not an internal failure.
+                let terminal = if matches!(err, ServiceError::TimedOut(_)) {
+                    JobState::TimedOut
+                } else {
+                    JobState::Failed
+                };
                 *record.error.lock().expect("error lock") = Some(err.to_string());
-                record.set_state(JobState::Failed);
+                record.set_state(terminal);
             }
         }
     }
@@ -431,6 +588,30 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
         write_error(stream, 400, &format!("invalid job spec: {e}"));
         return;
     }
+    // Graceful degradation: when the job at the head of the queue has already
+    // waited past the queue-wait deadline the server is overloaded — anything
+    // accepted now would only be shed later, so reject up front with a
+    // `Retry-After` hint instead.
+    if let Some(limit_ms) = state.config.queue_wait_ms {
+        let stale = state
+            .queue
+            .head_wait()
+            .is_some_and(|w| w > Duration::from_millis(limit_ms));
+        if stale {
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            let retry_after = (limit_ms / 1000).max(1);
+            let body = format!(
+                "{{\"error\": \"queue is saturated (head waited > {limit_ms} ms), retry later\"}}"
+            );
+            write_json_with_headers(
+                stream,
+                503,
+                &[("Retry-After", retry_after.to_string())],
+                &body,
+            );
+            return;
+        }
+    }
     let record = JobRecord::new(spec.clone());
     {
         let mut jobs = state.jobs.lock().expect("jobs lock");
@@ -474,13 +655,34 @@ fn handle_result(state: &Arc<ServiceState>, stream: &mut TcpStream, id: &str) {
         return;
     };
     match record.state() {
-        JobState::Done | JobState::Cancelled => {
+        JobState::Done | JobState::Cancelled | JobState::TimedOut => {
             let result = record.result.lock().expect("result lock");
             match result.as_ref().map(serde_json::to_string) {
+                // A timed-out job with partial progress still returns its
+                // best-so-far result here (status field says `timed_out`).
                 Some(Ok(json)) => write_json(stream, 200, &json),
-                // Cancelled while still queued: terminal, but there is no result.
-                _ => write_error(stream, 409, "job was cancelled before it ran"),
+                // Terminal without a result: cancelled while still queued, or
+                // the deadline expired before the first evaluation finished.
+                _ => {
+                    let error = record.error.lock().expect("error lock");
+                    let (status, fallback) = if record.state() == JobState::TimedOut {
+                        (408, "job timed out before any progress")
+                    } else {
+                        (409, "job was cancelled before it ran")
+                    };
+                    write_error(stream, status, error.as_deref().unwrap_or(fallback));
+                }
             }
+        }
+        JobState::Shed => {
+            let error = record.error.lock().expect("error lock");
+            write_error(
+                stream,
+                503,
+                error
+                    .as_deref()
+                    .unwrap_or("job was shed by admission control; resubmit"),
+            );
         }
         JobState::Failed => {
             let error = record.error.lock().expect("error lock");
@@ -510,6 +712,7 @@ fn handle_metrics(state: &Arc<ServiceState>, stream: &mut TcpStream) {
     let mut running = 0u64;
     let mut done = 0u64;
     let mut cancelled = 0u64;
+    let mut timed_out = 0u64;
     let mut failed = 0u64;
     {
         let jobs = state.jobs.lock().expect("jobs lock");
@@ -518,8 +721,9 @@ fn handle_metrics(state: &Arc<ServiceState>, stream: &mut TcpStream) {
                 JobState::Running => running += 1,
                 JobState::Done => done += 1,
                 JobState::Cancelled => cancelled += 1,
+                JobState::TimedOut => timed_out += 1,
                 JobState::Failed => failed += 1,
-                JobState::Queued => {}
+                JobState::Queued | JobState::Shed => {}
             }
         }
     }
@@ -531,6 +735,8 @@ fn handle_metrics(state: &Arc<ServiceState>, stream: &mut TcpStream) {
         running,
         done,
         cancelled,
+        timed_out,
+        jobs_shed: state.shed.load(Ordering::Relaxed),
         failed,
         cached_instances: state.engine.cached_instances() as u64,
         engine: state.engine.stats(),

@@ -440,6 +440,12 @@ pub struct JobSpec {
     /// `Some` ⇒ shot-based job: the optimizer drives the estimator over sampled
     /// bitstrings and the result reports the measured histogram.
     pub sampling: Option<SamplingSpec>,
+    /// Client-requested deadline on the job's execution, in milliseconds of run
+    /// time (queue wait excluded).  The engine polls the deadline cooperatively at
+    /// optimizer boundaries; an expired job reports `"timed_out"` with its partial
+    /// best-so-far angles rather than an error.  `None` defers to the server's
+    /// default; servers clamp requests to their configured maximum.
+    pub timeout_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -466,7 +472,9 @@ pub struct JobFile {
 pub struct JobResult {
     /// The job id from the spec.
     pub id: String,
-    /// Terminal state: `"done"` (also the resume marker) or `"cancelled"`.
+    /// Terminal state: `"done"` (also the resume marker), `"cancelled"`, or
+    /// `"timed_out"` (deadline expired mid-run; the result carries the best
+    /// angles found before the deadline).
     pub status: String,
     /// Canonical instance fingerprint (cache key).
     pub instance: InstanceId,
@@ -789,6 +797,10 @@ impl Serialize for JobSpec {
         if let Some(sampling) = &self.sampling {
             fields.push(("sampling".to_string(), sampling.to_value()));
         }
+        // Likewise omitted when absent: pre-deadline job files stay byte-stable.
+        if let Some(timeout_ms) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), timeout_ms.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -802,6 +814,12 @@ impl Deserialize for JobSpec {
             None | Some(Value::Null) => None,
             Some(s) => Some(SamplingSpec::from_value(s)?),
         };
+        let timeout_ms = match v.get_field("timeout_ms") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(t.as_u64().ok_or_else(|| {
+                "job spec: field \"timeout_ms\" must be an unsigned integer".to_string()
+            })?),
+        };
         Ok(JobSpec {
             id: String::from_value(field(v, "id", "job spec")?)?,
             problem: ProblemSpec::from_value(field(v, "problem", "job spec")?)?,
@@ -810,6 +828,7 @@ impl Deserialize for JobSpec {
             optimizer: OptimizerSpec::from_value(field(v, "optimizer", "job spec")?)?,
             seed: u64_field(v, "seed", "job spec")?,
             sampling,
+            timeout_ms,
         })
     }
 }
@@ -832,6 +851,7 @@ mod tests {
                 },
                 seed: 7,
                 sampling: None,
+                timeout_ms: None,
             },
             JobSpec {
                 id: "sat".into(),
@@ -850,6 +870,7 @@ mod tests {
                     seed: 99,
                     estimator: EstimatorSpec::CVaR { alpha: 0.2 },
                 }),
+                timeout_ms: Some(120_000),
             },
             JobSpec {
                 id: "dks".into(),
@@ -863,6 +884,7 @@ mod tests {
                 optimizer: OptimizerSpec::RandomRestart { restarts: 5 },
                 seed: 9,
                 sampling: None,
+                timeout_ms: None,
             },
         ]
     }
@@ -890,9 +912,13 @@ mod tests {
         }"#;
         let spec: JobSpec = serde_json::from_str(json).unwrap();
         assert_eq!(spec.sampling, None);
+        assert_eq!(spec.timeout_ms, None);
         assert_eq!(spec.job_kind(), "exact");
-        // Exact jobs serialise without the field, so legacy files round-trip.
-        assert!(!serde_json::to_string(&spec).unwrap().contains("sampling"));
+        // Exact jobs serialise without the optional fields, so legacy files
+        // round-trip.
+        let round = serde_json::to_string(&spec).unwrap();
+        assert!(!round.contains("sampling"));
+        assert!(!round.contains("timeout_ms"));
     }
 
     #[test]

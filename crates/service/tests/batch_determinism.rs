@@ -68,6 +68,7 @@ fn mixed_jobs(count: usize) -> Vec<JobSpec> {
                 optimizer,
                 seed: 0xD15C0 + i as u64,
                 sampling: None,
+                timeout_ms: None,
             }
         })
         .collect()

@@ -18,6 +18,7 @@ fn job(id: &str, problem: ProblemSpec, mixer: MixerSpec, seed: u64) -> JobSpec {
         },
         seed,
         sampling: None,
+        timeout_ms: None,
     }
 }
 

@@ -27,6 +27,7 @@ fn slot_job(id: &str, seed: u64) -> JobSpec {
         },
         seed,
         sampling: None,
+        timeout_ms: None,
     }
 }
 

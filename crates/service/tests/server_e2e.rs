@@ -45,6 +45,7 @@ fn sample_spec(id: &str) -> JobSpec {
         optimizer: OptimizerSpec::GridSearch { resolution: 8 },
         seed: 11,
         sampling: None,
+        timeout_ms: None,
     }
 }
 
@@ -55,7 +56,7 @@ fn poll_until_done(addr: SocketAddr, id: &str) -> JobStatusBody {
         assert_eq!(status, 200, "status poll failed: {body}");
         let parsed: JobStatusBody = serde_json::from_str(&body).expect("status json");
         match parsed.status.as_str() {
-            "done" | "failed" | "cancelled" => return parsed,
+            "done" | "failed" | "cancelled" | "timed_out" | "shed" => return parsed,
             _ => {
                 assert!(Instant::now() < deadline, "job {id} never finished");
                 std::thread::sleep(Duration::from_millis(20));
@@ -71,7 +72,7 @@ fn full_job_lifecycle_over_http() {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 8,
-        results_path: None,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().unwrap();
@@ -220,7 +221,7 @@ fn a_panicking_job_fails_structured_and_the_sole_worker_survives() {
         workers: 1,
         queue_capacity: 16,
         cache_capacity: 8,
-        results_path: None,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().unwrap();
@@ -273,7 +274,7 @@ fn queue_overflow_returns_429_and_cancellation_works() {
         workers: 1,
         queue_capacity: 2,
         cache_capacity: 8,
-        results_path: None,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().unwrap();

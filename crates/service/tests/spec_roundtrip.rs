@@ -70,7 +70,10 @@ proptest! {
         sampling_variant in 0usize..4,
         shots in 1u64..1_000_000,
         alpha in 0.01..1.0f64,
+        timeout_variant in 0usize..3,
+        timeout_raw in 1u64..86_400_000,
     ) {
+        let timeout_ms = (timeout_variant != 0).then_some(timeout_raw);
         let k = ((n as f64 * k_frac) as usize).clamp(1, n);
         let problem = problem_from(problem_variant, n, k, density, instance);
         let constrained = matches!(
@@ -96,6 +99,7 @@ proptest! {
             optimizer: optimizer_from(optimizer_variant, units, step),
             seed,
             sampling,
+            timeout_ms,
         };
 
         // Single-spec round trip, compact form.
