@@ -60,6 +60,12 @@ struct WorkloadRow {
     /// FNV-1a digest over the sorted `(id, expectation bits, angle bits)` results:
     /// equal digests across worker counts prove bit-identical results.
     results_digest: String,
+    /// Median end-to-end job latency (from the engine's `job_total_ms` histogram).
+    job_total_ms_p50: f64,
+    /// 95th-percentile end-to-end job latency.
+    job_total_ms_p95: f64,
+    /// 99th-percentile end-to-end job latency.
+    job_total_ms_p99: f64,
 }
 
 #[derive(Serialize)]
@@ -152,13 +158,19 @@ fn run_workload(
     let summary = run_batch(&engine, &jobs, &out, false).expect("batch runs");
     assert_eq!(summary.failed, 0, "benchmark jobs must not fail");
     let stats = engine.stats();
+    // The engine is fresh per workload, so its `total_ms` histogram holds
+    // exactly this row's jobs — no delta against an earlier snapshot needed.
+    let latency = engine.telemetry().total_ms.snapshot();
     let results_digest = digest_results(&out);
     let _ = std::fs::remove_file(&out);
     eprintln!(
         "{label:>14}  n={n}  {count:>3} jobs over {distinct_instances:>3} instances  \
-         {:.2}s  {:.2} jobs/s  cache {}/{}  builds {}  prefix {}/{}",
+         {:.2}s  {:.2} jobs/s  p50/p95/p99 {:.1}/{:.1}/{:.1} ms  cache {}/{}  builds {}  prefix {}/{}",
         summary.elapsed_s,
         summary.jobs_per_sec,
+        latency.quantile(0.50),
+        latency.quantile(0.95),
+        latency.quantile(0.99),
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses,
         stats.instance_builds,
@@ -181,6 +193,9 @@ fn run_workload(
         prefix_misses: stats.prefix_misses,
         prefix_hits_per_worker: stats.prefix_hits as f64 / workers.max(1) as f64,
         results_digest,
+        job_total_ms_p50: latency.quantile(0.50),
+        job_total_ms_p95: latency.quantile(0.95),
+        job_total_ms_p99: latency.quantile(0.99),
     }
 }
 

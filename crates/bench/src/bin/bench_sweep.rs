@@ -19,6 +19,7 @@ use juliqaoa_optim::{
     PrefixCacheHome, QaoaObjective, RunControl,
 };
 use juliqaoa_problems::{precompute_full, MaxCut};
+use juliqaoa_telemetry::Histogram;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -36,6 +37,15 @@ struct GridRow {
     rounds_saved: u64,
     tail_hits: u64,
     best_point_identical: bool,
+    /// Per-evaluation latency quantiles (ms) on the full re-evolution path.
+    full_eval_ms_p50: f64,
+    full_eval_ms_p95: f64,
+    full_eval_ms_p99: f64,
+    /// Per-evaluation latency quantiles (ms) with prefix reuse — the tail is
+    /// where suffix replay pays off.
+    prefix_eval_ms_p50: f64,
+    prefix_eval_ms_p95: f64,
+    prefix_eval_ms_p99: f64,
 }
 
 #[derive(Serialize)]
@@ -47,6 +57,46 @@ struct GradientRow {
     prefix_reuse_s: f64,
     speedup: f64,
     gradients_identical: bool,
+    /// Per-gradient-point latency quantiles (ms) on the full path.
+    full_eval_ms_p50: f64,
+    full_eval_ms_p95: f64,
+    full_eval_ms_p99: f64,
+    /// Per-gradient-point latency quantiles (ms) with prefix reuse.
+    prefix_eval_ms_p50: f64,
+    prefix_eval_ms_p95: f64,
+    prefix_eval_ms_p99: f64,
+}
+
+/// Wraps an [`Objective`] and records each evaluation's wall time into a
+/// telemetry [`Histogram`] — observation only, the inner objective's values
+/// (and therefore the asserted bit-identity) are untouched.
+struct TimedObjective<'h, O> {
+    inner: O,
+    evals_ms: &'h Histogram,
+}
+
+impl<O: Objective> Objective for TimedObjective<'_, O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn value(&mut self, x: &[f64]) -> f64 {
+        let started = Instant::now();
+        let v = self.inner.value(x);
+        self.evals_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+        v
+    }
+
+    fn value_and_gradient(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        let started = Instant::now();
+        let v = self.inner.value_and_gradient(x, grad);
+        self.evals_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+        v
+    }
+
+    fn evaluations(&self) -> usize {
+        self.inner.evaluations()
+    }
 }
 
 #[derive(Serialize)]
@@ -70,6 +120,7 @@ fn scan(
     p: usize,
     resolution: usize,
     cached: bool,
+    evals_ms: &Histogram,
 ) -> (OptimizeResult, f64, PrefixStats) {
     let order = qaoa_axis_order(p);
     let tau = 2.0 * std::f64::consts::PI;
@@ -78,10 +129,14 @@ fn scan(
     let res = grid_search_ordered(
         || {
             let obj = QaoaObjective::new(sim);
-            if cached {
+            let obj = if cached {
                 obj.with_cache_home(&home)
             } else {
                 obj.without_prefix_reuse()
+            };
+            TimedObjective {
+                inner: obj,
+                evals_ms,
             }
         },
         2 * p,
@@ -95,8 +150,10 @@ fn scan(
 }
 
 fn grid_row(sim: &Simulator, n: usize, p: usize, resolution: usize) -> GridRow {
-    let (cold, cold_s, _) = scan(sim, p, resolution, false);
-    let (warm, warm_s, stats) = scan(sim, p, resolution, true);
+    let cold_ms = Histogram::latency_ms();
+    let warm_ms = Histogram::latency_ms();
+    let (cold, cold_s, _) = scan(sim, p, resolution, false, &cold_ms);
+    let (warm, warm_s, stats) = scan(sim, p, resolution, true, &warm_ms);
     let identical = cold.value.to_bits() == warm.value.to_bits()
         && cold.x.len() == warm.x.len()
         && cold
@@ -111,11 +168,18 @@ fn grid_row(sim: &Simulator, n: usize, p: usize, resolution: usize) -> GridRow {
         cold.x, warm.x
     );
     let speedup = cold_s / warm_s;
+    let cold_lat = cold_ms.snapshot();
+    let warm_lat = warm_ms.snapshot();
     eprintln!(
         "grid  n={n:2} p={p} r={resolution:2} ({:>6} pts)  full {cold_s:7.3}s  \
          prefix {warm_s:7.3}s  speedup {speedup:4.2}x  \
-         (hits {}, tail {}, rounds saved {})",
-        cold.function_evals, stats.hits, stats.tail_hits, stats.rounds_saved
+         eval p50 {:.3} -> {:.3} ms  (hits {}, tail {}, rounds saved {})",
+        cold.function_evals,
+        cold_lat.quantile(0.50),
+        warm_lat.quantile(0.50),
+        stats.hits,
+        stats.tail_hits,
+        stats.rounds_saved
     );
     GridRow {
         n,
@@ -130,6 +194,12 @@ fn grid_row(sim: &Simulator, n: usize, p: usize, resolution: usize) -> GridRow {
         rounds_saved: stats.rounds_saved,
         tail_hits: stats.tail_hits,
         best_point_identical: identical,
+        full_eval_ms_p50: cold_lat.quantile(0.50),
+        full_eval_ms_p95: cold_lat.quantile(0.95),
+        full_eval_ms_p99: cold_lat.quantile(0.99),
+        prefix_eval_ms_p50: warm_lat.quantile(0.50),
+        prefix_eval_ms_p95: warm_lat.quantile(0.95),
+        prefix_eval_ms_p99: warm_lat.quantile(0.99),
     }
 }
 
@@ -146,7 +216,7 @@ fn gradient_row(sim: &Simulator, n: usize, p: usize, points: usize) -> GradientR
             .to_flat()
         })
         .collect();
-    let run = |cached: bool| -> (Vec<f64>, f64) {
+    let run = |cached: bool, point_ms: &Histogram| -> (Vec<f64>, f64) {
         let obj =
             QaoaObjective::with_gradient_method(sim, GradientMethod::FiniteDifference { eps });
         let mut obj = if cached {
@@ -158,14 +228,18 @@ fn gradient_row(sim: &Simulator, n: usize, p: usize, points: usize) -> GradientR
         let mut grad = vec![0.0; 2 * p];
         let started = Instant::now();
         for x in &xs {
+            let point_started = Instant::now();
             let v = obj.value_and_gradient(x, &mut grad);
+            point_ms.observe(point_started.elapsed().as_secs_f64() * 1e3);
             grads.push(v);
             grads.extend_from_slice(&grad);
         }
         (grads, started.elapsed().as_secs_f64())
     };
-    let (cold_grads, cold_s) = run(false);
-    let (warm_grads, warm_s) = run(true);
+    let cold_ms = Histogram::latency_ms();
+    let warm_ms = Histogram::latency_ms();
+    let (cold_grads, cold_s) = run(false, &cold_ms);
+    let (warm_grads, warm_s) = run(true, &warm_ms);
     let identical = cold_grads.len() == warm_grads.len()
         && cold_grads
             .iter()
@@ -176,9 +250,14 @@ fn gradient_row(sim: &Simulator, n: usize, p: usize, points: usize) -> GradientR
         "prefix reuse changed an FD gradient at n={n} p={p}"
     );
     let speedup = cold_s / warm_s;
+    let cold_lat = cold_ms.snapshot();
+    let warm_lat = warm_ms.snapshot();
     eprintln!(
         "grad  n={n:2} p={p} ({points} points)        full {cold_s:7.3}s  \
-         prefix {warm_s:7.3}s  speedup {speedup:4.2}x"
+         prefix {warm_s:7.3}s  speedup {speedup:4.2}x  \
+         point p50 {:.3} -> {:.3} ms",
+        cold_lat.quantile(0.50),
+        warm_lat.quantile(0.50),
     );
     GradientRow {
         n,
@@ -188,6 +267,12 @@ fn gradient_row(sim: &Simulator, n: usize, p: usize, points: usize) -> GradientR
         prefix_reuse_s: warm_s,
         speedup,
         gradients_identical: identical,
+        full_eval_ms_p50: cold_lat.quantile(0.50),
+        full_eval_ms_p95: cold_lat.quantile(0.95),
+        full_eval_ms_p99: cold_lat.quantile(0.99),
+        prefix_eval_ms_p50: warm_lat.quantile(0.50),
+        prefix_eval_ms_p95: warm_lat.quantile(0.95),
+        prefix_eval_ms_p99: warm_lat.quantile(0.99),
     }
 }
 

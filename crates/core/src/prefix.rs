@@ -68,6 +68,7 @@
 
 use crate::angles::Angles;
 use juliqaoa_linalg::Complex64;
+use juliqaoa_telemetry::kernels::KERNELS;
 use std::sync::OnceLock;
 
 /// Default byte budget for one cache: 256 MiB, enough for `p ≤ 8` full checkpoints at
@@ -410,10 +411,13 @@ impl PrefixCache {
         self.stats.hits += 1;
         self.stats.rounds_saved += rounds_saved as u64;
         self.stats.tail_hits += u64::from(tail);
+        KERNELS.prefix_checkpoint_hits.inc();
+        KERNELS.prefix_rounds_saved.add(rounds_saved as u64);
     }
 
     pub(crate) fn record_miss(&mut self) {
         self.stats.misses += 1;
+        KERNELS.prefix_cold_starts.inc();
     }
 
     /// Merges another cache's counters into this one's.

@@ -20,6 +20,7 @@ use crate::workspace::Workspace;
 use juliqaoa_linalg::{vector, Complex64};
 use juliqaoa_mixers::Mixer;
 use juliqaoa_problems::PhaseClasses;
+use juliqaoa_telemetry::kernels::KERNELS;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Source of simulator identity tokens (see [`Simulator::identity_token`]); 0 is the
@@ -248,6 +249,7 @@ impl Simulator {
     fn apply_phase_separator(&self, gamma: f64, ws: &mut Workspace) {
         match &self.phase_classes {
             Some(classes) => {
+                KERNELS.phase_table_applies.inc();
                 vector::build_phase_table(classes.distinct_values(), gamma, &mut ws.phase_table);
                 vector::apply_phases_indexed(
                     &mut ws.state,
@@ -255,7 +257,10 @@ impl Simulator {
                     &ws.phase_table,
                 );
             }
-            None => vector::apply_phases(&mut ws.state, &self.obj_vals, gamma),
+            None => {
+                KERNELS.dense_phase_applies.inc();
+                vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
+            }
         }
     }
 
@@ -270,6 +275,8 @@ impl Simulator {
             // Fused GM-QAOA round: one cis per distinct objective value, and the
             // phase sweep also accumulates the amplitude sum the Grover rank-1
             // update needs — two passes over the state instead of three.
+            KERNELS.fused_grover_rounds.inc();
+            KERNELS.phase_table_applies.inc();
             vector::build_phase_table(classes.distinct_values(), gamma, &mut ws.phase_table);
             let sum = vector::apply_phases_indexed_sum(
                 &mut ws.state,
@@ -429,6 +436,7 @@ impl Simulator {
                 // so a β-only sweep replays just the rank-1 update.
                 let fused_sum = match &self.phase_classes {
                     Some(classes) => {
+                        KERNELS.phase_table_applies.inc();
                         vector::build_phase_table(
                             classes.distinct_values(),
                             gamma,
@@ -441,6 +449,7 @@ impl Simulator {
                         ))
                     }
                     None => {
+                        KERNELS.dense_phase_applies.inc();
                         vector::apply_phases(&mut ws.state, &self.obj_vals, gamma);
                         None
                     }

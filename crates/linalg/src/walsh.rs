@@ -8,6 +8,7 @@
 //! rayon-parallel path for large states.
 
 use crate::{parallel_kernels_enabled, Complex64};
+use juliqaoa_telemetry::kernels::KERNELS;
 use rayon::prelude::*;
 
 /// Applies the unitary transform `H^{⊗n}` to `state` in place.
@@ -23,6 +24,7 @@ pub fn walsh_hadamard(state: &mut [Complex64]) {
         len.is_power_of_two(),
         "statevector length must be a power of two"
     );
+    KERNELS.wht_passes.inc();
     if parallel_kernels_enabled(len) {
         walsh_hadamard_butterflies_parallel(state);
     } else {
@@ -46,6 +48,7 @@ pub fn walsh_hadamard_unnormalized(state: &mut [Complex64]) {
         len.is_power_of_two(),
         "statevector length must be a power of two"
     );
+    KERNELS.wht_passes.inc();
     if parallel_kernels_enabled(len) {
         walsh_hadamard_butterflies_parallel(state);
     } else {

@@ -10,6 +10,7 @@ use juliqaoa_core::{
     adjoint_gradient, adjoint_gradient_cached, Angles, PrefixCache, PrefixStats, Simulator,
     Workspace,
 };
+use juliqaoa_telemetry::kernels::KERNELS;
 use std::sync::Mutex;
 
 /// A real-valued function of a flat parameter vector, to be minimised.
@@ -123,12 +124,14 @@ where
 
     fn value(&mut self, x: &[f64]) -> f64 {
         self.evals += 1;
+        KERNELS.objective_evals.inc();
         (self.f)(x)
     }
 
     fn value_and_gradient(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
         if let Some(g) = self.grad.as_mut() {
             self.evals += 1;
+            KERNELS.objective_evals.inc();
             g(x, grad)
         } else {
             // Fall back to the default finite-difference implementation without
@@ -336,6 +339,7 @@ impl Objective for QaoaObjective<'_> {
 
     fn value(&mut self, x: &[f64]) -> f64 {
         self.evals += 1;
+        KERNELS.objective_evals.inc();
         let angles = Angles::from_flat(x);
         let e = match self.prefix.as_mut() {
             Some(cache) => self.sim.expectation_cached(&angles, &mut self.ws, cache),
@@ -352,6 +356,7 @@ impl Objective for QaoaObjective<'_> {
                 // forward pass reuses any checkpoint prefix (commonly the full state
                 // from a just-evaluated value at the same point).
                 self.evals += 1;
+                KERNELS.objective_evals.inc();
                 let g = match self.prefix.as_mut() {
                     Some(cache) => adjoint_gradient_cached(self.sim, &angles, &mut self.ws, cache),
                     None => adjoint_gradient(self.sim, &angles, &mut self.ws),

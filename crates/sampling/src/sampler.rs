@@ -130,6 +130,7 @@ impl StateSampler {
 
     fn sample_counts_impl(&self, shots: u64, parallel: bool) -> SampleCounts {
         assert!(shots > 0, "cannot draw zero shots");
+        juliqaoa_telemetry::kernels::KERNELS.shots_drawn.add(shots);
         let shards = shots.div_ceil(SHOT_SHARD_SIZE);
         let threads = rayon::current_num_threads() as u64;
         if parallel && shards >= 2 && threads > 1 {

@@ -42,8 +42,8 @@
 
 use crate::lru::ShardedLru;
 use crate::spec::{
-    BuiltProblem, EstimatorSpec, JobResult, JobSpec, MixerSpec, OptimizerSpec, SampleReport,
-    SamplingSpec, RATIO_HISTOGRAM_BINS,
+    BuiltProblem, EstimatorSpec, JobResult, JobSpec, JobTimings, MixerSpec, OptimizerSpec,
+    SampleReport, SamplingSpec, RATIO_HISTOGRAM_BINS,
 };
 use juliqaoa_combinatorics::DickeSubspace;
 use juliqaoa_core::{Angles, PrefixCache, QaoaError, Simulator};
@@ -54,6 +54,7 @@ use juliqaoa_optim::{
 };
 use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClasses};
 use juliqaoa_sampling::{estimator, IndexMap};
+use juliqaoa_telemetry::Histogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -208,6 +209,42 @@ pub struct EngineStats {
     pub shots_drawn: u64,
 }
 
+/// Per-stage latency histograms the engine records for every job it runs.
+///
+/// Observation-only: recording is relaxed atomics on fixed buckets (see
+/// [`juliqaoa_telemetry::Histogram`]), so results stay bit-identical with
+/// telemetry on or off.  The serving tier observes `queue_wait_ms` and
+/// `journal_write_ms` (the engine never sees a queue or a journal); the rest are
+/// recorded by [`Engine::run_job`] itself.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    /// Time jobs spent queued before a worker picked them up (serving tier only).
+    pub queue_wait_ms: Histogram,
+    /// Instance preparation: problem realisation, precompute, simulator build.
+    pub prep_ms: Histogram,
+    /// The optimizer's angle search.
+    pub optimize_ms: Histogram,
+    /// Shot-based readout at the best angles (sample jobs only).
+    pub sampling_readout_ms: Histogram,
+    /// Appending one result to the crash-safe journal (serving tier only).
+    pub journal_write_ms: Histogram,
+    /// End-to-end job execution (queue wait excluded).
+    pub total_ms: Histogram,
+}
+
+impl EngineTelemetry {
+    fn new() -> Self {
+        EngineTelemetry {
+            queue_wait_ms: Histogram::latency_ms(),
+            prep_ms: Histogram::latency_ms(),
+            optimize_ms: Histogram::latency_ms(),
+            sampling_readout_ms: Histogram::latency_ms(),
+            journal_write_ms: Histogram::latency_ms(),
+            total_ms: Histogram::latency_ms(),
+        }
+    }
+}
+
 /// A shared simulator plus the parked checkpoint pool for one `(instance, mixer)`
 /// pair.  The pool holds up to [`PARKED_POOL_CACHES`] prefix caches so *each* of a
 /// small worker pool's concurrent jobs on the slot can start from warm checkpoints —
@@ -332,6 +369,7 @@ pub struct Engine {
     prefix_rounds_saved: AtomicU64,
     sample_jobs: AtomicU64,
     shots_drawn: AtomicU64,
+    telemetry: EngineTelemetry,
 }
 
 /// The per-worker objective a job's optimizer drives: exact expectation for plain
@@ -431,7 +469,14 @@ impl Engine {
             prefix_rounds_saved: AtomicU64::new(0),
             sample_jobs: AtomicU64::new(0),
             shots_drawn: AtomicU64::new(0),
+            telemetry: EngineTelemetry::new(),
         }
+    }
+
+    /// The engine's per-stage latency histograms (shared with the serving tier,
+    /// which also records the queue-wait and journal-write stages into it).
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 
     /// Fetches (or builds and caches) the shared simulator slot for a problem/mixer
@@ -670,6 +715,20 @@ impl Engine {
         control: &RunControl,
         policy: &crate::retry::RetryPolicy,
     ) -> Result<JobResult, ServiceError> {
+        self.run_job_with_retry_observed(spec, control, policy, |_, _| {})
+    }
+
+    /// [`Engine::run_job_with_retry`] with an observer invoked once per re-attempt
+    /// (after the failure, before the backoff sleep) with the 0-based attempt index
+    /// and the error that triggered it — the serving tier's hook for emitting
+    /// `retry` trace events without the engine knowing about trace rings.
+    pub fn run_job_with_retry_observed(
+        &self,
+        spec: &JobSpec,
+        control: &RunControl,
+        policy: &crate::retry::RetryPolicy,
+        mut on_retry: impl FnMut(u32, &ServiceError),
+    ) -> Result<JobResult, ServiceError> {
         let mut attempt = 0;
         loop {
             match self.run_job_isolated(spec, control) {
@@ -679,6 +738,7 @@ impl Engine {
                         && !control.should_stop() =>
                 {
                     self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                    on_retry(attempt, &e);
                     std::thread::sleep(policy.delay(&spec.id, attempt));
                     attempt += 1;
                 }
@@ -715,6 +775,7 @@ impl Engine {
         if let Some(sampling) = &spec.sampling {
             sampling.validate().map_err(ServiceError::Spec)?;
         }
+        let prep_started = Instant::now();
         let problem = spec.problem.build().map_err(ServiceError::Spec)?;
         let (prepared, cache_hit) = self.prepare(&problem);
         // Hostile or degenerate instances (overflowing explicit weights) can realise
@@ -763,6 +824,8 @@ impl Engine {
             Some(cache) => PrefixCacheHome::new(cache),
             None => PrefixCacheHome::with_budget(juliqaoa_core::prefix::default_prefix_budget()),
         };
+        let prep_ms = prep_started.elapsed().as_secs_f64() * 1e3;
+        self.telemetry.prep_ms.observe(prep_ms);
 
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let dim = 2 * spec.p;
@@ -772,6 +835,7 @@ impl Engine {
         // `res.function_evals` does not cover).
         let shot_tally = AtomicU64::new(0);
         let sampling = spec.sampling.as_ref();
+        let optimize_started = Instant::now();
         let res: OptimizeResult = match spec.optimizer {
             OptimizerSpec::RandomRestart { restarts } => {
                 if restarts == 0 {
@@ -836,6 +900,9 @@ impl Engine {
             }
         };
 
+        let optimize_ms = optimize_started.elapsed().as_secs_f64() * 1e3;
+        self.telemetry.optimize_ms.observe(optimize_ms);
+
         // Deadline bookkeeping comes first: a job whose deadline expired before the
         // optimizer completed even one evaluation has no partial result to report —
         // and a ±∞ "best value" would not survive JSON serialisation — so it dies
@@ -858,6 +925,7 @@ impl Engine {
         // best sampled bitstring (the answer a hardware run would hand back).  The
         // readout runs before the cache home is parked so it replays the prefix the
         // optimizer just left at `res.x` and its reuse counters fold into the job's.
+        let readout_started = Instant::now();
         let sample_report = match sampling {
             None => None,
             // A timed-out sample job skips its readout — the time budget is spent,
@@ -911,6 +979,13 @@ impl Engine {
                     shots_total,
                 })
             }
+        };
+        let sampling_readout_ms = if sample_report.is_some() {
+            let ms = readout_started.elapsed().as_secs_f64() * 1e3;
+            self.telemetry.sampling_readout_ms.observe(ms);
+            ms
+        } else {
+            0.0
         };
 
         // Every objective (and the readout) has been dropped; fold the reuse
@@ -970,6 +1045,8 @@ impl Engine {
         } else {
             "done"
         };
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.telemetry.total_ms.observe(total_ms);
         Ok(JobResult {
             id: spec.id.clone(),
             status: status.to_string(),
@@ -987,7 +1064,15 @@ impl Engine {
             function_evals: res.function_evals,
             converged: res.converged,
             cache_hit,
-            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            elapsed_ms: total_ms,
+            timings: JobTimings {
+                // Filled in by the serving tier, which is where jobs queue.
+                queue_wait_ms: 0.0,
+                prep_ms,
+                optimize_ms,
+                sampling_readout_ms,
+                total_ms,
+            },
             sampling: sample_report,
         })
     }

@@ -153,18 +153,32 @@ pub fn write_json_with_headers(
     headers: &[(&str, String)],
     json: &str,
 ) {
+    write_body(stream, status, "application/json", headers, json);
+}
+
+/// Writes a response with a caller-chosen `Content-Type` (the Prometheus
+/// `/metrics` endpoint serves `text/plain; version=0.0.4`) and flushes; errors
+/// are ignored (the client is gone).
+pub fn write_body(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    headers: &[(&str, String)],
+    body: &str,
+) {
     let extra: String = headers
         .iter()
         .map(|(name, value)| format!("{name}: {value}\r\n"))
         .collect();
     let _ = write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         status,
         reason(status),
-        json.len(),
+        content_type,
+        body.len(),
         extra,
-        json
+        body
     );
     let _ = stream.flush();
 }

@@ -9,8 +9,15 @@
 //!   job, and resume after interruption by skipping jobs whose `"done"` line already
 //!   exists.
 //! * **Serve mode** ([`server`]) — a hand-rolled HTTP/1.1 JSON API (`POST /jobs`,
-//!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /metrics`) with a bounded work
+//!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /stats`) with a bounded work
 //!   queue, a worker pool, per-job progress reporting and cooperative cancellation.
+//!
+//! Everything is observable first-class: `GET /metrics` serves Prometheus text
+//! exposition (counters, kernel profiling counters and per-stage latency
+//! histograms from [`engine::EngineTelemetry`]), each [`spec::JobResult`]
+//! carries a [`spec::JobTimings`] breakdown, and a bounded trace ring of
+//! lifecycle events is served at `GET /trace` (optionally mirrored to a JSONL
+//! file via `--trace-out`).
 //!
 //! Both front-ends share one fault-tolerance layer: cooperative per-job deadlines
 //! ([`spec::JobSpec::timeout_ms`]), deterministic retry with seeded backoff
@@ -38,13 +45,15 @@ pub mod spec;
 pub use batch::{
     completed_ids, load_job_file, run_batch, run_batch_with, BatchOptions, BatchSummary,
 };
-pub use engine::{Engine, EngineStats, PreparedObjective, ServiceError, DEFAULT_CACHE_CAPACITY};
+pub use engine::{
+    Engine, EngineStats, EngineTelemetry, PreparedObjective, ServiceError, DEFAULT_CACHE_CAPACITY,
+};
 pub use fault::{FaultPlan, PanicFault, WriteFault};
 pub use journal::{FsyncPolicy, Journal, LineCheck, RecoveryReport};
 pub use lru::{LruCache, ShardedLru};
 pub use retry::RetryPolicy;
-pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig};
+pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig, TraceBody, TraceEvent};
 pub use spec::{
-    BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec,
+    BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, JobTimings, MixerSpec, OptimizerSpec,
     ProblemSpec, SampleReport, SamplingSpec, MAX_QUBITS, MAX_SHOTS,
 };

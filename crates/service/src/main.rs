@@ -4,7 +4,8 @@
 //! qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
 //!                    [--retries N] [--fsync flush|every-line]
 //! qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
-//!                    [--out results.jsonl] [--read-timeout-ms N] [--write-timeout-ms N]
+//!                    [--out results.jsonl] [--trace-out trace.jsonl]
+//!                    [--read-timeout-ms N] [--write-timeout-ms N]
 //!                    [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
 //!                    [--drain-ms N] [--retries N] [--fsync flush|every-line]
 //! qaoa-service example-jobs <path> [--count N] [--n QUBITS]
@@ -53,7 +54,8 @@ const USAGE: &str = "usage:
   qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
                      [--retries N] [--fsync flush|every-line]
   qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
-                     [--out results.jsonl] [--read-timeout-ms N] [--write-timeout-ms N]
+                     [--out results.jsonl] [--trace-out trace.jsonl]
+                     [--read-timeout-ms N] [--write-timeout-ms N]
                      [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
                      [--drain-ms N] [--retries N] [--fsync flush|every-line]
   qaoa-service example-jobs <path> [--count N] [--n QUBITS]";
@@ -183,6 +185,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     Some(PathBuf::from(s))
                 })?)
             }
+            "--trace-out" => {
+                config.trace_path = Some(flag_value(args, &mut i, "--trace-out", |s| {
+                    Some(PathBuf::from(s))
+                })?)
+            }
             "--read-timeout-ms" => {
                 config.read_timeout_ms =
                     flag_value(args, &mut i, "--read-timeout-ms", |s| s.parse().ok())?
@@ -223,7 +230,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     install_stop_signal();
     let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    eprintln!("qaoa-service listening on http://{addr} (POST /jobs, GET /metrics, POST /shutdown)");
+    eprintln!(
+        "qaoa-service listening on http://{addr} (POST /jobs, GET /metrics, GET /stats, GET /trace, POST /shutdown)"
+    );
     server.run_until(&STOP_REQUESTED).map_err(|e| e.to_string())
 }
 

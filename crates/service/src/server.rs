@@ -17,7 +17,9 @@
 //! | `GET /jobs/:id`        | Job status + progress                                  |
 //! | `GET /jobs/:id/result` | The [`JobResult`] (`409` until finished)               |
 //! | `POST /jobs/:id/cancel`| Request cooperative cancellation                       |
-//! | `GET /metrics`         | Queue/engine/cache counters                            |
+//! | `GET /metrics`         | Prometheus text exposition (counters + histograms)     |
+//! | `GET /stats`           | The same counters as JSON ([`MetricsBody`])            |
+//! | `GET /trace`           | Recent lifecycle events from the bounded trace ring    |
 //! | `GET /healthz`         | Liveness probe                                         |
 //! | `POST /shutdown`       | Graceful stop (drains workers); used by CI             |
 //!
@@ -31,20 +33,27 @@
 //! (e.g. SIGTERM) is raised.
 
 use crate::engine::{Engine, EngineStats, ServiceError};
-use crate::http::{read_request, write_error, write_json, write_json_with_headers, Request};
+use crate::http::{
+    read_request, write_body, write_error, write_json, write_json_with_headers, Request,
+};
 use crate::journal::{FsyncPolicy, Journal};
 use crate::retry::RetryPolicy;
 use crate::spec::{JobResult, JobSpec};
 use juliqaoa_linalg::enter_outer_parallelism;
 use juliqaoa_optim::RunControl;
+use juliqaoa_telemetry::{encode, kernels, PromWriter, TraceRing};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Capacity of the in-memory lifecycle trace ring served by `GET /trace`.
+const TRACE_CAPACITY: usize = 1024;
 
 /// Configuration for [`Server::bind`].
 #[derive(Clone, Debug)]
@@ -81,6 +90,10 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Durability policy for the results journal.
     pub fsync: FsyncPolicy,
+    /// Optional JSONL file every lifecycle trace event is also appended to
+    /// (plain lines, flushed per event — a debugging artifact, not the
+    /// checksummed results journal).
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -99,8 +112,37 @@ impl Default for ServerConfig {
             drain_ms: 10_000,
             retry: RetryPolicy::default(),
             fsync: FsyncPolicy::default(),
+            trace_path: None,
         }
     }
+}
+
+/// One entry in the lifecycle trace ring (`GET /trace` and `--trace-out`).
+///
+/// `ts_ms` is milliseconds since the server started — a monotonic offset, not
+/// wall-clock time, so traces stay comparable across restarts and replays.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (gaps mean the ring dropped events).
+    pub seq: u64,
+    /// Milliseconds since server start.
+    pub ts_ms: f64,
+    /// `submit` / `shed` / `reject` / `retry` / `done` / `cancelled` /
+    /// `timed_out` / `failed` / `panic` / `drain`.
+    pub event: String,
+    /// The job id the event concerns (empty for server-wide events).
+    pub job: String,
+    /// Free-form context, e.g. the error that triggered a retry.
+    pub detail: String,
+}
+
+/// The `GET /trace` body.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TraceBody {
+    /// Events evicted from the ring since start (oldest-first window follows).
+    pub dropped: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<TraceEvent>,
 }
 
 /// Lifecycle of a submitted job.
@@ -231,11 +273,38 @@ struct ServiceState {
     jobs: Mutex<HashMap<String, Arc<JobRecord>>>,
     queue: WorkQueue,
     submitted: AtomicU64,
+    completed: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
     auto_id: AtomicU64,
     started: Instant,
     results: Option<Journal>,
+    trace: TraceRing<TraceEvent>,
+    trace_seq: AtomicU64,
+    trace_out: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl ServiceState {
+    /// Records a lifecycle event into the trace ring (and the `--trace-out`
+    /// file, when configured).  Observation only: failures to write the trace
+    /// file are swallowed so tracing can never fail a job.
+    fn trace_event(&self, event: &str, job: &str, detail: impl Into<String>) {
+        let entry = TraceEvent {
+            seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
+            ts_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            event: event.to_string(),
+            job: job.to_string(),
+            detail: detail.into(),
+        };
+        if let Some(out) = &self.trace_out {
+            if let Ok(line) = serde_json::to_string(&entry) {
+                let mut w = out.lock().expect("trace out lock");
+                let _ = writeln!(w, "{line}");
+                let _ = w.flush();
+            }
+        }
+        self.trace.push(entry);
+    }
 }
 
 /// Status body returned by `POST /jobs`, `GET /jobs/:id` and `POST /jobs/:id/cancel`.
@@ -307,16 +376,26 @@ impl Server {
             }
             None => None,
         };
+        let trace_out = match &config.trace_path {
+            Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
+                path,
+            )?))),
+            None => None,
+        };
         let state = Arc::new(ServiceState {
             engine: Engine::new(config.cache_capacity),
             jobs: Mutex::new(HashMap::new()),
             queue: WorkQueue::new(config.queue_capacity),
             submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             auto_id: AtomicU64::new(0),
             started: Instant::now(),
             results,
+            trace: TraceRing::new(TRACE_CAPACITY),
+            trace_seq: AtomicU64::new(0),
+            trace_out,
             config,
         });
         let workers = (0..state.config.workers.max(1))
@@ -386,6 +465,11 @@ impl Server {
     /// left once [`ServerConfig::drain_ms`] elapses, so shutdown is bounded
     /// even with slow jobs in flight.
     fn drain(self) -> std::io::Result<()> {
+        self.state.trace_event(
+            "drain",
+            "",
+            format!("budget {} ms", self.state.config.drain_ms),
+        );
         self.state.queue.begin_shutdown();
         let drained = Arc::new(AtomicBool::new(false));
         let watchdog = {
@@ -436,6 +520,7 @@ fn worker_loop(state: &ServiceState) {
     while let Some(record) = state.queue.pop() {
         if record.cancel.load(Ordering::SeqCst) {
             record.set_state(JobState::Cancelled);
+            state.trace_event("cancelled", &record.spec.id, "cancelled while queued");
             continue;
         }
         // Admission control: a job that already waited past the queue-wait
@@ -447,9 +532,22 @@ fn worker_loop(state: &ServiceState) {
                     Some(format!("shed after waiting more than {limit} ms in queue"));
                 record.set_state(JobState::Shed);
                 state.shed.fetch_add(1, Ordering::Relaxed);
+                state.trace_event(
+                    "shed",
+                    &record.spec.id,
+                    format!("waited more than {limit} ms in queue"),
+                );
                 continue;
             }
         }
+        // The queue-wait span ends here: everything between submission and the
+        // transition to Running is time the job spent waiting, not working.
+        let queue_wait_ms = record.enqueued_at.elapsed().as_secs_f64() * 1e3;
+        state
+            .engine
+            .telemetry()
+            .queue_wait_ms
+            .observe(queue_wait_ms);
         record.set_state(JobState::Running);
         let mut control = RunControl::with_cancel(record.cancel.clone()).on_progress({
             // The callback outlives this loop iteration, so it owns its own Arc.
@@ -468,11 +566,23 @@ fn worker_loop(state: &ServiceState) {
         // an ordinary failed job (visible in `jobs_failed`/`jobs_panicked`) and
         // the worker lives on.  Transient failures (panics, journal I/O) are
         // retried per the server's policy before giving up.
-        match state
-            .engine
-            .run_job_with_retry(&record.spec, &control, &state.config.retry)
-        {
-            Ok(result) => {
+        let outcome = state.engine.run_job_with_retry_observed(
+            &record.spec,
+            &control,
+            &state.config.retry,
+            |attempt, err| {
+                state.trace_event(
+                    "retry",
+                    &record.spec.id,
+                    format!("attempt {} failed: {err}", attempt + 1),
+                );
+            },
+        );
+        match outcome {
+            Ok(mut result) => {
+                // The engine cannot see the queue, so the queue-wait slot in
+                // the per-job timings is filled in here.
+                result.timings.queue_wait_ms = queue_wait_ms;
                 // The engine sets "cancelled"/"timed_out" only on an actual
                 // stop request; optimizer non-convergence is still a done job.
                 let terminal = match result.status.as_str() {
@@ -482,16 +592,26 @@ fn worker_loop(state: &ServiceState) {
                 };
                 if let Some(journal) = &state.results {
                     if let Ok(line) = serde_json::to_string(&result) {
+                        let write_started = Instant::now();
                         if let Err(e) = journal.append(&line) {
                             eprintln!(
                                 "[serve] failed to journal result for {:?}: {e}",
                                 record.spec.id
                             );
                         }
+                        state
+                            .engine
+                            .telemetry()
+                            .journal_write_ms
+                            .observe(write_started.elapsed().as_secs_f64() * 1e3);
                     }
                 }
                 *record.result.lock().expect("result lock") = Some(result);
                 record.set_state(terminal);
+                if terminal == JobState::Done {
+                    state.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                state.trace_event(terminal.as_str(), &record.spec.id, "");
             }
             Err(err) => {
                 // A deadline that expired before the first evaluation is still
@@ -503,6 +623,12 @@ fn worker_loop(state: &ServiceState) {
                 };
                 *record.error.lock().expect("error lock") = Some(err.to_string());
                 record.set_state(terminal);
+                let event = if matches!(err, ServiceError::Panicked(_)) {
+                    "panic"
+                } else {
+                    terminal.as_str()
+                };
+                state.trace_event(event, &record.spec.id, err.to_string());
             }
         }
     }
@@ -533,7 +659,9 @@ fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) -
     let path = request.path.trim_end_matches('/');
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => handle_submit(state, stream, request),
-        ("GET", "/metrics") => handle_metrics(state, stream),
+        ("GET", "/metrics") => handle_prometheus(state, stream),
+        ("GET", "/stats") => handle_stats(state, stream),
+        ("GET", "/trace") => handle_trace(state, stream),
         ("GET", "/healthz") => write_json(stream, 200, "{\"status\": \"ok\"}"),
         ("POST", "/shutdown") => {
             write_json(stream, 200, "{\"status\": \"shutting down\"}");
@@ -599,6 +727,11 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
             .is_some_and(|w| w > Duration::from_millis(limit_ms));
         if stale {
             state.shed.fetch_add(1, Ordering::Relaxed);
+            state.trace_event(
+                "shed",
+                &spec.id,
+                format!("rejected at submission: queue head waited more than {limit_ms} ms"),
+            );
             let retry_after = (limit_ms / 1000).max(1);
             let body = format!(
                 "{{\"error\": \"queue is saturated (head waited > {limit_ms} ms), retry later\"}}"
@@ -625,10 +758,12 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
     if !state.queue.try_push(record.clone()) {
         state.jobs.lock().expect("jobs lock").remove(&spec.id);
         state.rejected.fetch_add(1, Ordering::Relaxed);
+        state.trace_event("reject", &spec.id, "queue full");
         write_error(stream, 429, "job queue is full, retry later");
         return;
     }
     state.submitted.fetch_add(1, Ordering::Relaxed);
+    state.trace_event("submit", &spec.id, "");
     match serde_json::to_string(&status_body(&spec.id, &record)) {
         Ok(json) => write_json(stream, 202, &json),
         Err(_) => write_error(stream, 500, "serialisation failed"),
@@ -708,25 +843,30 @@ fn handle_cancel(state: &Arc<ServiceState>, stream: &mut TcpStream, id: &str) {
     }
 }
 
-fn handle_metrics(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+/// Per-state counts of every job the service still tracks:
+/// `(running, done, cancelled, timed_out, failed)`.
+fn job_state_counts(state: &ServiceState) -> (u64, u64, u64, u64, u64) {
     let mut running = 0u64;
     let mut done = 0u64;
     let mut cancelled = 0u64;
     let mut timed_out = 0u64;
     let mut failed = 0u64;
-    {
-        let jobs = state.jobs.lock().expect("jobs lock");
-        for record in jobs.values() {
-            match record.state() {
-                JobState::Running => running += 1,
-                JobState::Done => done += 1,
-                JobState::Cancelled => cancelled += 1,
-                JobState::TimedOut => timed_out += 1,
-                JobState::Failed => failed += 1,
-                JobState::Queued | JobState::Shed => {}
-            }
+    let jobs = state.jobs.lock().expect("jobs lock");
+    for record in jobs.values() {
+        match record.state() {
+            JobState::Running => running += 1,
+            JobState::Done => done += 1,
+            JobState::Cancelled => cancelled += 1,
+            JobState::TimedOut => timed_out += 1,
+            JobState::Failed => failed += 1,
+            JobState::Queued | JobState::Shed => {}
         }
     }
+    (running, done, cancelled, timed_out, failed)
+}
+
+fn handle_stats(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+    let (running, done, cancelled, timed_out, failed) = job_state_counts(state);
     let body = MetricsBody {
         uptime_s: state.started.elapsed().as_secs_f64(),
         jobs_submitted: state.submitted.load(Ordering::Relaxed),
@@ -740,6 +880,240 @@ fn handle_metrics(state: &Arc<ServiceState>, stream: &mut TcpStream) {
         failed,
         cached_instances: state.engine.cached_instances() as u64,
         engine: state.engine.stats(),
+    };
+    match serde_json::to_string_pretty(&body) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+/// Prometheus text exposition (format 0.0.4) of every counter the JSON
+/// `GET /stats` body exposes, plus the per-job latency histograms and the
+/// process-global kernel profiling counters.
+fn handle_prometheus(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+    let (running, done, cancelled, timed_out, failed) = job_state_counts(state);
+    let engine = state.engine.stats();
+    let k = kernels::snapshot();
+    let tel = state.engine.telemetry();
+    let mut w = PromWriter::new();
+
+    w.gauge_f64(
+        "uptime_seconds",
+        "Seconds since the server started.",
+        state.started.elapsed().as_secs_f64(),
+    );
+    w.counter(
+        "jobs_submitted",
+        "Jobs accepted onto the queue since start.",
+        state.submitted.load(Ordering::Relaxed),
+    );
+    w.counter(
+        "jobs_completed",
+        "Jobs that reached the terminal done state.",
+        state.completed.load(Ordering::Relaxed),
+    );
+    w.counter(
+        "jobs_rejected",
+        "Submissions rejected because the queue was full.",
+        state.rejected.load(Ordering::Relaxed),
+    );
+    w.counter(
+        "jobs_shed",
+        "Jobs shed by admission control (stale queued jobs plus saturated-queue rejections).",
+        state.shed.load(Ordering::Relaxed),
+    );
+    w.gauge(
+        "queue_depth",
+        "Jobs currently waiting in the queue.",
+        state.queue.len() as u64,
+    );
+    w.gauge("jobs_running", "Jobs currently executing.", running);
+    w.gauge(
+        "jobs_done",
+        "Tracked jobs in the terminal done state.",
+        done,
+    );
+    w.gauge(
+        "jobs_cancelled",
+        "Tracked jobs in the terminal cancelled state.",
+        cancelled,
+    );
+    w.gauge(
+        "jobs_timed_out",
+        "Tracked jobs whose deadline expired mid-run.",
+        timed_out,
+    );
+    w.gauge(
+        "jobs_failed",
+        "Tracked jobs in the terminal failed state.",
+        failed,
+    );
+    w.gauge(
+        "cached_instances",
+        "Problem instances currently in the engine cache.",
+        state.engine.cached_instances() as u64,
+    );
+    w.counter(
+        "trace_events_dropped",
+        "Lifecycle events evicted from the bounded trace ring.",
+        state.trace.dropped(),
+    );
+
+    w.counter(
+        "engine_jobs_executed",
+        "Jobs the engine ran to a result.",
+        engine.jobs_executed,
+    );
+    w.counter(
+        "engine_jobs_failed",
+        "Jobs that errored inside the engine.",
+        engine.jobs_failed,
+    );
+    w.counter(
+        "engine_jobs_panicked",
+        "Jobs that panicked and were converted to structured failures.",
+        engine.jobs_panicked,
+    );
+    w.counter(
+        "engine_jobs_timed_out",
+        "Jobs whose deadline expired inside the engine.",
+        engine.jobs_timed_out,
+    );
+    w.counter(
+        "engine_jobs_retried",
+        "Transiently-failed job attempts that were retried.",
+        engine.jobs_retried,
+    );
+    w.counter(
+        "engine_cache_hits",
+        "Instance-cache hits.",
+        engine.cache_hits,
+    );
+    w.counter(
+        "engine_cache_misses",
+        "Instance-cache misses.",
+        engine.cache_misses,
+    );
+    w.counter(
+        "engine_instance_builds",
+        "Problem instances actually realised (misses minus coalesced preps).",
+        engine.instance_builds,
+    );
+    w.counter(
+        "engine_prep_coalesced",
+        "Concurrent builds of the same instance coalesced into one.",
+        engine.prep_coalesced,
+    );
+    w.counter(
+        "engine_prefix_hits",
+        "Prefix-checkpoint cache hits.",
+        engine.prefix_hits,
+    );
+    w.counter(
+        "engine_prefix_misses",
+        "Prefix-checkpoint cache misses (cold starts).",
+        engine.prefix_misses,
+    );
+    w.counter(
+        "engine_prefix_rounds_saved",
+        "QAOA rounds skipped thanks to prefix checkpoints.",
+        engine.prefix_rounds_saved,
+    );
+    w.counter(
+        "engine_sample_jobs",
+        "Jobs that ran shot-based sampling.",
+        engine.sample_jobs,
+    );
+    w.counter(
+        "engine_shots_drawn",
+        "Measurement shots drawn across all sample jobs.",
+        engine.shots_drawn,
+    );
+
+    w.counter(
+        "kernel_phase_table_applies",
+        "Phase-separator applications served from a compressed class table.",
+        k.phase_table_applies,
+    );
+    w.counter(
+        "kernel_dense_phase_applies",
+        "Phase-separator applications that fell back to the dense per-state path.",
+        k.dense_phase_applies,
+    );
+    w.counter(
+        "kernel_fused_grover_rounds",
+        "QAOA rounds executed by the fused Grover phase-plus-mixer kernel.",
+        k.fused_grover_rounds,
+    );
+    w.counter(
+        "kernel_wht_passes",
+        "Walsh-Hadamard transform passes over a state vector.",
+        k.wht_passes,
+    );
+    w.counter(
+        "kernel_prefix_checkpoint_hits",
+        "Evolutions resumed from a prefix checkpoint.",
+        k.prefix_checkpoint_hits,
+    );
+    w.counter(
+        "kernel_prefix_cold_starts",
+        "Evolutions that started from the initial state with no usable checkpoint.",
+        k.prefix_cold_starts,
+    );
+    w.counter(
+        "kernel_prefix_rounds_saved",
+        "QAOA rounds skipped by resuming from prefix checkpoints.",
+        k.prefix_rounds_saved,
+    );
+    w.counter(
+        "kernel_shots_drawn",
+        "Measurement shots drawn by the alias sampler.",
+        k.shots_drawn,
+    );
+    w.counter(
+        "kernel_objective_evals",
+        "Objective-function evaluations across all optimizers.",
+        k.objective_evals,
+    );
+
+    w.histogram(
+        "job_queue_wait_ms",
+        "Milliseconds jobs spent queued before a worker picked them up.",
+        &tel.queue_wait_ms.snapshot(),
+    );
+    w.histogram(
+        "job_prep_ms",
+        "Milliseconds spent realising the problem instance (cache misses included).",
+        &tel.prep_ms.snapshot(),
+    );
+    w.histogram(
+        "job_optimize_ms",
+        "Milliseconds spent in the optimizer loop.",
+        &tel.optimize_ms.snapshot(),
+    );
+    w.histogram(
+        "job_sampling_readout_ms",
+        "Milliseconds spent drawing shots and estimating sampled objectives.",
+        &tel.sampling_readout_ms.snapshot(),
+    );
+    w.histogram(
+        "job_journal_write_ms",
+        "Milliseconds spent appending results to the journal.",
+        &tel.journal_write_ms.snapshot(),
+    );
+    w.histogram(
+        "job_total_ms",
+        "End-to-end milliseconds per job inside the engine.",
+        &tel.total_ms.snapshot(),
+    );
+
+    write_body(stream, 200, encode::CONTENT_TYPE, &[], &w.finish());
+}
+
+fn handle_trace(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+    let body = TraceBody {
+        dropped: state.trace.dropped(),
+        events: state.trace.snapshot(),
     };
     match serde_json::to_string_pretty(&body) {
         Ok(json) => write_json(stream, 200, &json),

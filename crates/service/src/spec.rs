@@ -513,8 +513,32 @@ pub struct JobResult {
     pub cache_hit: bool,
     /// Wall-clock execution time in milliseconds.
     pub elapsed_ms: f64,
+    /// Per-stage timing spans (queue wait is filled in by the serving tier; it
+    /// stays 0.0 in batch mode, where jobs never queue behind admission).
+    pub timings: JobTimings,
     /// Shot-based readout at the best angles (`Some` for `"sample"` jobs).
     pub sampling: Option<SampleReport>,
+}
+
+/// Per-stage wall-clock spans of one executed job, in milliseconds.
+///
+/// These are observability data, not results: they vary run to run and are
+/// excluded from every determinism digest (the bench FNV digests and the CI
+/// worker-count diffs both skip them).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobTimings {
+    /// Time spent queued before a worker picked the job up (serving tier only).
+    pub queue_wait_ms: f64,
+    /// Instance preparation: problem realisation, precompute, simulator build
+    /// (near zero on a cache hit).
+    pub prep_ms: f64,
+    /// The optimizer's angle search.
+    pub optimize_ms: f64,
+    /// Shot-based readout at the best angles (0.0 for exact jobs).
+    pub sampling_readout_ms: f64,
+    /// End-to-end execution (prep through readout, queue wait excluded); equal
+    /// to `elapsed_ms`.
+    pub total_ms: f64,
 }
 
 /// Number of bins in a [`SampleReport`]'s approximation-ratio histogram.

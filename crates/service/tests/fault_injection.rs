@@ -291,7 +291,7 @@ fn deadline_expiry_mid_grid_returns_a_structured_timeout_over_http() {
     assert!(result.function_evals > 0);
 
     // The timeout is counted, and the shed/retry counters are published.
-    let (status, _, body) = request(addr, "GET", "/metrics", None);
+    let (status, _, body) = request(addr, "GET", "/stats", None);
     assert_eq!(status, 200);
     let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
     assert_eq!(metrics.timed_out, 1);
@@ -363,7 +363,7 @@ fn stale_queued_jobs_are_shed_and_saturated_submits_get_503_with_retry_after() {
     assert_eq!(status, 503, "shed result fetch: {body}");
     assert!(body.contains("shed"), "{body}");
 
-    let (status, _, body) = request(addr, "GET", "/metrics", None);
+    let (status, _, body) = request(addr, "GET", "/stats", None);
     assert_eq!(status, 200);
     let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
     assert_eq!(

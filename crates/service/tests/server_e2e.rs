@@ -3,14 +3,15 @@
 
 use juliqaoa_service::{
     JobResult, JobSpec, JobStatusBody, MetricsBody, MixerSpec, OptimizerSpec, ProblemSpec, Server,
-    ServerConfig,
+    ServerConfig, TraceBody,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// Sends one HTTP/1.1 request and returns `(status, body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+/// Sends one HTTP/1.1 request and returns the raw response (status line,
+/// headers and body) — for tests that need to see response headers.
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -24,6 +25,12 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u
     .expect("write request");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let raw = raw_request(addr, method, path, body);
     let status: u16 = raw
         .split_whitespace()
         .nth(1)
@@ -121,6 +128,17 @@ fn full_job_lifecycle_over_http() {
         reference.expectation.to_bits()
     );
     assert_eq!(result.angles, reference.angles);
+    // The serving tier fills the queue-wait slot of the per-job timings, and the
+    // engine fills the rest; all must come back populated over HTTP.
+    assert!(
+        result.timings.queue_wait_ms > 0.0,
+        "queue_wait_ms must be filled by the serving tier: {:?}",
+        result.timings
+    );
+    assert!(result.timings.prep_ms > 0.0, "{:?}", result.timings);
+    assert!(result.timings.optimize_ms > 0.0, "{:?}", result.timings);
+    assert!(result.timings.total_ms > 0.0, "{:?}", result.timings);
+    assert_eq!(result.timings.total_ms, result.elapsed_ms);
 
     // A second identical-instance job should be a cache hit, visible in metrics.
     let mut spec2 = sample_spec("e2e-2");
@@ -134,7 +152,7 @@ fn full_job_lifecycle_over_http() {
     assert_eq!(status, 202);
     poll_until_done(addr, "e2e-2");
 
-    let (status, body) = request(addr, "GET", "/metrics", None);
+    let (status, body) = request(addr, "GET", "/stats", None);
     assert_eq!(status, 200);
     let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
     assert_eq!(metrics.jobs_submitted, 2);
@@ -181,8 +199,13 @@ fn full_job_lifecycle_over_http() {
     assert_eq!(report.estimator, "cvar");
     assert_eq!(report.ratio_histogram.iter().sum::<u64>(), 1024);
     assert_eq!(report.best_bitstring.len(), 7);
-    // New counters surface in /metrics.
-    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert!(
+        result.timings.sampling_readout_ms > 0.0,
+        "sample jobs must record a readout span: {:?}",
+        result.timings
+    );
+    // New counters surface in the JSON stats body.
+    let (status, body) = request(addr, "GET", "/stats", None);
     assert_eq!(status, 200);
     let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
     assert_eq!(metrics.engine.sample_jobs, 1);
@@ -251,7 +274,7 @@ fn a_panicking_job_fails_structured_and_the_sole_worker_survives() {
     );
 
     // The panic is counted: a failed job, attributed to a panic.
-    let (status, body) = request(addr, "GET", "/metrics", None);
+    let (status, body) = request(addr, "GET", "/stats", None);
     assert_eq!(status, 200);
     let metrics: MetricsBody = serde_json::from_str(&body).expect("metrics json");
     assert_eq!(metrics.failed, 1);
@@ -263,6 +286,114 @@ fn a_panicking_job_fails_structured_and_the_sole_worker_survives() {
     let (status, _) = request(addr, "POST", "/shutdown", None);
     assert_eq!(status, 200);
     handle.join().expect("server thread");
+}
+
+#[test]
+fn prometheus_exposition_and_trace_ring_over_http() {
+    let trace_path =
+        std::env::temp_dir().join(format!("juliqaoa_e2e_trace_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 8,
+        trace_path: Some(trace_path.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let spec_json = serde_json::to_string(&sample_spec("e2e-prom")).unwrap();
+    let (status, _) = request(addr, "POST", "/jobs", Some(&spec_json));
+    assert_eq!(status, 202);
+    poll_until_done(addr, "e2e-prom");
+
+    // Prometheus text exposition: right content type, HELP/TYPE headers, the
+    // jobs_completed counter reflecting the finished job, cumulative histogram
+    // buckets ending in +Inf, and the kernel profiling counters.
+    let raw = raw_request(addr, "GET", "/metrics", None);
+    assert!(
+        raw.contains("Content-Type: text/plain; version=0.0.4"),
+        "missing Prometheus content type: {}",
+        raw.lines().take(6).collect::<Vec<_>>().join(" | ")
+    );
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    assert!(body.contains("# TYPE jobs_completed counter"));
+    assert!(body.contains("\njobs_completed 1\n"));
+    assert!(body.contains("\njobs_submitted 1\n"));
+    assert!(body.contains("# TYPE job_queue_wait_ms histogram"));
+    assert!(body.contains("job_queue_wait_ms_bucket{le=\"+Inf\"} 1"));
+    assert!(body.contains("\njob_queue_wait_ms_count 1\n"));
+    assert!(body.contains("\njob_total_ms_count 1\n"));
+    assert!(body.contains("# TYPE job_prep_ms histogram"));
+    assert!(body.contains("# TYPE kernel_wht_passes counter"));
+    assert!(body.contains("# TYPE engine_cache_misses counter"));
+    // Every non-comment line is `name{labels}? value`, the shape the CI smoke
+    // greps for.
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (name, value) = line.split_once(' ').expect("metric line has a value");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+            "bad metric name in {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "bad value in {line:?}"
+        );
+    }
+
+    // The trace ring saw the full lifecycle, in order.
+    let (status, body) = request(addr, "GET", "/trace", None);
+    assert_eq!(status, 200);
+    let trace: TraceBody = serde_json::from_str(&body).expect("trace json");
+    assert_eq!(trace.dropped, 0);
+    let events: Vec<(&str, &str)> = trace
+        .events
+        .iter()
+        .map(|e| (e.event.as_str(), e.job.as_str()))
+        .collect();
+    assert!(events.contains(&("submit", "e2e-prom")), "{events:?}");
+    assert!(events.contains(&("done", "e2e-prom")), "{events:?}");
+    let submit_pos = events.iter().position(|e| e.0 == "submit").unwrap();
+    let done_pos = events.iter().position(|e| e.0 == "done").unwrap();
+    assert!(
+        submit_pos < done_pos,
+        "submit must precede done: {events:?}"
+    );
+    // Sequence numbers are strictly increasing (the ring preserves order).
+    for pair in trace.events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+
+    // `--trace-out` mirrored the same events as JSONL, one parseable line each.
+    let mirrored = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let lines: Vec<&str> = mirrored.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(
+        lines.len() >= trace.events.len(),
+        "trace file must hold at least the ring's events"
+    );
+    for line in &lines {
+        let event: juliqaoa_service::TraceEvent =
+            serde_json::from_str(line).expect("trace line parses");
+        assert!(!event.event.is_empty());
+    }
+    // The drain event lands in the file on shutdown even though the ring
+    // snapshot above was taken before it.
+    assert!(
+        lines.iter().any(|l| l.contains("\"drain\"")),
+        "shutdown must emit a drain event"
+    );
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 #[test]

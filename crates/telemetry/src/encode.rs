@@ -1,0 +1,192 @@
+//! Prometheus text-exposition (version 0.0.4) encoder.
+//!
+//! Output is byte-stable for a fixed metric state: metrics are emitted in the
+//! order the caller writes them, floats are rendered with Rust's shortest-
+//! round-trip `Display`, and histogram sums are exact fixed-point values, so the
+//! same counter state always serializes to the same bytes (which the tier-1
+//! tests assert).
+
+use crate::hist::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// The `Content-Type` a server must send with this encoder's output.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Builds a Prometheus text-format payload one metric family at a time.
+///
+/// ```
+/// use juliqaoa_telemetry::PromWriter;
+/// let mut w = PromWriter::new();
+/// w.counter("jobs_completed", "Jobs that reached a terminal Done state.", 3);
+/// assert!(w.finish().contains("jobs_completed 3\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty payload.
+    pub fn new() -> Self {
+        PromWriter { out: String::new() }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(
+            name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+            "metric names are lowercase_with_underscores: {name}"
+        );
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A monotonic counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A point-in-time gauge sample (integral).
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A point-in-time gauge sample (floating, e.g. uptime seconds).
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {}", fmt_f64(value));
+    }
+
+    /// A full histogram family: cumulative `_bucket{le="..."}` series ending in
+    /// `le="+Inf"`, then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.counts.iter().enumerate() {
+            cumulative += c;
+            match snap.bounds.get(i) {
+                Some(&bound) => {
+                    let _ = writeln!(
+                        self.out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        fmt_f64(bound)
+                    );
+                }
+                None => {
+                    let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(self.out, "{name}_sum {}", fmt_f64(snap.sum));
+        let _ = writeln!(self.out, "{name}_count {}", snap.count);
+    }
+
+    /// The accumulated payload.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders an `f64` the way Prometheus expects: `Display` (shortest round-trip,
+/// so `0.05` not `0.050000`), with non-finite values spelled in Prometheus's
+/// casing.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render_help_type_and_sample() {
+        let mut w = PromWriter::new();
+        w.counter("jobs_submitted", "Jobs accepted for execution.", 12);
+        w.gauge("queue_depth", "Jobs waiting in the run queue.", 3);
+        w.gauge_f64("uptime_seconds", "Seconds since server start.", 1.5);
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP jobs_submitted Jobs accepted for execution.\n\
+             # TYPE jobs_submitted counter\n\
+             jobs_submitted 12\n\
+             # HELP queue_depth Jobs waiting in the run queue.\n\
+             # TYPE queue_depth gauge\n\
+             queue_depth 3\n\
+             # HELP uptime_seconds Seconds since server start.\n\
+             # TYPE uptime_seconds gauge\n\
+             uptime_seconds 1.5\n"
+        );
+    }
+
+    #[test]
+    fn histograms_are_cumulative_and_end_in_inf() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        let mut w = PromWriter::new();
+        w.histogram("job_total_ms", "End-to-end job latency.", &h.snapshot());
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP job_total_ms End-to-end job latency.\n\
+             # TYPE job_total_ms histogram\n\
+             job_total_ms_bucket{le=\"1\"} 2\n\
+             job_total_ms_bucket{le=\"10\"} 3\n\
+             job_total_ms_bucket{le=\"+Inf\"} 4\n\
+             job_total_ms_sum 106\n\
+             job_total_ms_count 4\n"
+        );
+    }
+
+    #[test]
+    fn exposition_is_byte_stable_for_fixed_state() {
+        let render = || {
+            let h = Histogram::new(&[0.25, 2.5, 25.0]);
+            for v in [0.1, 0.25, 1.0, 30.0, 0.125] {
+                h.observe(v);
+            }
+            let mut w = PromWriter::new();
+            w.counter("jobs_completed", "Jobs done.", 5);
+            w.histogram("job_prep_ms", "Prep latency.", &h.snapshot());
+            w.finish()
+        };
+        let a = render();
+        let b = render();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        // Every sample line is text-format parseable: name, optional labels, value.
+        for line in a.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "bad metric name in {line:?}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_matches_prometheus_conventions() {
+        assert_eq!(fmt_f64(0.05), "0.05");
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+    }
+}

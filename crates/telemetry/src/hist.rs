@@ -1,0 +1,294 @@
+//! Fixed-bucket latency histograms with lock-free recording.
+//!
+//! Recording is one relaxed `fetch_add` on the bucket plus one on the fixed-point
+//! sum — no locks, no allocation, no floating-point accumulation order to disturb
+//! (the sum is kept in integer thousandths, so concurrent recording is exact and
+//! the rendered text is byte-stable for a given set of observations).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-point scale of the histogram sum: observed values are accumulated in
+/// thousandths (µs when observing milliseconds), keeping concurrent accumulation
+/// exact and deterministic where an `f64` CAS loop would be order-dependent.
+const SUM_SCALE: f64 = 1_000.0;
+
+/// A histogram over fixed, ascending finite bucket upper bounds, with an implicit
+/// `+Inf` bucket at the end.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per finite bound, plus the trailing `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    sum_scaled: AtomicU64,
+}
+
+/// The default latency buckets (milliseconds): 50 µs to 60 s, roughly
+/// logarithmic.  Wide enough for queue waits under overload and narrow enough to
+/// resolve sub-millisecond prep hits.
+pub const DEFAULT_LATENCY_BOUNDS_MS: &[f64] = &[
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0,
+    5_000.0, 15_000.0, 60_000.0,
+];
+
+impl Histogram {
+    /// A histogram over the given finite upper bounds (must be ascending, finite
+    /// and non-empty); an `+Inf` bucket is appended implicitly.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_scaled: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram with the default latency-in-milliseconds buckets.
+    pub fn latency_ms() -> Self {
+        Self::new(DEFAULT_LATENCY_BOUNDS_MS)
+    }
+
+    /// Records one observation (same unit as the bounds).  Lock-free; NaN is
+    /// recorded into the `+Inf` bucket with zero sum contribution.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        // `partition_point` puts v == bound into that bound's bucket (le semantics)
+        // because the predicate is strict. NaN compares false against every bound,
+        // which would land it in the first bucket; send it to +Inf instead.
+        let idx = if v.is_nan() {
+            self.bounds.len()
+        } else {
+            self.bounds
+                .partition_point(|&bound| bound < v)
+                .min(self.bounds.len())
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() && v > 0.0 {
+            self.sum_scaled
+                .fetch_add((v * SUM_SCALE).round() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent snapshot for rendering and quantile estimation.  Bucket counts
+    /// are read individually (relaxed), and the total is *defined* as their sum, so
+    /// `snapshot.count == snapshot.counts.iter().sum()` always holds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: self.sum_scaled.load(Ordering::Relaxed) as f64 / SUM_SCALE,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s buckets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; one per bound plus the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Total observations (always the sum of `counts`).
+    pub count: u64,
+    /// Sum of observed values, in the bounds' unit (fixed-point thousandths
+    /// internally, so it is exact to 0.001 and deterministic under concurrency).
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation inside the
+    /// containing bucket — the standard Prometheus `histogram_quantile` shape.
+    /// Returns 0.0 for an empty histogram; observations in the `+Inf` bucket
+    /// report the largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += c;
+            if (cumulative as f64) >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // +Inf bucket: report the largest finite bound rather than ∞.
+                    None => return *self.bounds.last().expect("non-empty bounds"),
+                };
+                if c == 0 {
+                    return upper;
+                }
+                let frac = (rank - prev as f64) / c as f64;
+                return lower + (upper - lower) * frac.clamp(0.0, 1.0);
+            }
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// The per-bucket difference `self − earlier` (both must share bounds): the
+    /// observations recorded between the two snapshots, for per-phase percentiles
+    /// over a histogram that keeps accumulating.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.bounds, earlier.bounds, "snapshots of different shapes");
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: (self.sum - earlier.sum).max(0.0),
+        }
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn observations_land_in_le_buckets() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(0.5); // ≤ 1
+        h.observe(1.0); // le semantics: exactly on the bound stays in it
+        h.observe(5.0); // ≤ 10
+        h.observe(1_000.0); // +Inf
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0, 1]);
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 1006.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_is_counted_without_poisoning_the_sum() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.counts, vec![1, 1]);
+        assert!((s.sum - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        for _ in 0..50 {
+            h.observe(5.0);
+        }
+        for _ in 0..50 {
+            h.observe(15.0);
+        }
+        let s = h.snapshot();
+        // Median sits exactly at the first bound.
+        assert!((s.quantile(0.5) - 10.0).abs() < 1e-9);
+        // p99 interpolates inside the (10, 20] bucket.
+        let p99 = s.quantile(0.99);
+        assert!(p99 > 10.0 && p99 <= 20.0, "p99 = {p99}");
+        // Everything in +Inf reports the last finite bound.
+        let inf = Histogram::new(&[1.0, 2.0]);
+        inf.observe(99.0);
+        assert_eq!(inf.snapshot().quantile(0.5), 2.0);
+        // Empty histogram.
+        assert_eq!(Histogram::new(&[1.0]).snapshot().quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn delta_isolates_the_observations_in_between() {
+        let h = Histogram::latency_ms();
+        h.observe(3.0);
+        let before = h.snapshot();
+        h.observe(7.0);
+        h.observe(700.0);
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 2);
+        assert!((d.sum - 707.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_increments() {
+        let h = std::sync::Arc::new(Histogram::latency_ms());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Spread observations over several buckets per thread.
+                        h.observe(((t * 5_000 + i) % 97) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 40_000);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_counts_always_sum_to_the_total(
+            pool in collection::vec(0.0f64..1e6, 200),
+            take in 0usize..200,
+        ) {
+            let values = &pool[..take];
+            let h = Histogram::latency_ms();
+            for &v in values {
+                h.observe(v);
+            }
+            let s = h.snapshot();
+            prop_assert_eq!(s.count, values.len() as u64);
+            prop_assert_eq!(s.counts.iter().sum::<u64>(), s.count);
+        }
+
+        #[test]
+        fn quantiles_are_monotone_and_within_range(
+            pool in collection::vec(0.0f64..1e5, 200),
+            take in 1usize..200,
+        ) {
+            let h = Histogram::latency_ms();
+            for &v in &pool[..take] {
+                h.observe(v);
+            }
+            let s = h.snapshot();
+            let (p50, p95, p99) = (s.quantile(0.50), s.quantile(0.95), s.quantile(0.99));
+            prop_assert!(p50 <= p95 + 1e-12);
+            prop_assert!(p95 <= p99 + 1e-12);
+            let top = *s.bounds.last().unwrap();
+            for q in [p50, p95, p99] {
+                prop_assert!((0.0..=top).contains(&q));
+            }
+        }
+    }
+}

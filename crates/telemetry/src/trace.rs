@@ -1,0 +1,110 @@
+//! A bounded ring buffer of structured lifecycle events.
+//!
+//! The service pushes one event per interesting job transition (submit, shed,
+//! retry, timeout, panic, drain, …); the ring keeps the most recent `capacity`
+//! of them for `GET /trace` and counts what it had to drop. Pushes take a short
+//! mutex — they happen per job transition, never inside simulation kernels.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-capacity, drop-oldest ring of events.
+#[derive(Debug)]
+pub struct TraceRing<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    buf: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T: Clone> TraceRing<T> {
+    /// A ring holding at most `capacity` events (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "trace ring needs capacity >= 1");
+        TraceRing {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&self, event: T) {
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// How many events have been evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_most_recent_events_in_order() {
+        let ring = TraceRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing_beyond_capacity() {
+        let ring = std::sync::Arc::new(TraceRing::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        ring.push(t * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.len(), 64);
+        assert_eq!(ring.dropped(), 400 - 64);
+    }
+}
