@@ -11,7 +11,12 @@
 //!    workers, each in a child process (the rayon thread count is latched per
 //!    process).  The snapshot records per-point speedup and scaling efficiency,
 //!    and every row carries a digest of its results — the sweep asserts the
-//!    digests are identical, so worker-count independence is checked on every run.
+//!    digests are identical, so worker-count independence is checked on every run;
+//! 4. **shards-{1,2,3}** — the *shard sweep*: the hot workload through
+//!    `qaoa-service batch --shard-workers N` (each shard a separate OS process,
+//!    merged through the checksummed journal).  Digests are asserted identical
+//!    across node counts and against the in-process row — the cluster tier's
+//!    topology-independence contract, measured on every run.
 //!
 //! Throughput assertions (non-smoke): with ≥ 4 CPUs visible, 4 workers must beat
 //! 1 worker by ≥ 1.3×; with ≥ 2 CPUs, 4 workers must at least match 1 worker.  On
@@ -27,13 +32,17 @@
 
 use juliqaoa_problems::Fnv64;
 use juliqaoa_service::{
-    run_batch, Engine, JobResult, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec,
+    run_batch, Engine, JobFile, JobResult, JobSpec, MixerSpec, OptimizerSpec, ProblemSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Worker counts the sweep measures.  Each runs in its own child process.
 const SWEEP_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Shard-process counts the cluster sweep measures, via `qaoa-service batch
+/// --shard-workers N` (each shard is a separate OS process).
+const SHARD_SWEEP: [usize; 3] = [1, 2, 3];
 
 #[derive(Serialize, Deserialize)]
 struct WorkloadRow {
@@ -78,6 +87,17 @@ struct SweepPoint {
 }
 
 #[derive(Serialize)]
+struct ShardPoint {
+    /// Number of shard child processes the batch fanned out over.
+    shard_workers: usize,
+    elapsed_s: f64,
+    jobs_per_sec: f64,
+    /// Same digest as [`WorkloadRow::results_digest`] — asserted identical
+    /// across all node counts and against the in-process hot-cache row.
+    results_digest: String,
+}
+
+#[derive(Serialize)]
 struct Snapshot {
     description: String,
     threads: usize,
@@ -88,6 +108,10 @@ struct Snapshot {
     worker_sweep: Vec<SweepPoint>,
     results_bit_identical_across_workers: bool,
     scaling_assertion: String,
+    /// The same hot job list through `qaoa-service batch --shard-workers N`
+    /// child processes — the cluster tier's process-fan-out path.
+    shard_sweep: Vec<ShardPoint>,
+    shard_assertion: String,
 }
 
 fn jobs_for(n: usize, count: usize, distinct_instances: usize) -> Vec<JobSpec> {
@@ -196,6 +220,53 @@ fn run_workload(
         job_total_ms_p50: latency.quantile(0.50),
         job_total_ms_p95: latency.quantile(0.95),
         job_total_ms_p99: latency.quantile(0.99),
+    }
+}
+
+/// The sibling `qaoa-service` binary, expected next to this benchmark in the
+/// same target directory (build with `cargo build --release -p juliqaoa_service`).
+fn service_exe() -> std::path::PathBuf {
+    let mut path = std::env::current_exe().expect("current exe");
+    path.set_file_name("qaoa-service");
+    path
+}
+
+/// One point of the shard sweep: the job file through `qaoa-service batch
+/// --shard-workers N`, timed end-to-end (process spawn and merge included).
+fn run_shard_point(service: &Path, job_path: &Path, shards: usize, jobs: usize) -> ShardPoint {
+    let out = std::env::temp_dir().join(format!(
+        "juliqaoa_bench_service_shard{shards}_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out);
+    let started = std::time::Instant::now();
+    let output = std::process::Command::new(service)
+        .arg("batch")
+        .arg(job_path)
+        .arg("--out")
+        .arg(&out)
+        .arg("--shard-workers")
+        .arg(shards.to_string())
+        .output()
+        .expect("spawn qaoa-service batch");
+    assert!(
+        output.status.success(),
+        "sharded batch ({shards} shards) failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    let results_digest = digest_results(&out);
+    let _ = std::fs::remove_file(&out);
+    eprintln!(
+        "{:>14}  {jobs:>3} jobs across {shards} shard process(es)  {elapsed:.2}s  {:.2} jobs/s",
+        format!("shards-{shards}"),
+        jobs as f64 / elapsed,
+    );
+    ShardPoint {
+        shard_workers: shards,
+        elapsed_s: elapsed,
+        jobs_per_sec: jobs as f64 / elapsed,
+        results_digest,
     }
 }
 
@@ -339,6 +410,50 @@ fn main() {
         format!("skipped: 1 CPU visible (speedup at 4 workers: {speedup_4:.2}x)")
     };
 
+    // The shard sweep: the identical hot job list fanned across {1, 2, 3}
+    // `qaoa-service batch` shard processes.  Digest identity across node
+    // counts — and against the in-process hot-cache row — is the cluster
+    // tier's topology-independence contract.
+    let mut shard_sweep = Vec::new();
+    let service = service_exe();
+    let shard_assertion = if service.exists() {
+        let job_path = std::env::temp_dir().join(format!(
+            "juliqaoa_bench_service_jobs_{}.json",
+            std::process::id()
+        ));
+        let job_file = JobFile {
+            jobs: jobs_for(n, hot_jobs, hot_distinct),
+        };
+        std::fs::write(
+            &job_path,
+            serde_json::to_string(&job_file).expect("job file serialises"),
+        )
+        .expect("write job file");
+        for shards in SHARD_SWEEP {
+            shard_sweep.push(run_shard_point(&service, &job_path, shards, hot_jobs));
+        }
+        let _ = std::fs::remove_file(&job_path);
+        let hot_digest = &workloads[0].results_digest;
+        for point in &shard_sweep {
+            assert_eq!(
+                &point.results_digest, hot_digest,
+                "results at {} shard processes differ from the in-process run",
+                point.shard_workers
+            );
+        }
+        format!(
+            "enforced: digests identical across {SHARD_SWEEP:?} shard processes \
+             and the in-process hot-cache row"
+        )
+    } else {
+        eprintln!(
+            "NOTE: {} not built — shard sweep skipped \
+             (cargo build --release -p juliqaoa_service)",
+            service.display()
+        );
+        format!("skipped: {} not built", service.display())
+    };
+
     workloads.extend(sweep_rows);
     let snapshot = Snapshot {
         description: format!(
@@ -355,6 +470,8 @@ fn main() {
         worker_sweep,
         results_bit_identical_across_workers: true,
         scaling_assertion,
+        shard_sweep,
+        shard_assertion,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialise snapshot");
     std::fs::write(&output, json).expect("write snapshot");

@@ -214,7 +214,7 @@ pub fn run_batch_with(
                 // panicking job becomes a structured "failed" line (after the
                 // policy's retries) instead of unwinding into rayon and aborting
                 // the whole batch.
-                match engine.run_job_with_retry(spec, &control, &opts.retry) {
+                let outcome = match engine.run_job_with_retry(spec, &control, &opts.retry) {
                     Ok(result) => match serde_json::to_string(&result) {
                         Ok(line) if append_with_retry(&spec.id, &line) => 0usize,
                         // A result that could not be recorded is a failure for
@@ -232,7 +232,12 @@ pub fn run_batch_with(
                         }
                         1usize
                     }
-                }
+                };
+                // Process-level chaos hook: an installed kill-after-k-jobs fault
+                // aborts this batch process here, after the k-th journalled job —
+                // exactly the crash window shard supervision must survive.
+                crate::fault::maybe_kill_after_job();
+                outcome
             },
         )
         .sum();
@@ -244,6 +249,235 @@ pub fn run_batch_with(
         executed,
         skipped,
         failed: failures,
+        elapsed_s: elapsed,
+        jobs_per_sec: if elapsed > 0.0 {
+            executed as f64 / elapsed
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Bounded crash-loop restarts per shard child before giving up on it.
+const MAX_SHARD_RESTARTS: usize = 5;
+
+/// One shard child process and everything needed to restart it.
+struct ShardChild {
+    shard: usize,
+    job_path: std::path::PathBuf,
+    out_path: std::path::PathBuf,
+    child: std::process::Child,
+    restarts: usize,
+}
+
+/// Spawns one shard's `qaoa-service batch` child.  Children inherit the
+/// environment, so an installed `JULIQAOA_FAULT_PLAN` applies to them — which is
+/// exactly how the chaos suite kills a shard mid-batch.
+fn spawn_shard(
+    exe: &Path,
+    job_path: &Path,
+    out_path: &Path,
+    opts: &BatchOptions,
+    cache: usize,
+) -> Result<std::process::Child, ServiceError> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("batch")
+        .arg(job_path)
+        .arg("--out")
+        .arg(out_path)
+        .arg("--cache")
+        .arg(cache.to_string())
+        .arg("--retries")
+        .arg(opts.retry.max_retries.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if opts.fsync == FsyncPolicy::EveryLine {
+        cmd.arg("--fsync").arg("every-line");
+    }
+    cmd.spawn()
+        .map_err(|e| ServiceError::Io(format!("spawning shard child {}: {e}", exe.display())))
+}
+
+/// Runs a batch fanned out across `shards` child processes of `exe` (the
+/// `qaoa-service` binary itself), merging their crash-safe journals into
+/// `out_path`.
+///
+/// Jobs are partitioned by their canonical instance fingerprint
+/// (`InstanceId % shards`), the same affinity rule the cluster router's hash
+/// ring uses, so every job touching one instance lands in one child and the
+/// per-process caches keep their hit rates.  Each child appends to its own
+/// checksummed journal; a child that *crashes* (exit by signal/abort — a
+/// completed run with failed jobs exits with code 1 and is not restarted) is
+/// restarted up to [`MAX_SHARD_RESTARTS`] times and resumes from its own
+/// journal, re-running only jobs without a `"done"` line.  After all children
+/// settle, shard journals are recovered (torn tails truncated), verified line
+/// by line, stripped of framing and re-appended to the merged journal — FNV
+/// framing is deterministic, so merged lines are byte-identical to what an
+/// unsharded run writes for the same specs.
+pub fn run_batch_sharded(
+    exe: &Path,
+    jobs: &[JobSpec],
+    out_path: impl AsRef<Path>,
+    opts: &BatchOptions,
+    shards: usize,
+    cache: usize,
+) -> Result<BatchSummary, ServiceError> {
+    let out_path = out_path.as_ref();
+    if shards <= 1 {
+        let engine = Engine::new(cache);
+        return run_batch_with(&engine, jobs, out_path, opts);
+    }
+    let started = Instant::now();
+    let already_done = if opts.resume {
+        journal::recover(out_path)?;
+        completed_ids(out_path)
+    } else {
+        HashSet::new()
+    };
+    let pending: Vec<&JobSpec> = jobs
+        .iter()
+        .filter(|j| !already_done.contains(&j.id))
+        .collect();
+    let skipped = jobs.len() - pending.len();
+
+    // Partition by instance affinity.  A spec whose instance cannot even be
+    // realised goes to shard 0, whose child records the structured failure.
+    let mut partitions: Vec<Vec<JobSpec>> = vec![Vec::new(); shards];
+    for spec in &pending {
+        let shard = match spec.problem.build() {
+            Ok(built) => (built.instance_id.raw() % shards as u64) as usize,
+            Err(_) => 0,
+        };
+        partitions[shard].push((*spec).clone());
+    }
+
+    let scratch = out_path.with_extension("shards");
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| ServiceError::Io(format!("creating {}: {e}", scratch.display())))?;
+    let mut running: Vec<ShardChild> = Vec::new();
+    let mut shard_outs: Vec<std::path::PathBuf> = Vec::new();
+    for (k, part) in partitions.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let job_path = scratch.join(format!("shard-{k}.json"));
+        let shard_out = scratch.join(format!("shard-{k}.jsonl"));
+        if !opts.resume {
+            // A fresh (non-resuming) run must not inherit a previous sharded
+            // run's leftovers.
+            let _ = std::fs::remove_file(&shard_out);
+        }
+        let file = JobFile { jobs: part.clone() };
+        let text = serde_json::to_string_pretty(&file)
+            .map_err(|e| ServiceError::Io(format!("encoding shard {k} jobs: {e}")))?;
+        std::fs::write(&job_path, text)
+            .map_err(|e| ServiceError::Io(format!("writing {}: {e}", job_path.display())))?;
+        let child = spawn_shard(exe, &job_path, &shard_out, opts, cache)?;
+        shard_outs.push(shard_out.clone());
+        running.push(ShardChild {
+            shard: k,
+            job_path,
+            out_path: shard_out,
+            child,
+            restarts: 0,
+        });
+    }
+
+    // Supervise: restart crashed children (they resume from their journal),
+    // accept clean exits and completed-with-failures exits (code 1) as settled.
+    while !running.is_empty() {
+        let mut still_running = Vec::with_capacity(running.len());
+        for mut entry in running {
+            match entry.child.try_wait() {
+                Ok(Some(status)) => {
+                    let crashed = !matches!(status.code(), Some(0) | Some(1));
+                    if crashed && entry.restarts < MAX_SHARD_RESTARTS {
+                        eprintln!(
+                            "batch: shard {} crashed ({status}); restarting (attempt {})",
+                            entry.shard,
+                            entry.restarts + 1
+                        );
+                        entry.child =
+                            spawn_shard(exe, &entry.job_path, &entry.out_path, opts, cache)?;
+                        entry.restarts += 1;
+                        still_running.push(entry);
+                    } else if crashed {
+                        eprintln!(
+                            "batch: shard {} crashed {MAX_SHARD_RESTARTS} times; giving up on it",
+                            entry.shard
+                        );
+                    }
+                }
+                Ok(None) => still_running.push(entry),
+                Err(e) => {
+                    return Err(ServiceError::Io(format!(
+                        "waiting on shard {}: {e}",
+                        entry.shard
+                    )))
+                }
+            }
+        }
+        running = still_running;
+        if !running.is_empty() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // Merge: recover each shard journal, keep the *last* line per job id (a
+    // restarted shard re-runs non-done jobs, so later lines supersede earlier
+    // ones), and re-append the stripped bodies to the merged journal.
+    let mut order: Vec<String> = Vec::new();
+    let mut latest: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    for shard_out in &shard_outs {
+        journal::recover(shard_out)?;
+        let text = std::fs::read_to_string(shard_out)
+            .map_err(|e| ServiceError::Io(format!("reading {}: {e}", shard_out.display())))?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let Some(body) = journal::strip_frame(line.trim_end_matches('\r')) else {
+                continue; // interior-corrupt shard line: the job has no trustworthy result
+            };
+            let Ok(v) = serde_json::from_str::<Value>(&body) else {
+                continue;
+            };
+            let Some(id) = v.get_field("id").and_then(Value::as_str) else {
+                continue;
+            };
+            if !latest.contains_key(id) {
+                order.push(id.to_string());
+            }
+            latest.insert(id.to_string(), body);
+        }
+    }
+    let journal = Journal::open(out_path, opts.fsync)?;
+    let mut failed = 0usize;
+    for id in &order {
+        let body = &latest[id];
+        if serde_json::from_str::<Value>(body)
+            .ok()
+            .and_then(|v| {
+                v.get_field("status")
+                    .and_then(Value::as_str)
+                    .map(String::from)
+            })
+            .as_deref()
+            == Some("failed")
+        {
+            failed += 1;
+        }
+        journal.append(body)?;
+    }
+    // Jobs that never produced a line (shard gave up after repeated crashes)
+    // count as failures: the caller must know the batch is incomplete.
+    failed += pending.len().saturating_sub(order.len());
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let executed = order.len();
+    Ok(BatchSummary {
+        total: jobs.len(),
+        executed,
+        skipped,
+        failed,
         elapsed_s: elapsed,
         jobs_per_sec: if elapsed > 0.0 {
             executed as f64 / elapsed

@@ -15,6 +15,14 @@
 //!   smoke to manufacture a torn trailing line at a seeded point;
 //! * **`prep_delay_ms`** — stall every instance preparation, widening race windows
 //!   for single-flight and queue-deadline tests;
+//! * **`kill_after_jobs`** — abort the whole process once the `k`-th job reaches a
+//!   terminal state (counted process-wide), the cluster chaos suite's way of killing
+//!   a backend mid-batch at a deterministic point;
+//! * **`probe_blackhole`** — drop `/healthz` and `/readyz` connections without
+//!   answering, so the router's health prober sees timeouts rather than refusals
+//!   (the failure mode of a wedged, not dead, backend);
+//! * **`slow_response_ms`** — stall every HTTP response, widening the window the
+//!   router's hedged reads are designed to cover;
 //! * **`seed`** — labels the plan (folded into nothing at runtime yet, but recorded
 //!   so two chaos runs can assert they replayed the same plan).
 //!
@@ -56,6 +64,13 @@ pub struct FaultPlan {
     pub torn_write_at: Option<u64>,
     /// Milliseconds to stall every instance preparation.
     pub prep_delay_ms: u64,
+    /// Abort the process once this many jobs (counted process-wide) have reached a
+    /// terminal state — the deterministic backend-kill for cluster chaos tests.
+    pub kill_after_jobs: Option<u64>,
+    /// Drop health-probe connections (`/healthz`, `/readyz`) without responding.
+    pub probe_blackhole: bool,
+    /// Milliseconds to stall every HTTP response before it is written.
+    pub slow_response_ms: u64,
 }
 
 impl Serialize for FaultPlan {
@@ -75,9 +90,20 @@ impl Serialize for FaultPlan {
             ("panic_jobs".to_string(), Value::Array(panic_jobs)),
             ("fail_writes".to_string(), self.fail_writes.to_value()),
             ("prep_delay_ms".to_string(), self.prep_delay_ms.to_value()),
+            (
+                "probe_blackhole".to_string(),
+                self.probe_blackhole.to_value(),
+            ),
+            (
+                "slow_response_ms".to_string(),
+                self.slow_response_ms.to_value(),
+            ),
         ];
         if let Some(k) = self.torn_write_at {
             fields.push(("torn_write_at".to_string(), k.to_value()));
+        }
+        if let Some(k) = self.kill_after_jobs {
+            fields.push(("kill_after_jobs".to_string(), k.to_value()));
         }
         Value::Object(fields)
     }
@@ -130,12 +156,27 @@ impl Deserialize for FaultPlan {
                     .ok_or("fault plan: torn_write_at must be an unsigned integer")?,
             ),
         };
+        let kill_after_jobs = match v.get_field("kill_after_jobs") {
+            None | Some(Value::Null) => None,
+            Some(k) => Some(
+                k.as_u64()
+                    .ok_or("fault plan: kill_after_jobs must be an unsigned integer")?,
+            ),
+        };
+        let probe_blackhole = match v.get_field("probe_blackhole") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("fault plan: probe_blackhole must be a boolean".into()),
+        };
         Ok(FaultPlan {
             seed: u64_or("seed", 0)?,
             panic_jobs,
             fail_writes,
             torn_write_at,
             prep_delay_ms: u64_or("prep_delay_ms", 0)?,
+            kill_after_jobs,
+            probe_blackhole,
+            slow_response_ms: u64_or("slow_response_ms", 0)?,
         })
     }
 }
@@ -170,6 +211,8 @@ struct FaultState {
     writes: AtomicU64,
     /// Attempts seen per panic-fault job id.
     attempts: Mutex<HashMap<String, u32>>,
+    /// Process-wide terminal-job counter (triggers `kill_after_jobs`).
+    jobs_finished: AtomicU64,
 }
 
 /// The installed plan, if any.  A `Mutex<Option<Arc<_>>>` (not `OnceLock`) so tests
@@ -208,6 +251,7 @@ pub fn install(plan: FaultPlan) {
         plan,
         writes: AtomicU64::new(0),
         attempts: Mutex::new(HashMap::new()),
+        jobs_finished: AtomicU64::new(0),
     }));
 }
 
@@ -243,6 +287,41 @@ pub fn delay_prep() {
     }
 }
 
+/// Serving hook: called once per job that reaches a terminal state.  Aborts the
+/// process when the plan's `kill_after_jobs` count is reached — the cluster chaos
+/// suite's deterministic stand-in for `SIGKILL` landing on a backend mid-batch.
+/// The abort happens *after* the k-th job completed (and its result was journaled
+/// or made pollable), so the killed backend's observable state is well-defined.
+pub fn maybe_kill_after_job() {
+    let Some(state) = active() else { return };
+    let Some(kill_at) = state.plan.kill_after_jobs else {
+        return;
+    };
+    let finished = state.jobs_finished.fetch_add(1, Ordering::SeqCst) + 1;
+    if finished >= kill_at {
+        eprintln!("fault injection: killing process after {finished} finished job(s)");
+        std::process::abort();
+    }
+}
+
+/// Probe hook: should health endpoints (`/healthz`, `/readyz`) drop the connection
+/// without answering?  Models a wedged backend whose sockets accept but never reply.
+pub fn probe_blackholed() -> bool {
+    active().is_some_and(|state| state.plan.probe_blackhole)
+}
+
+/// Response hook: stall per the plan's `slow_response_ms` before any HTTP response
+/// is written (no-op without a plan).
+pub fn delay_response() {
+    if let Some(state) = active() {
+        if state.plan.slow_response_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                state.plan.slow_response_ms,
+            ));
+        }
+    }
+}
+
 /// Journal hook: the fault (if any) to apply to the next write.  Each call consumes
 /// one write index, matching the journal's own append numbering.
 pub fn next_write_fault() -> WriteFault {
@@ -274,6 +353,9 @@ mod tests {
             fail_writes: vec![0, 3],
             torn_write_at: Some(5),
             prep_delay_ms: 10,
+            kill_after_jobs: Some(4),
+            probe_blackhole: true,
+            slow_response_ms: 25,
         };
         let json = serde_json::to_string(&plan).unwrap();
         assert_eq!(FaultPlan::parse(&json).unwrap(), plan);

@@ -6,14 +6,19 @@
 //! writes status + JSON responses with `Connection: close`.  Deliberately not a general
 //! HTTP implementation: no chunked encoding, no keep-alive, no TLS — requests beyond
 //! the size limits are rejected rather than streamed.
+//!
+//! The same module also carries the *client* half the cluster router needs
+//! ([`client_request`]): one request, one `Connection: close` response, bounded by
+//! connect/read/write timeouts so a dead backend costs a timeout, not a hang.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a request body.
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Default upper bound on a request body (`--max-body-bytes` overrides per server).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -44,8 +49,19 @@ impl HttpError {
     }
 }
 
-/// Reads one request from the stream.
+/// Reads one request from the stream at the default body-size limit.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    read_request_limited(stream, DEFAULT_MAX_BODY_BYTES)
+}
+
+/// Reads one request from the stream, rejecting bodies larger than
+/// `max_body_bytes` with a structured `413` *before* allocating for them — an
+/// unbounded `Content-Length` must never translate into an unbounded
+/// allocation on a worker.
+pub fn read_request_limited(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
     // Read until the blank line ending the head, then however much body the headers
     // promise.  One byte at a time would be slow; a buffered chunk loop with carryover
     // keeps it simple and still far faster than any job this service runs.
@@ -91,8 +107,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::new(413, "request body too large"));
+    if content_length > max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+            ),
+        ));
     }
 
     let mut body = buf[head_end + 4..].to_vec();
@@ -197,6 +218,64 @@ struct ErrorBody {
     error: String,
 }
 
+/// A response as the router's proxy client sees it: status plus body, headers
+/// discarded (nothing in the cluster protocol rides on response headers).
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one HTTP/1.1 request to `addr` and reads the full `Connection: close`
+/// response.  Every stage is bounded by `timeout`: connect, each socket read and
+/// each write — a dead or blackholed peer costs one timeout, never a hang.  Any
+/// I/O failure (refused, reset, expired timeout, malformed status line) comes
+/// back as `Err`, which the cluster layer treats as a backend failure.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let timeout = timeout.max(Duration::from_millis(1));
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("{addr:?} resolves to no address")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("malformed response from {addr}")))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok(ClientResponse { status, body })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,9 +328,68 @@ mod tests {
     fn oversized_bodies_are_413() {
         let head = format!(
             "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-            MAX_BODY_BYTES + 1
+            DEFAULT_MAX_BODY_BYTES + 1
         );
         let err = round_trip(head.as_bytes()).unwrap_err();
         assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn custom_body_limits_apply_before_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // The headers promise far more than the limit; no body is ever sent.
+            s.write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 4096\r\n\r\n")
+                .unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request_limited(&mut stream, 1024).unwrap_err();
+        writer.join().unwrap();
+        assert_eq!(err.status, 413);
+        assert!(err.message.contains("4096"), "{}", err.message);
+    }
+
+    #[test]
+    fn client_request_round_trips_against_a_local_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            write_json(&mut stream, 200, &String::from_utf8_lossy(&req.body));
+        });
+        let resp = client_request(
+            &addr.to_string(),
+            "POST",
+            "/echo",
+            Some("{\"ping\":1}"),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.is_success());
+        assert_eq!(resp.body, "{\"ping\":1}");
+    }
+
+    #[test]
+    fn client_request_errors_on_a_dead_peer() {
+        // Bind then drop: the port is (briefly) unbound, so connect is refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = client_request(
+            &addr.to_string(),
+            "GET",
+            "/healthz",
+            None,
+            Duration::from_millis(500),
+        );
+        assert!(err.is_err());
     }
 }

@@ -112,6 +112,25 @@ pub fn verify_line(line: &str) -> LineCheck {
     }
 }
 
+/// Reconstructs the original unframed body of a journal line — the inverse of
+/// [`frame_line`].  [`LineCheck::Legacy`] lines come back unchanged; `None`
+/// means the line is [`LineCheck::Corrupt`] and has no trustworthy body.  Used
+/// when merging shard journals: bodies are re-framed by the destination
+/// journal's own `append`, and FNV framing is deterministic, so a merged line
+/// is byte-identical to the original.
+pub fn strip_frame(line: &str) -> Option<String> {
+    match verify_line(line) {
+        LineCheck::Valid => {
+            let idx = line
+                .rfind(CHECKSUM_MARKER)
+                .expect("valid line has a marker");
+            Some(format!("{}}}", &line[..idx]))
+        }
+        LineCheck::Legacy => Some(line.to_string()),
+        LineCheck::Corrupt => None,
+    }
+}
+
 /// What [`recover`] found and did to a journal file.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -139,18 +158,21 @@ pub fn recover(path: impl AsRef<Path>) -> Result<RecoveryReport, ServiceError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(RecoveryReport::default()),
         Err(e) => return Err(ServiceError::Io(format!("reading {}: {e}", path.display()))),
     };
-    let text = String::from_utf8_lossy(&bytes);
-
     // Byte offset up to which the file is kept.  Walk complete (newline-terminated)
     // lines; the last one is held to its checksum, interior ones are only counted.
+    // The walk stays on raw bytes: offsets must index the *file*, and a lossy
+    // UTF-8 conversion of the whole buffer would shift them (each invalid byte
+    // inflates to a 3-byte replacement char), truncating at the wrong place when
+    // a crash sprays non-UTF-8 garbage into the tail.  Only the per-line verify
+    // goes through a (line-local, offset-irrelevant) lossy view.
     let mut keep_end = 0usize;
     let mut lines_kept = 0usize;
     let mut corrupt_interior = 0usize;
     let mut offset = 0usize;
     let mut pending: Option<(usize, LineCheck)> = None; // (end offset, verdict) of previous line
-    for line in text.split_inclusive('\n') {
+    for line in bytes.split_inclusive(|&b| b == b'\n') {
         offset += line.len();
-        if !line.ends_with('\n') {
+        if line.last() != Some(&b'\n') {
             break; // torn tail; handled below
         }
         if let Some((end, _)) = pending.take() {
@@ -159,7 +181,8 @@ pub fn recover(path: impl AsRef<Path>) -> Result<RecoveryReport, ServiceError> {
             keep_end = end;
             lines_kept += 1;
         }
-        let check = verify_line(line.trim_end_matches(['\n', '\r']));
+        let text = String::from_utf8_lossy(line);
+        let check = verify_line(text.trim_end_matches(['\n', '\r']));
         if check == LineCheck::Corrupt {
             corrupt_interior += 1;
         }
@@ -322,6 +345,20 @@ mod tests {
         // framing is always the final occurrence.
         let tricky = frame_line(r#"{"note":",\"journal_fnv\":\"00\"}","x":1}"#);
         assert_eq!(verify_line(&tricky), LineCheck::Valid);
+    }
+
+    #[test]
+    fn strip_frame_inverts_frame_line_exactly() {
+        let body = r#"{"id":"job-1","status":"done","value":1.5}"#;
+        let line = frame_line(body);
+        assert_eq!(strip_frame(&line).as_deref(), Some(body));
+        // Re-framing the stripped body reproduces the line byte for byte — the
+        // property shard-journal merging depends on.
+        assert_eq!(frame_line(&strip_frame(&line).unwrap()), line);
+        // Legacy lines pass through unchanged; corrupt lines have no body.
+        let legacy = r#"{"id":"old","status":"done"}"#;
+        assert_eq!(strip_frame(legacy).as_deref(), Some(legacy));
+        assert_eq!(strip_frame(&line.replace("done", "dome")), None);
     }
 
     #[test]

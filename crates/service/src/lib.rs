@@ -11,6 +11,9 @@
 //! * **Serve mode** ([`server`]) — a hand-rolled HTTP/1.1 JSON API (`POST /jobs`,
 //!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /stats`) with a bounded work
 //!   queue, a worker pool, per-job progress reporting and cooperative cancellation.
+//! * **Route mode** ([`router`]) — a cluster front-end that consistent-hashes jobs by
+//!   `InstanceId` onto backend serve processes ([`cluster`]), with health-checked
+//!   circuit breakers, deterministic seeded failover and optional hedged reads.
 //!
 //! Everything is observable first-class: `GET /metrics` serves Prometheus text
 //! exposition (counters, kernel profiling counters and per-stage latency
@@ -33,18 +36,22 @@
 //! bit-identical result at any thread count, cache state or submission order.
 
 pub mod batch;
+pub mod cluster;
 pub mod engine;
 pub mod fault;
 pub mod http;
 pub mod journal;
 pub mod lru;
 pub mod retry;
+pub mod router;
 pub mod server;
 pub mod spec;
 
 pub use batch::{
-    completed_ids, load_job_file, run_batch, run_batch_with, BatchOptions, BatchSummary,
+    completed_ids, load_job_file, run_batch, run_batch_sharded, run_batch_with, BatchOptions,
+    BatchSummary,
 };
+pub use cluster::{Backend, BackendState, Cluster, ClusterConfig, HashRing};
 pub use engine::{
     Engine, EngineStats, EngineTelemetry, PreparedObjective, ServiceError, DEFAULT_CACHE_CAPACITY,
 };
@@ -52,6 +59,7 @@ pub use fault::{FaultPlan, PanicFault, WriteFault};
 pub use journal::{FsyncPolicy, Journal, LineCheck, RecoveryReport};
 pub use lru::{LruCache, ShardedLru};
 pub use retry::RetryPolicy;
+pub use router::{Router, RouterConfig, RouterStatsBody};
 pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig, TraceBody, TraceEvent};
 pub use spec::{
     BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, JobTimings, MixerSpec, OptimizerSpec,

@@ -1,22 +1,30 @@
-//! The `qaoa-service` binary: batch and serve front-ends over the shared engine.
+//! The `qaoa-service` binary: batch, serve and route front-ends over the shared
+//! engine.
 //!
 //! ```text
 //! qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
-//!                    [--retries N] [--fsync flush|every-line]
+//!                    [--retries N] [--fsync flush|every-line] [--shard-workers N]
 //! qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
 //!                    [--out results.jsonl] [--trace-out trace.jsonl]
 //!                    [--read-timeout-ms N] [--write-timeout-ms N]
 //!                    [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
 //!                    [--drain-ms N] [--retries N] [--fsync flush|every-line]
+//!                    [--max-body-bytes N]
+//! qaoa-service route --backends host:port,host:port,... [--addr 127.0.0.1:7979]
+//!                    [--probe-interval-ms N] [--probe-timeout-ms N] [--trip-after N]
+//!                    [--backend-timeout-ms N] [--hedge-after-ms N] [--retries N]
+//!                    [--max-body-bytes N] [--trace-out trace.jsonl]
 //! qaoa-service example-jobs <path> [--count N] [--n QUBITS]
 //! ```
 //!
-//! `serve` installs a SIGTERM handler: on receipt the server stops accepting
-//! connections and drains in-flight jobs under the `--drain-ms` budget.
+//! `serve` and `route` install a SIGTERM handler: on receipt the process stops
+//! accepting connections and drains (in-flight jobs under the `--drain-ms`
+//! budget for serve; the prober thread for route).
 
 use juliqaoa_service::{
-    load_job_file, run_batch_with, BatchOptions, Engine, FsyncPolicy, JobFile, JobSpec, MixerSpec,
-    OptimizerSpec, ProblemSpec, RetryPolicy, Server, ServerConfig,
+    load_job_file, run_batch_sharded, run_batch_with, BatchOptions, Engine, FsyncPolicy, JobFile,
+    JobSpec, MixerSpec, OptimizerSpec, ProblemSpec, RetryPolicy, Router, RouterConfig, Server,
+    ServerConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +42,7 @@ fn main() -> ExitCode {
     let out = match command.as_str() {
         "batch" => cmd_batch(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         "example-jobs" => cmd_example_jobs(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -52,12 +61,17 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
-                     [--retries N] [--fsync flush|every-line]
+                     [--retries N] [--fsync flush|every-line] [--shard-workers N]
   qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
                      [--out results.jsonl] [--trace-out trace.jsonl]
                      [--read-timeout-ms N] [--write-timeout-ms N]
                      [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
                      [--drain-ms N] [--retries N] [--fsync flush|every-line]
+                     [--max-body-bytes N]
+  qaoa-service route --backends host:port,host:port,... [--addr 127.0.0.1:7979]
+                     [--probe-interval-ms N] [--probe-timeout-ms N] [--trip-after N]
+                     [--backend-timeout-ms N] [--hedge-after-ms N] [--retries N]
+                     [--max-body-bytes N] [--trace-out trace.jsonl]
   qaoa-service example-jobs <path> [--count N] [--n QUBITS]";
 
 /// Pulls the value after a `--flag`, parsing it with `parse`.
@@ -110,6 +124,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
     let mut cache = juliqaoa_service::DEFAULT_CACHE_CAPACITY;
+    let mut shard_workers = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -123,6 +138,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     })?)
             }
             "--fsync" => opts.fsync = flag_value(args, &mut i, "--fsync", parse_fsync)?,
+            "--shard-workers" => {
+                shard_workers = flag_value(args, &mut i, "--shard-workers", |s| s.parse().ok())?
+            }
             other if jobs_path.is_none() && !other.starts_with("--") => {
                 jobs_path = Some(PathBuf::from(other));
             }
@@ -138,6 +156,27 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         jobs_path.display(),
         out_path.display()
     );
+    if shard_workers > 1 {
+        let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+        let summary = run_batch_sharded(&exe, &jobs, &out_path, &opts, shard_workers, cache)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "batch: executed {} (skipped {}, failed {}) across {shard_workers} shard processes in {:.2}s — {:.2} jobs/s",
+            summary.executed, summary.skipped, summary.failed, summary.elapsed_s, summary.jobs_per_sec,
+        );
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+        if summary.failed > 0 {
+            return Err(format!(
+                "{} job(s) failed — see {}",
+                summary.failed,
+                out_path.display()
+            ));
+        }
+        return Ok(());
+    }
     let engine = Engine::new(cache);
     let summary = run_batch_with(&engine, &jobs, &out_path, &opts).map_err(|e| e.to_string())?;
     let stats = engine.stats();
@@ -223,6 +262,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 })?)
             }
             "--fsync" => config.fsync = flag_value(args, &mut i, "--fsync", parse_fsync)?,
+            "--max-body-bytes" => {
+                config.max_body_bytes =
+                    flag_value(args, &mut i, "--max-body-bytes", |s| s.parse().ok())?
+            }
             other => return Err(format!("unexpected argument {other:?}")),
         }
         i += 1;
@@ -234,6 +277,73 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "qaoa-service listening on http://{addr} (POST /jobs, GET /metrics, GET /stats, GET /trace, POST /shutdown)"
     );
     server.run_until(&STOP_REQUESTED).map_err(|e| e.to_string())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let mut config = RouterConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = flag_value(args, &mut i, "--addr", |s| Some(s.to_string()))?,
+            "--backends" => {
+                config.cluster.backends = flag_value(args, &mut i, "--backends", |s| {
+                    let list: Vec<String> = s
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    (!list.is_empty()).then_some(list)
+                })?
+            }
+            "--probe-interval-ms" => {
+                config.cluster.probe_interval_ms =
+                    flag_value(args, &mut i, "--probe-interval-ms", |s| s.parse().ok())?
+            }
+            "--probe-timeout-ms" => {
+                config.cluster.probe_timeout_ms =
+                    flag_value(args, &mut i, "--probe-timeout-ms", |s| s.parse().ok())?
+            }
+            "--trip-after" => {
+                config.cluster.trip_after =
+                    flag_value(args, &mut i, "--trip-after", |s| s.parse().ok())?
+            }
+            "--backend-timeout-ms" => {
+                config.backend_timeout_ms =
+                    flag_value(args, &mut i, "--backend-timeout-ms", |s| s.parse().ok())?
+            }
+            "--hedge-after-ms" => {
+                config.hedge_after_ms = Some(flag_value(args, &mut i, "--hedge-after-ms", |s| {
+                    s.parse().ok()
+                })?)
+            }
+            "--retries" => {
+                config.cluster.retry =
+                    RetryPolicy::with_retries(flag_value(args, &mut i, "--retries", {
+                        |s| s.parse().ok()
+                    })?)
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes =
+                    flag_value(args, &mut i, "--max-body-bytes", |s| s.parse().ok())?
+            }
+            "--trace-out" => {
+                config.trace_path = Some(flag_value(args, &mut i, "--trace-out", |s| {
+                    Some(PathBuf::from(s))
+                })?)
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    if config.cluster.backends.is_empty() {
+        return Err("route requires --backends host:port[,host:port...]".into());
+    }
+    install_stop_signal();
+    let router = Router::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = router.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("qaoa-service routing on http://{addr} (POST /jobs, GET /metrics, GET /stats, GET /trace, POST /shutdown)");
+    router.run_until(&STOP_REQUESTED).map_err(|e| e.to_string())
 }
 
 /// Writes a small mixed-problem job file, used by the CI smoke test and as a starting

@@ -147,4 +147,108 @@ mod tests {
         assert!(p.delay("x", 63).as_millis() as u64 <= 1_000);
         assert!(p.delay("x", 64).as_millis() as u64 <= 1_000);
     }
+
+    #[test]
+    fn two_routers_with_the_same_jitter_seed_replay_identical_failover_schedules() {
+        // Regression guard for cluster failover determinism: the router paces
+        // failover re-attempts with `delay(job id, attempt)`, so two router
+        // processes configured alike (same seed, same delays) MUST sleep the
+        // exact same schedule for the same job — that is what makes a chaos
+        // run's failover timeline replayable.
+        let router_a = RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 25,
+            max_delay_ms: 2_000,
+            jitter_seed: 42,
+        };
+        let router_b = router_a; // an independently-constructed twin
+        for job in ["job-0", "job-7", "instance-affine-key"] {
+            assert_eq!(router_a.schedule(job), router_b.schedule(job));
+        }
+        // And a differently-seeded router diverges (schedules are seed-scoped).
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..router_a
+        };
+        assert_ne!(router_a.schedule("job-0"), other.schedule("job-0"));
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// `delay` is monotonically nondecreasing in the attempt number up
+            /// to the max-delay clamp: delay(k) ≤ 1.5·exp_k ≤ exp_{k+1} ≤
+            /// delay(k+1) before the clamp, and both sides pin to max after it.
+            #[test]
+            fn delay_is_monotone_nondecreasing_up_to_the_clamp(
+                seed in 0u64..u64::MAX,
+                base in 1u64..10_000,
+                max in 1u64..100_000,
+                key_tag in 0u64..1_000,
+            ) {
+                let p = RetryPolicy {
+                    max_retries: 16,
+                    base_delay_ms: base,
+                    max_delay_ms: max,
+                    jitter_seed: seed,
+                };
+                let key = format!("job-{key_tag}");
+                let mut prev = 0u64;
+                for attempt in 0..16u32 {
+                    let d = p.delay(&key, attempt).as_millis() as u64;
+                    prop_assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+                    prop_assert!(d <= max, "attempt {attempt}: {d} above clamp {max}");
+                    prev = d;
+                }
+            }
+
+            /// Jitter keeps each pre-clamp delay within `[exp, 2·exp)` of the
+            /// exponential base for that attempt (the concrete bound is
+            /// `[exp, 1.5·exp]`): backoff never undershoots the schedule and
+            /// never doubles past it.
+            #[test]
+            fn jitter_stays_within_base_and_twice_base(
+                seed in 0u64..u64::MAX,
+                base in 1u64..10_000,
+                attempt in 0u32..12,
+                key_tag in 0u64..1_000,
+            ) {
+                let p = RetryPolicy {
+                    max_retries: 16,
+                    base_delay_ms: base,
+                    // No clamp interference: the cap sits far above 2^12·base.
+                    max_delay_ms: u64::MAX,
+                    jitter_seed: seed,
+                };
+                let exp = base << attempt;
+                let d = p.delay(&format!("job-{key_tag}"), attempt).as_millis() as u64;
+                prop_assert!(d >= exp, "delay {d} under the exponential base {exp}");
+                prop_assert!(d < exp * 2, "delay {d} reached twice the base {exp}");
+            }
+
+            /// The full schedule is a pure function of (policy, key): no clock,
+            /// no RNG state, so replays are byte-identical.
+            #[test]
+            fn schedules_are_pure_functions_of_policy_and_key(
+                seed in 0u64..u64::MAX,
+                base in 1u64..10_000,
+                max in 1u64..100_000,
+                retries in 0u32..12,
+                key_tag in 0u64..1_000,
+            ) {
+                let p = RetryPolicy {
+                    max_retries: retries,
+                    base_delay_ms: base,
+                    max_delay_ms: max,
+                    jitter_seed: seed,
+                };
+                let key = format!("job-{key_tag}");
+                prop_assert_eq!(p.schedule(&key), p.schedule(&key));
+            }
+        }
+    }
 }

@@ -1,0 +1,918 @@
+//! Cluster route mode: the HTTP front-end that consistent-hashes jobs onto
+//! backend `qaoa-service serve` processes.
+//!
+//! `qaoa-service route --backends a,b,c` runs one of these.  The router owns no
+//! engine: it computes each submitted job's canonical `InstanceId` (cheap — the
+//! instance is *realised*, never its exponential objective vector), places it on
+//! the [`crate::cluster::HashRing`], and proxies the request to the owning
+//! backend.  Keying by `InstanceId` rather than round-robin means every job on
+//! the same instance lands on the same backend, so the per-shard engine caches
+//! (instance pre-computations, prefix checkpoints, single-flight prep) keep
+//! their hit rates as the cluster grows.
+//!
+//! Fault behaviour, all deterministic:
+//!
+//! * **Failover** — a transport error or backend 5xx re-routes the job to the
+//!   next node in ring order, pacing re-attempts with the shared
+//!   [`RetryPolicy`]'s seeded backoff (`delay(job id, attempt)`), so a chaos
+//!   run's failover schedule replays byte-identically.  The router keeps each
+//!   job's spec, so a backend that dies *after* accepting jobs is handled the
+//!   same way: the next poll that finds the owner dead re-submits the spec to
+//!   the successor (job results are pure functions of their specs, so re-running
+//!   elsewhere yields identical bytes).
+//! * **Health** — a prober thread drives each backend's Up/Degraded/Down
+//!   circuit breaker from periodic `/readyz` probes (see [`crate::cluster`]).
+//! * **Hedged reads** — with `--hedge-after-ms`, an idempotent status/result
+//!   poll that the owner has not answered within the threshold is duplicated to
+//!   the ring successor; the first usable response wins.  Submits are never
+//!   hedged (they are not idempotent across backends).
+//!
+//! Router state is first-class observable: per-backend gauges, failover/hedge
+//! counters and route-latency histograms on `GET /metrics`, and
+//! `backend_up`/`backend_down`/`backend_tripped`/`failover`/`hedge` events in
+//! the same bounded trace ring serve mode uses (`GET /trace`, `--trace-out`).
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::http::{
+    client_request, read_request_limited, write_body, write_error, write_json, ClientResponse,
+    Request, DEFAULT_MAX_BODY_BYTES,
+};
+use crate::server::{TraceBody, TraceEvent};
+use crate::spec::JobSpec;
+use juliqaoa_telemetry::{encode, Histogram, PromWriter, TraceRing};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Capacity of the router's lifecycle trace ring.
+const TRACE_CAPACITY: usize = 1024;
+
+/// Configuration for [`Router::bind`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address for the router itself (`:0` picks a free port).
+    pub addr: String,
+    /// Ring membership, probing and failover pacing.
+    pub cluster: ClusterConfig,
+    /// Per-connection socket read timeout in milliseconds (client side).
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout in milliseconds (client side).
+    pub write_timeout_ms: u64,
+    /// Timeout for one proxied request to a backend, in milliseconds.
+    pub backend_timeout_ms: u64,
+    /// Hedge threshold for idempotent reads: after this many milliseconds
+    /// without a response from the owner, duplicate the poll to the ring
+    /// successor.  `None` disables hedging.
+    pub hedge_after_ms: Option<u64>,
+    /// Upper bound on request bodies (structured 413 beyond it).
+    pub max_body_bytes: usize,
+    /// Optional JSONL file trace events are appended to.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7979".into(),
+            cluster: ClusterConfig::default(),
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            backend_timeout_ms: 10_000,
+            hedge_after_ms: None,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            trace_path: None,
+        }
+    }
+}
+
+/// What the router remembers about one routed job: enough to poll it and to
+/// re-place it deterministically when its backend dies.
+#[derive(Clone, Debug)]
+struct RoutedJob {
+    /// Ring key (the job's canonical instance hash).
+    key: u64,
+    /// Current owner (ring index).
+    backend: usize,
+    /// The exact spec body submitted, re-sent verbatim on failover.
+    spec_body: String,
+}
+
+/// Per-backend entry in the `GET /stats` body.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct BackendStatsBody {
+    /// Backend address.
+    pub addr: String,
+    /// `up` / `degraded` / `down`.
+    pub state: String,
+    /// Consecutive failures recorded since the last success.
+    pub consecutive_failures: u64,
+    /// Times the circuit breaker tripped this backend.
+    pub trips: u64,
+}
+
+/// The router's `GET /stats` body.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RouterStatsBody {
+    /// Seconds since the router started.
+    pub uptime_s: f64,
+    /// Jobs accepted and routed to a backend.
+    pub jobs_routed: u64,
+    /// Jobs re-routed to another backend after a failure.
+    pub failovers: u64,
+    /// Idempotent reads duplicated to a successor after the hedge threshold.
+    pub hedged_reads: u64,
+    /// Hedged reads where the successor's response won.
+    pub hedge_wins: u64,
+    /// Backends currently routable.
+    pub backends_live: u64,
+    /// Per-backend health.
+    pub backends: Vec<BackendStatsBody>,
+}
+
+/// State shared by the accept loop, proxy threads and the prober.
+struct RouterState {
+    cluster: Cluster,
+    config: RouterConfig,
+    jobs: Mutex<HashMap<String, RoutedJob>>,
+    auto_id: AtomicU64,
+    jobs_routed: AtomicU64,
+    failovers: AtomicU64,
+    hedged_reads: AtomicU64,
+    hedge_wins: AtomicU64,
+    stop_requested: AtomicBool,
+    started: Instant,
+    submit_ms: Histogram,
+    read_ms: Histogram,
+    trace: TraceRing<TraceEvent>,
+    trace_seq: AtomicU64,
+    trace_out: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl RouterState {
+    /// Records a lifecycle event into the trace ring (and `--trace-out`).
+    fn trace_event(&self, event: &str, job: &str, detail: impl Into<String>) {
+        let entry = TraceEvent {
+            seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
+            ts_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            event: event.to_string(),
+            job: job.to_string(),
+            detail: detail.into(),
+        };
+        if let Some(out) = &self.trace_out {
+            if let Ok(line) = serde_json::to_string(&entry) {
+                let mut w = out.lock().expect("trace out lock");
+                let _ = writeln!(w, "{line}");
+                let _ = w.flush();
+            }
+        }
+        self.trace.push(entry);
+    }
+
+    fn backend_timeout(&self) -> Duration {
+        Duration::from_millis(self.config.backend_timeout_ms.max(1))
+    }
+
+    /// Applies a health transition returned by the cluster to the trace ring.
+    fn trace_transition(&self, transition: Option<(&'static str, String)>) {
+        if let Some((event, detail)) = transition {
+            self.trace_event(event, "", detail);
+        }
+    }
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+}
+
+impl Router {
+    /// Binds the router's listener (no probing or serving until [`Router::run`]).
+    pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
+        if config.cluster.backends.is_empty() {
+            return Err(std::io::Error::other(
+                "route mode needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let trace_out = match &config.trace_path {
+            Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
+                path,
+            )?))),
+            None => None,
+        };
+        let state = Arc::new(RouterState {
+            cluster: Cluster::new(config.cluster.clone()),
+            jobs: Mutex::new(HashMap::new()),
+            auto_id: AtomicU64::new(0),
+            jobs_routed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            hedged_reads: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            stop_requested: AtomicBool::new(false),
+            started: Instant::now(),
+            submit_ms: Histogram::latency_ms(),
+            read_ms: Histogram::latency_ms(),
+            trace: TraceRing::new(TRACE_CAPACITY),
+            trace_seq: AtomicU64::new(0),
+            trace_out,
+            config,
+        });
+        // Record the boot topology in the trace: every backend starts assumed
+        // Up, and a chaos run's journal should show what the ring looked like
+        // before the first probe ever fired.
+        for backend in state.cluster.backends() {
+            state.trace_event(
+                "backend_up",
+                "",
+                format!("{} joined the ring", backend.addr),
+            );
+        }
+        Ok(Router { listener, state })
+    }
+
+    /// The bound address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown`.
+    pub fn run(self) -> std::io::Result<()> {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    /// [`Router::run`], but also stops when `stop` becomes true (SIGTERM hook).
+    pub fn run_until(self, stop: &AtomicBool) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let prober_stop = Arc::new(AtomicBool::new(false));
+        let prober = {
+            let state = self.state.clone();
+            let stop = prober_stop.clone();
+            std::thread::Builder::new()
+                .name("qaoa-router-prober".into())
+                .spawn(move || prober_loop(&state, &stop))
+                .expect("spawn prober")
+        };
+        loop {
+            if stop.load(Ordering::SeqCst) || self.state.stop_requested.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+                        self.state.config.read_timeout_ms.max(1),
+                    )));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                        self.state.config.write_timeout_ms.max(1),
+                    )));
+                    handle_connection(&self.state, &mut stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {}
+            }
+        }
+        prober_stop.store(true, Ordering::SeqCst);
+        let _ = prober.join();
+        Ok(())
+    }
+}
+
+/// Health-probe loop: one `/readyz` round per interval, circuit-breaker state
+/// driven by the outcomes.  Down backends are only probed when their seeded
+/// half-open cooldown has elapsed.
+fn prober_loop(state: &RouterState, stop: &AtomicBool) {
+    let interval = Duration::from_millis(state.cluster.config().probe_interval_ms.max(10));
+    let timeout = Duration::from_millis(state.cluster.config().probe_timeout_ms.max(1));
+    while !stop.load(Ordering::SeqCst) {
+        for index in 0..state.cluster.backends().len() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if !state.cluster.should_probe(index) {
+                continue;
+            }
+            let backend = state.cluster.backend(index);
+            backend.probes.fetch_add(1, Ordering::Relaxed);
+            let outcome = client_request(&backend.addr, "GET", "/readyz", None, timeout);
+            match outcome {
+                Ok(resp) if resp.status == 200 => {
+                    state.trace_transition(state.cluster.record_success(index));
+                }
+                Ok(resp) => {
+                    backend.probe_failures.fetch_add(1, Ordering::Relaxed);
+                    state.trace_transition(
+                        state
+                            .cluster
+                            .record_failure(index, &format!("readyz returned {}", resp.status)),
+                    );
+                }
+                Err(e) => {
+                    backend.probe_failures.fetch_add(1, Ordering::Relaxed);
+                    state.trace_transition(
+                        state
+                            .cluster
+                            .record_failure(index, &format!("probe failed: {e}")),
+                    );
+                }
+            }
+        }
+        // Sleep in small steps so shutdown is prompt even with long intervals.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::SeqCst) {
+            let step = (interval - slept).min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<RouterState>, stream: &mut TcpStream) {
+    let request = match read_request_limited(stream, state.config.max_body_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            write_error(stream, e.status, &e.message);
+            return;
+        }
+    };
+    route(state, stream, &request);
+}
+
+fn route(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Request) {
+    let path = request.path.trim_end_matches('/');
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => handle_submit(state, stream, request),
+        ("GET", "/metrics") => handle_prometheus(state, stream),
+        ("GET", "/stats") => handle_stats(state, stream),
+        ("GET", "/trace") => handle_trace(state, stream),
+        ("GET", "/healthz") => write_json(stream, 200, "{\"status\": \"ok\"}"),
+        ("GET", "/readyz") => {
+            // The router is ready exactly when it can place a job somewhere.
+            if state.cluster.live_count() > 0 {
+                write_json(stream, 200, "{\"status\": \"ready\"}")
+            } else {
+                write_error(stream, 503, "no live backend")
+            }
+        }
+        ("POST", "/shutdown") => {
+            state.stop_requested.store(true, Ordering::SeqCst);
+            write_json(stream, 200, "{\"status\": \"shutting down\"}");
+        }
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                match (
+                    method,
+                    rest.strip_suffix("/result"),
+                    rest.strip_suffix("/cancel"),
+                ) {
+                    ("GET", Some(id), _) => {
+                        handle_proxied_read(state, stream, id, &format!("/jobs/{id}/result"))
+                    }
+                    ("POST", _, Some(id)) => handle_cancel(state, stream, id),
+                    ("GET", None, None) => {
+                        handle_proxied_read(state, stream, rest, &format!("/jobs/{rest}"))
+                    }
+                    _ => write_error(stream, 405, "method not allowed"),
+                }
+            } else {
+                write_error(stream, 404, "no such endpoint");
+            }
+        }
+    }
+}
+
+/// Submits a spec to its ring placement, walking the deterministic failover
+/// order on backend errors.  Returns the winning backend index and response.
+fn submit_with_failover(
+    state: &RouterState,
+    job_id: &str,
+    key: u64,
+    body: &str,
+) -> Result<(usize, ClientResponse), String> {
+    let candidates = state.cluster.candidates(key);
+    let mut attempt = 0u32;
+    let mut last_error = String::from("no backends configured");
+    for (position, &index) in candidates.iter().enumerate() {
+        let backend = state.cluster.backend(index);
+        // Skip open circuits, but never skip the last candidate: with every
+        // breaker open the request must still be *tried* somewhere, otherwise a
+        // transient all-down blip turns into guaranteed rejection.
+        if !backend.is_live() && position + 1 < candidates.len() {
+            continue;
+        }
+        if attempt > 0 {
+            // Seeded failover pacing: the schedule is a pure function of
+            // (retry seed, job id, attempt), so chaos runs replay exactly.
+            std::thread::sleep(state.cluster.config().retry.delay(job_id, attempt - 1));
+        }
+        match client_request(
+            &backend.addr,
+            "POST",
+            "/jobs",
+            Some(body),
+            state.backend_timeout(),
+        ) {
+            // 2xx accepted; 409 means this backend already holds the job (a
+            // retransmit after a half-failed earlier attempt) — also success.
+            Ok(resp) if resp.status < 500 => {
+                state.trace_transition(state.cluster.record_success(index));
+                if attempt > 0 {
+                    state.failovers.fetch_add(1, Ordering::Relaxed);
+                    state.trace_event(
+                        "failover",
+                        job_id,
+                        format!(
+                            "submitted to {} after {attempt} failed attempt(s)",
+                            backend.addr
+                        ),
+                    );
+                }
+                return Ok((index, resp));
+            }
+            Ok(resp) => {
+                last_error = format!("{} returned {}", backend.addr, resp.status);
+                state.trace_transition(state.cluster.record_failure(index, &last_error));
+                attempt += 1;
+            }
+            Err(e) => {
+                last_error = format!("{}: {e}", backend.addr);
+                state.trace_transition(state.cluster.record_failure(index, &last_error));
+                attempt += 1;
+            }
+        }
+    }
+    Err(last_error)
+}
+
+fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Request) {
+    let started = Instant::now();
+    let body = String::from_utf8_lossy(&request.body);
+    let mut spec: JobSpec = match serde_json::from_str(&body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            write_error(stream, 400, &format!("invalid job spec: {e}"));
+            return;
+        }
+    };
+    if spec.id.is_empty() {
+        spec.id = format!("job-{}", state.auto_id.fetch_add(1, Ordering::Relaxed));
+    }
+    // The same cheap shape checks serve mode runs at submission: reject bad
+    // specs at the router without spending a backend round-trip on them.
+    if let Err(e) = spec
+        .problem
+        .shape()
+        .and_then(|(_, subspace_k)| spec.mixer.check_compatible(subspace_k))
+        .and_then(|()| match &spec.sampling {
+            Some(sampling) => sampling.validate(),
+            None => Ok(()),
+        })
+    {
+        write_error(stream, 400, &format!("invalid job spec: {e}"));
+        return;
+    }
+    if state
+        .jobs
+        .lock()
+        .expect("router jobs lock")
+        .contains_key(&spec.id)
+    {
+        write_error(stream, 409, &format!("job id {:?} already exists", spec.id));
+        return;
+    }
+    // Routing key: the canonical instance fingerprint.  Realising the instance
+    // is poly(n) (graph/clause construction — the exponential objective vector
+    // is the *backend's* cached work), cheap enough for the routing path, and it
+    // is exactly the backend's cache key, which is what buys cache affinity.
+    let key = match spec.problem.build() {
+        Ok(built) => built.instance_id.raw(),
+        Err(e) => {
+            write_error(stream, 400, &format!("invalid job spec: {e}"));
+            return;
+        }
+    };
+    let spec_body = match serde_json::to_string(&spec) {
+        Ok(json) => json,
+        Err(_) => {
+            write_error(stream, 500, "serialisation failed");
+            return;
+        }
+    };
+    match submit_with_failover(state, &spec.id, key, &spec_body) {
+        Ok((index, resp)) => {
+            if resp.is_success() || resp.status == 409 {
+                state.jobs.lock().expect("router jobs lock").insert(
+                    spec.id.clone(),
+                    RoutedJob {
+                        key,
+                        backend: index,
+                        spec_body,
+                    },
+                );
+                state.jobs_routed.fetch_add(1, Ordering::Relaxed);
+            }
+            state
+                .submit_ms
+                .observe(started.elapsed().as_secs_f64() * 1e3);
+            write_json(stream, resp.status, &resp.body);
+        }
+        Err(why) => {
+            state
+                .submit_ms
+                .observe(started.elapsed().as_secs_f64() * 1e3);
+            write_error(
+                stream,
+                503,
+                &format!("no live backend accepted the job ({why})"),
+            );
+        }
+    }
+}
+
+/// Re-places a job whose owner failed: walks the ring order after the dead
+/// owner, re-submits the stored spec, updates the mapping.  Deterministic given
+/// the same health states — placement from the ring, pacing from the seeded
+/// retry policy.
+fn failover_job(state: &RouterState, id: &str) -> Result<usize, String> {
+    let job = state
+        .jobs
+        .lock()
+        .expect("router jobs lock")
+        .get(id)
+        .cloned()
+        .ok_or_else(|| format!("unknown job {id:?}"))?;
+    let candidates = state.cluster.candidates(job.key);
+    let dead = job.backend;
+    let start = candidates.iter().position(|&b| b == dead).unwrap_or(0);
+    let mut attempt = 0u32;
+    let mut last_error = String::from("no other backend");
+    for offset in 1..candidates.len().max(1) {
+        let index = candidates[(start + offset) % candidates.len()];
+        let backend = state.cluster.backend(index);
+        if !backend.is_live() && offset + 1 < candidates.len() {
+            continue;
+        }
+        if attempt > 0 {
+            std::thread::sleep(state.cluster.config().retry.delay(id, attempt - 1));
+        }
+        match client_request(
+            &backend.addr,
+            "POST",
+            "/jobs",
+            Some(&job.spec_body),
+            state.backend_timeout(),
+        ) {
+            Ok(resp) if resp.is_success() || resp.status == 409 => {
+                state.trace_transition(state.cluster.record_success(index));
+                if let Some(entry) = state.jobs.lock().expect("router jobs lock").get_mut(id) {
+                    entry.backend = index;
+                }
+                state.failovers.fetch_add(1, Ordering::Relaxed);
+                state.trace_event(
+                    "failover",
+                    id,
+                    format!(
+                        "re-routed from {} to {}",
+                        state.cluster.backend(dead).addr,
+                        backend.addr
+                    ),
+                );
+                return Ok(index);
+            }
+            Ok(resp) => {
+                last_error = format!("{} returned {}", backend.addr, resp.status);
+                state.trace_transition(state.cluster.record_failure(index, &last_error));
+                attempt += 1;
+            }
+            Err(e) => {
+                last_error = format!("{}: {e}", backend.addr);
+                state.trace_transition(state.cluster.record_failure(index, &last_error));
+                attempt += 1;
+            }
+        }
+    }
+    Err(last_error)
+}
+
+/// Issues an idempotent GET against a job's owner, hedging to the ring
+/// successor after the configured latency threshold.  The owner's response is
+/// authoritative; a hedge response only wins if it actually knows the job
+/// (status < 400), so a successor's 404 can never mask a slow-but-correct
+/// owner.
+fn hedged_get(
+    state: &Arc<RouterState>,
+    owner: usize,
+    path: &str,
+) -> std::io::Result<ClientResponse> {
+    let timeout = state.backend_timeout();
+    let owner_addr = state.cluster.backend(owner).addr.clone();
+    let hedge_target = state.config.hedge_after_ms.and_then(|_| {
+        state
+            .cluster
+            .successor(owner)
+            .filter(|&s| s != owner && state.cluster.backend(s).is_live())
+    });
+    let (Some(hedge_after), Some(successor)) = (state.config.hedge_after_ms, hedge_target) else {
+        return client_request(&owner_addr, "GET", path, None, timeout);
+    };
+
+    let (tx, rx) = mpsc::channel::<(bool, std::io::Result<ClientResponse>)>();
+    {
+        let tx = tx.clone();
+        let path = path.to_string();
+        std::thread::spawn(move || {
+            let _ = tx.send((
+                true,
+                client_request(&owner_addr, "GET", &path, None, timeout),
+            ));
+        });
+    }
+    let first = match rx.recv_timeout(Duration::from_millis(hedge_after)) {
+        Ok(outcome) => Some(outcome),
+        Err(mpsc::RecvTimeoutError::Timeout) => None,
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            return Err(std::io::Error::other("owner request thread vanished"))
+        }
+    };
+    if let Some((_, outcome)) = first {
+        // The owner answered within the threshold: no hedge needed.
+        return outcome;
+    }
+
+    state.hedged_reads.fetch_add(1, Ordering::Relaxed);
+    let successor_addr = state.cluster.backend(successor).addr.clone();
+    state.trace_event(
+        "hedge",
+        "",
+        format!("owner slow on {path}; duplicating to {successor_addr}"),
+    );
+    {
+        let path = path.to_string();
+        std::thread::spawn(move || {
+            let _ = tx.send((
+                false,
+                client_request(&successor_addr, "GET", &path, None, timeout),
+            ));
+        });
+    }
+    let mut owner_outcome: Option<std::io::Result<ClientResponse>> = None;
+    for _ in 0..2 {
+        match rx.recv() {
+            Ok((from_owner, outcome)) => {
+                if from_owner {
+                    match outcome {
+                        Ok(resp) => return Ok(resp),
+                        Err(e) => owner_outcome = Some(Err(e)),
+                    }
+                } else if let Ok(resp) = outcome {
+                    if resp.status < 400 {
+                        state.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        return Ok(resp);
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    owner_outcome.unwrap_or_else(|| Err(std::io::Error::other("no response from owner or hedge")))
+}
+
+fn handle_proxied_read(state: &Arc<RouterState>, stream: &mut TcpStream, id: &str, path: &str) {
+    let started = Instant::now();
+    let owner = {
+        let jobs = state.jobs.lock().expect("router jobs lock");
+        match jobs.get(id) {
+            Some(job) => job.backend,
+            None => {
+                write_error(stream, 404, &format!("unknown job {id:?}"));
+                return;
+            }
+        }
+    };
+    match hedged_get(state, owner, path) {
+        Ok(resp) => {
+            state.trace_transition(state.cluster.record_success(owner));
+            state.read_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+            write_json(stream, resp.status, &resp.body);
+        }
+        Err(e) => {
+            // The owner is unreachable: deterministic failover.  The job's spec
+            // is re-submitted to the ring successor and the read retried there,
+            // so the client sees a fresh `queued` status, never a 5xx, while
+            // the job silently re-runs elsewhere.
+            state.trace_transition(
+                state
+                    .cluster
+                    .record_failure(owner, &format!("read failed: {e}")),
+            );
+            match failover_job(state, id) {
+                Ok(new_owner) => {
+                    let addr = state.cluster.backend(new_owner).addr.clone();
+                    let outcome = client_request(&addr, "GET", path, None, state.backend_timeout());
+                    state.read_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+                    match outcome {
+                        Ok(resp) => write_json(stream, resp.status, &resp.body),
+                        Err(e) => write_error(
+                            stream,
+                            503,
+                            &format!("job re-routed but new owner unreachable: {e}"),
+                        ),
+                    }
+                }
+                Err(why) => {
+                    state.read_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+                    write_error(
+                        stream,
+                        503,
+                        &format!("owner unreachable, failover failed: {why}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn handle_cancel(state: &Arc<RouterState>, stream: &mut TcpStream, id: &str) {
+    let owner = {
+        let jobs = state.jobs.lock().expect("router jobs lock");
+        match jobs.get(id) {
+            Some(job) => job.backend,
+            None => {
+                write_error(stream, 404, &format!("unknown job {id:?}"));
+                return;
+            }
+        }
+    };
+    let addr = state.cluster.backend(owner).addr.clone();
+    match client_request(
+        &addr,
+        "POST",
+        &format!("/jobs/{id}/cancel"),
+        Some(""),
+        state.backend_timeout(),
+    ) {
+        Ok(resp) => write_json(stream, resp.status, &resp.body),
+        Err(e) => write_error(stream, 503, &format!("owner unreachable: {e}")),
+    }
+}
+
+fn backend_label(addr: &str) -> String {
+    format!("backend=\"{addr}\"")
+}
+
+fn handle_prometheus(state: &Arc<RouterState>, stream: &mut TcpStream) {
+    let mut w = PromWriter::new();
+    w.gauge_f64(
+        "router_uptime_seconds",
+        "Seconds since the router started.",
+        state.started.elapsed().as_secs_f64(),
+    );
+    w.gauge(
+        "cluster_backends",
+        "Backends configured on the hash ring.",
+        state.cluster.backends().len() as u64,
+    );
+    w.gauge(
+        "cluster_backends_live",
+        "Backends currently routable (circuit closed).",
+        state.cluster.live_count() as u64,
+    );
+    w.counter(
+        "cluster_jobs_routed",
+        "Jobs accepted and placed on a backend.",
+        state.jobs_routed.load(Ordering::Relaxed),
+    );
+    w.counter(
+        "cluster_failovers_total",
+        "Jobs re-routed to another backend after a failure.",
+        state.failovers.load(Ordering::Relaxed),
+    );
+    w.counter(
+        "cluster_hedged_reads_total",
+        "Idempotent reads duplicated to a successor after the hedge threshold.",
+        state.hedged_reads.load(Ordering::Relaxed),
+    );
+    w.counter(
+        "cluster_hedge_wins_total",
+        "Hedged reads won by the successor's response.",
+        state.hedge_wins.load(Ordering::Relaxed),
+    );
+
+    let backends = state.cluster.backends();
+    let up: Vec<(String, u64)> = backends
+        .iter()
+        .map(|b| (backend_label(&b.addr), u64::from(b.is_live())))
+        .collect();
+    w.gauge_family(
+        "cluster_backend_up",
+        "Whether each backend's circuit is closed (1) or open (0).",
+        &up,
+    );
+    let failures: Vec<(String, u64)> = backends
+        .iter()
+        .map(|b| (backend_label(&b.addr), b.consecutive_failures() as u64))
+        .collect();
+    w.gauge_family(
+        "cluster_backend_consecutive_failures",
+        "Consecutive failures recorded against each backend since its last success.",
+        &failures,
+    );
+    let probes: Vec<(String, u64)> = backends
+        .iter()
+        .map(|b| (backend_label(&b.addr), b.probes.load(Ordering::Relaxed)))
+        .collect();
+    w.counter_family(
+        "cluster_probes_total",
+        "Health probes sent per backend.",
+        &probes,
+    );
+    let probe_failures: Vec<(String, u64)> = backends
+        .iter()
+        .map(|b| {
+            (
+                backend_label(&b.addr),
+                b.probe_failures.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    w.counter_family(
+        "cluster_probe_failures_total",
+        "Failed health probes per backend.",
+        &probe_failures,
+    );
+    let trips: Vec<(String, u64)> = backends
+        .iter()
+        .map(|b| {
+            (
+                backend_label(&b.addr),
+                b.trips_total.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    w.counter_family(
+        "cluster_backend_trips_total",
+        "Circuit-breaker trips per backend.",
+        &trips,
+    );
+    w.counter(
+        "trace_events_dropped",
+        "Lifecycle events evicted from the bounded trace ring.",
+        state.trace.dropped(),
+    );
+    w.histogram(
+        "route_submit_ms",
+        "Milliseconds to place a submission on a backend (failover included).",
+        &state.submit_ms.snapshot(),
+    );
+    w.histogram(
+        "route_read_ms",
+        "Milliseconds to answer a proxied status/result read (hedging included).",
+        &state.read_ms.snapshot(),
+    );
+    write_body(stream, 200, encode::CONTENT_TYPE, &[], &w.finish());
+}
+
+fn handle_stats(state: &Arc<RouterState>, stream: &mut TcpStream) {
+    let backends = state
+        .cluster
+        .backends()
+        .iter()
+        .map(|b| BackendStatsBody {
+            addr: b.addr.clone(),
+            state: b.state().as_str().to_string(),
+            consecutive_failures: b.consecutive_failures() as u64,
+            trips: b.trips_total.load(Ordering::Relaxed),
+        })
+        .collect();
+    let body = RouterStatsBody {
+        uptime_s: state.started.elapsed().as_secs_f64(),
+        jobs_routed: state.jobs_routed.load(Ordering::Relaxed),
+        failovers: state.failovers.load(Ordering::Relaxed),
+        hedged_reads: state.hedged_reads.load(Ordering::Relaxed),
+        hedge_wins: state.hedge_wins.load(Ordering::Relaxed),
+        backends_live: state.cluster.live_count() as u64,
+        backends,
+    };
+    match serde_json::to_string_pretty(&body) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+fn handle_trace(state: &Arc<RouterState>, stream: &mut TcpStream) {
+    let body = TraceBody {
+        dropped: state.trace.dropped(),
+        events: state.trace.snapshot(),
+    };
+    match serde_json::to_string_pretty(&body) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}

@@ -20,7 +20,9 @@
 //! | `GET /metrics`         | Prometheus text exposition (counters + histograms)     |
 //! | `GET /stats`           | The same counters as JSON ([`MetricsBody`])            |
 //! | `GET /trace`           | Recent lifecycle events from the bounded trace ring    |
-//! | `GET /healthz`         | Liveness probe                                         |
+//! | `GET /healthz`         | Liveness probe (200 whenever the process can answer)   |
+//! | `GET /readyz`          | Readiness probe (`503` while draining or before the    |
+//! |                        | worker pool is up) — what a router's prober should use |
 //! | `POST /shutdown`       | Graceful stop (drains workers); used by CI             |
 //!
 //! Fault tolerance: per-job deadlines (`timeout_ms`, clamped by
@@ -34,7 +36,8 @@
 
 use crate::engine::{Engine, EngineStats, ServiceError};
 use crate::http::{
-    read_request, write_body, write_error, write_json, write_json_with_headers, Request,
+    read_request_limited, write_body, write_error, write_json, write_json_with_headers, Request,
+    DEFAULT_MAX_BODY_BYTES,
 };
 use crate::journal::{FsyncPolicy, Journal};
 use crate::retry::RetryPolicy;
@@ -86,6 +89,9 @@ pub struct ServerConfig {
     /// Shutdown drain budget: after this long, still-live jobs are
     /// cooperatively cancelled so shutdown stays bounded.
     pub drain_ms: u64,
+    /// Upper bound on request bodies; a larger `Content-Length` is rejected
+    /// with a structured `413` before any allocation happens.
+    pub max_body_bytes: usize,
     /// Retry policy for transiently-failed jobs (default: no retries).
     pub retry: RetryPolicy,
     /// Durability policy for the results journal.
@@ -110,6 +116,7 @@ impl Default for ServerConfig {
             max_timeout_ms: None,
             queue_wait_ms: None,
             drain_ms: 10_000,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             retry: RetryPolicy::default(),
             fsync: FsyncPolicy::default(),
             trace_path: None,
@@ -277,6 +284,13 @@ struct ServiceState {
     rejected: AtomicU64,
     shed: AtomicU64,
     auto_id: AtomicU64,
+    /// True once the worker pool is up; `/readyz` is 503 until then.
+    ready: AtomicBool,
+    /// True once shutdown has begun; `/readyz` is 503 and `POST /jobs` is
+    /// refused from then on, while `/healthz` keeps answering 200 (alive).
+    draining: AtomicBool,
+    /// Set by `POST /shutdown`; the accept loop stops at the next poll.
+    stop_requested: AtomicBool,
     started: Instant,
     results: Option<Journal>,
     trace: TraceRing<TraceEvent>,
@@ -391,6 +405,9 @@ impl Server {
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             auto_id: AtomicU64::new(0),
+            ready: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            stop_requested: AtomicBool::new(false),
             started: Instant::now(),
             results,
             trace: TraceRing::new(TRACE_CAPACITY),
@@ -407,6 +424,9 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
+        // Readiness flips only after every worker thread is spawned: a prober
+        // that sees 200 on `/readyz` can rely on submitted jobs making progress.
+        state.ready.store(true, Ordering::SeqCst);
         Ok(Server {
             listener,
             state,
@@ -431,40 +451,48 @@ impl Server {
     pub fn run_until(self, stop: &AtomicBool) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         loop {
-            if stop.load(Ordering::SeqCst) {
+            if stop.load(Ordering::SeqCst) || self.state.stop_requested.load(Ordering::SeqCst) {
                 break;
             }
-            match self.listener.accept() {
-                Ok((mut stream, _)) => {
-                    // The accepted socket must not inherit nonblocking mode:
-                    // request reads rely on the configured read timeout, not on
-                    // a WouldBlock spin.
-                    let _ = stream.set_nonblocking(false);
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(
-                        self.state.config.read_timeout_ms.max(1),
-                    )));
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(
-                        self.state.config.write_timeout_ms.max(1),
-                    )));
-                    let keep_going = handle_connection(&self.state, &mut stream);
-                    if !keep_going {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(_) => {}
-            }
+            self.accept_one();
         }
         self.drain()
+    }
+
+    /// Polls the nonblocking listener once and serves the connection, if any.
+    fn accept_one(&self) {
+        match self.listener.accept() {
+            Ok((mut stream, _)) => {
+                // The accepted socket must not inherit nonblocking mode:
+                // request reads rely on the configured read timeout, not on
+                // a WouldBlock spin.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(
+                    self.state.config.read_timeout_ms.max(1),
+                )));
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                    self.state.config.write_timeout_ms.max(1),
+                )));
+                handle_connection(&self.state, &mut stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => {}
+        }
     }
 
     /// Stops accepting work and drains the pool: queued jobs still run (unless
     /// shed or cancelled), and a watchdog cooperatively cancels whatever is
     /// left once [`ServerConfig::drain_ms`] elapses, so shutdown is bounded
     /// even with slow jobs in flight.
+    ///
+    /// The listener keeps answering *while* the pool drains — `/readyz` says
+    /// 503 (drain observed, stop routing here), `/healthz` stays 200 (alive,
+    /// don't restart) — so a router's health prober never races the SIGTERM
+    /// shutdown window against a connection-refused error.
     fn drain(self) -> std::io::Result<()> {
+        self.state.draining.store(true, Ordering::SeqCst);
         self.state.trace_event(
             "drain",
             "",
@@ -491,6 +519,9 @@ impl Server {
                 }
             })
         };
+        while self.workers.iter().any(|w| !w.is_finished()) {
+            self.accept_one();
+        }
         for worker in self.workers {
             let _ = worker.join();
         }
@@ -631,6 +662,11 @@ fn worker_loop(state: &ServiceState) {
                 state.trace_event(event, &record.spec.id, err.to_string());
             }
         }
+        // Chaos hook: with a kill-after-k-jobs fault installed, the k-th
+        // finished job is the last thing this process does — the journal line
+        // above is already durable, which is exactly the crash point failover
+        // tests care about.
+        crate::fault::maybe_kill_after_job();
     }
 }
 
@@ -643,29 +679,49 @@ fn status_body(id: &str, record: &JobRecord) -> JobStatusBody {
     }
 }
 
-/// Handles one connection; returns `false` when the server should stop.
-fn handle_connection(state: &Arc<ServiceState>, stream: &mut TcpStream) -> bool {
-    let request = match read_request(stream) {
+/// Handles one connection end to end.
+fn handle_connection(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+    // Chaos hook: a "slow backend" delays every response by a fixed amount,
+    // which is what exercises a router's hedged reads deterministically.
+    crate::fault::delay_response();
+    let request = match read_request_limited(stream, state.config.max_body_bytes) {
         Ok(r) => r,
         Err(e) => {
             write_error(stream, e.status, &e.message);
-            return true;
+            return;
         }
     };
-    route(state, stream, &request)
+    route(state, stream, &request);
 }
 
-fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) -> bool {
+fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) {
     let path = request.path.trim_end_matches('/');
+    // Chaos hook: a blackholed probe endpoint accepts the connection but never
+    // answers — the partition-like failure mode (distinct from a dead process,
+    // whose connections are refused) that probers must classify as Down.
+    if crate::fault::probe_blackholed() && matches!(path, "/healthz" | "/readyz") {
+        return;
+    }
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => handle_submit(state, stream, request),
         ("GET", "/metrics") => handle_prometheus(state, stream),
         ("GET", "/stats") => handle_stats(state, stream),
         ("GET", "/trace") => handle_trace(state, stream),
         ("GET", "/healthz") => write_json(stream, 200, "{\"status\": \"ok\"}"),
+        ("GET", "/readyz") => {
+            // Readiness is liveness plus "safe to route jobs here": false
+            // before the worker pool is up and from the moment draining starts.
+            if state.ready.load(Ordering::SeqCst) && !state.draining.load(Ordering::SeqCst) {
+                write_json(stream, 200, "{\"status\": \"ready\"}")
+            } else if state.draining.load(Ordering::SeqCst) {
+                write_error(stream, 503, "draining")
+            } else {
+                write_error(stream, 503, "worker pool not up yet")
+            }
+        }
         ("POST", "/shutdown") => {
+            state.stop_requested.store(true, Ordering::SeqCst);
             write_json(stream, 200, "{\"status\": \"shutting down\"}");
-            return false;
         }
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/jobs/") {
@@ -684,10 +740,13 @@ fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) -
             }
         }
     }
-    true
 }
 
 fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) {
+    if state.draining.load(Ordering::SeqCst) {
+        write_error(stream, 503, "server is draining, not accepting jobs");
+        return;
+    }
     let body = String::from_utf8_lossy(&request.body);
     let mut spec: JobSpec = match serde_json::from_str(&body) {
         Ok(spec) => spec,

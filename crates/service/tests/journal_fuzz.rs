@@ -1,0 +1,153 @@
+//! Fuzz-style property tests for journal recovery.
+//!
+//! The hand-built torn-tail cases in `journal.rs` cover the failure shapes we
+//! thought of; these tests throw *random* torn/corrupt tail bytes at
+//! [`journal::recover`] and assert the invariant every shape must satisfy:
+//! **recovery never drops a checksummed complete line.**  Whatever garbage a
+//! crash sprays after the last good newline — ASCII, non-UTF-8, embedded
+//! newlines forming corrupt "complete" lines, half a framed line — every
+//! previously-written valid line must still be present, byte-identical and
+//! verifiable, after recovery.  Recovery must also be idempotent.
+
+use juliqaoa_service::journal::{self, LineCheck};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "juliqaoa_journal_fuzz_{tag}_{}_{id}",
+        std::process::id()
+    ))
+}
+
+/// Deterministic byte stream from a seed (an LCG — no process randomness, so a
+/// failing case replays from the printed inputs alone).
+fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn good_lines(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            journal::frame_line(&format!(
+                "{{\"id\":\"job-{i}\",\"status\":\"done\",\"expectation\":{i}.5}}"
+            ))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random raw bytes appended after the last good newline — the general
+    /// crash shape.  The garbage may include newlines (forming corrupt or
+    /// legacy-looking "complete" lines) and non-UTF-8 bytes; none of it may
+    /// cost a good line.
+    #[test]
+    fn random_tail_garbage_never_drops_a_valid_line(
+        n_lines in 1usize..8,
+        tail_seed in 0u64..u64::MAX,
+        tail_len in 0usize..96,
+    ) {
+        let path = temp_path("tail");
+        let good = good_lines(n_lines);
+        let mut content: Vec<u8> = good.join("\n").into_bytes();
+        content.push(b'\n');
+        let clean_len = content.len();
+        content.extend(garbage_bytes(tail_seed, tail_len));
+        std::fs::write(&path, &content).unwrap();
+
+        let report = journal::recover(&path).unwrap();
+        let recovered = std::fs::read(&path).unwrap();
+        // Every checksummed complete line survives, byte-identical.
+        prop_assert!(
+            recovered.len() >= clean_len && recovered[..clean_len] == content[..clean_len],
+            "a good line was truncated or altered (kept {} of {clean_len} clean bytes)",
+            recovered.len().min(clean_len)
+        );
+        prop_assert!(report.lines_kept >= n_lines, "reported fewer lines than written");
+        let text = String::from_utf8_lossy(&recovered).into_owned();
+        for line in good.iter() {
+            prop_assert!(text.contains(line.as_str()), "missing good line {line:?}");
+        }
+        for (i, line) in text.lines().take(n_lines).enumerate() {
+            prop_assert_eq!(journal::verify_line(line), LineCheck::Valid, "line {} corrupt", i);
+        }
+        // Idempotence: a second recovery finds nothing more to truncate.
+        let again = journal::recover(&path).unwrap();
+        prop_assert_eq!(again.truncated_bytes, 0, "recovery must be idempotent");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A torn *prefix* of a real framed line — the exact artefact the
+    /// journal's torn-abort fault writes (half the line, synced, no newline).
+    #[test]
+    fn a_torn_prefix_of_a_framed_line_is_truncated_and_nothing_else(
+        n_lines in 1usize..6,
+        cut in 1usize..64,
+    ) {
+        let path = temp_path("prefix");
+        let good = good_lines(n_lines);
+        let victim = journal::frame_line("{\"id\":\"victim\",\"status\":\"done\"}");
+        let cut = cut.min(victim.len() - 1);
+        let mut content = good.join("\n");
+        content.push('\n');
+        content.push_str(&victim[..cut]);
+        std::fs::write(&path, &content).unwrap();
+
+        let report = journal::recover(&path).unwrap();
+        prop_assert_eq!(report.lines_kept, n_lines);
+        prop_assert_eq!(report.truncated_bytes as usize, cut);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut expected = good.join("\n");
+        expected.push('\n');
+        prop_assert_eq!(text, expected, "file must hold exactly the good lines");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Bit-flip corruption inside the *final* newline-terminated line: the
+    /// corrupt final line goes, every earlier line stays.
+    #[test]
+    fn a_corrupted_final_complete_line_is_dropped_without_collateral(
+        n_lines in 1usize..6,
+        flip_seed in 0u64..u64::MAX,
+    ) {
+        let path = temp_path("flip");
+        let good = good_lines(n_lines);
+        let tail = journal::frame_line("{\"id\":\"tail\",\"status\":\"done\"}");
+        // Flip one printable byte inside the tail line's body so its checksum
+        // fails but the line still ends in a clean newline.
+        let mut tail_bytes = tail.clone().into_bytes();
+        let pos = 1 + (flip_seed as usize % (tail_bytes.len() / 2));
+        tail_bytes[pos] = if tail_bytes[pos] == b'x' { b'y' } else { b'x' };
+        let corrupt_tail = String::from_utf8(tail_bytes).unwrap();
+        prop_assume!(journal::verify_line(&corrupt_tail) == LineCheck::Corrupt);
+
+        let mut content = good.join("\n");
+        content.push('\n');
+        content.push_str(&corrupt_tail);
+        content.push('\n');
+        std::fs::write(&path, &content).unwrap();
+
+        let report = journal::recover(&path).unwrap();
+        prop_assert_eq!(report.lines_kept, n_lines);
+        prop_assert_eq!(report.truncated_bytes as usize, corrupt_tail.len() + 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in &good {
+            prop_assert!(text.contains(line.as_str()), "missing good line {line:?}");
+        }
+        prop_assert!(!text.contains("\"id\":\"tail\""), "corrupt tail line survived");
+        let _ = std::fs::remove_file(&path);
+    }
+}

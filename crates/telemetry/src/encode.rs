@@ -58,6 +58,26 @@ impl PromWriter {
         let _ = writeln!(self.out, "{name} {}", fmt_f64(value));
     }
 
+    /// A labelled counter family: one `name{labels} value` sample per series.
+    ///
+    /// `series` pairs a pre-rendered label set (e.g. `backend="host:port"`)
+    /// with its value; samples are emitted in the order given, so a caller that
+    /// passes a stable ordering gets byte-stable output.
+    pub fn counter_family(&mut self, name: &str, help: &str, series: &[(String, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in series {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
+    /// A labelled gauge family: one `name{labels} value` sample per series.
+    pub fn gauge_family(&mut self, name: &str, help: &str, series: &[(String, u64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in series {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {value}");
+        }
+    }
+
     /// A full histogram family: cumulative `_bucket{le="..."}` series ending in
     /// `le="+Inf"`, then `_sum` and `_count`.
     pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
@@ -148,6 +168,35 @@ mod tests {
              job_total_ms_bucket{le=\"+Inf\"} 4\n\
              job_total_ms_sum 106\n\
              job_total_ms_count 4\n"
+        );
+    }
+
+    #[test]
+    fn labelled_families_emit_one_sample_per_series() {
+        let mut w = PromWriter::new();
+        w.gauge_family(
+            "cluster_backend_up",
+            "Backend circuit state.",
+            &[
+                ("backend=\"127.0.0.1:7001\"".to_string(), 1),
+                ("backend=\"127.0.0.1:7002\"".to_string(), 0),
+            ],
+        );
+        w.counter_family(
+            "cluster_probes_total",
+            "Probes per backend.",
+            &[("backend=\"127.0.0.1:7001\"".to_string(), 42)],
+        );
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP cluster_backend_up Backend circuit state.\n\
+             # TYPE cluster_backend_up gauge\n\
+             cluster_backend_up{backend=\"127.0.0.1:7001\"} 1\n\
+             cluster_backend_up{backend=\"127.0.0.1:7002\"} 0\n\
+             # HELP cluster_probes_total Probes per backend.\n\
+             # TYPE cluster_probes_total counter\n\
+             cluster_probes_total{backend=\"127.0.0.1:7001\"} 42\n"
         );
     }
 

@@ -275,6 +275,18 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
 }
 
 /// Asserts inequality inside a property.
