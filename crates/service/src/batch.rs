@@ -24,15 +24,19 @@
 use crate::engine::{Engine, ServiceError};
 use crate::journal::{self, FsyncPolicy, Journal, LineCheck};
 use crate::retry::RetryPolicy;
+use crate::spans::{format_trace_parent, parse_trace_parent, TRACE_PARENT_ENV};
 use crate::spec::{JobFile, JobSpec};
+use juliqaoa_combinatorics::seeding::fold_bits;
 use juliqaoa_linalg::enter_outer_parallelism;
 use juliqaoa_optim::RunControl;
+use juliqaoa_telemetry::{Span, SpanCollector, SpanId, TraceId};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashSet;
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Write as _};
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Summary of a batch run.
@@ -117,7 +121,7 @@ struct FailedLine {
 }
 
 /// Knobs for one batch run beyond the job list itself.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchOptions {
     /// Skip jobs whose `"done"` line already exists in the output (and recover the
     /// journal's tail before appending).
@@ -127,6 +131,10 @@ pub struct BatchOptions {
     /// Retry policy for transient failures — panicked job attempts and journal
     /// write errors.  Off by default.
     pub retry: RetryPolicy,
+    /// Optional JSONL file every completed span is appended to (`--trace-out`):
+    /// per-job root spans, the engine's per-stage children and, in sharded
+    /// mode, the batch/shard supervision spans.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 /// Runs `jobs` against `engine`, appending one JSONL line per job to `out_path`.
@@ -150,6 +158,27 @@ pub fn run_batch(
     )
 }
 
+/// Builds the span collector a batch run records into — per-job root spans and
+/// the engine's per-stage children — mirroring every span to `trace_path` as
+/// JSONL when set.
+fn batch_span_collector(trace_path: Option<&Path>) -> Result<Arc<SpanCollector>, ServiceError> {
+    let spans = Arc::new(SpanCollector::new(
+        crate::spans::default_trace_cap(),
+        crate::spans::collector_salt(),
+    ));
+    if let Some(path) = trace_path {
+        let file = File::create(path)
+            .map_err(|e| ServiceError::Io(format!("creating {}: {e}", path.display())))?;
+        let out = Arc::new(Mutex::new(std::io::BufWriter::new(file)));
+        spans.set_sink(Box::new(move |span: &Span| {
+            let mut w = out.lock().expect("trace out lock");
+            let _ = writeln!(w, "{}", span.to_json_line());
+            let _ = w.flush();
+        }));
+    }
+    Ok(spans)
+}
+
 /// [`run_batch`] with explicit fault-tolerance options.
 pub fn run_batch_with(
     engine: &Engine,
@@ -158,6 +187,8 @@ pub fn run_batch_with(
     opts: &BatchOptions,
 ) -> Result<BatchSummary, ServiceError> {
     let out_path = out_path.as_ref();
+    let spans = batch_span_collector(opts.trace_path.as_deref())?;
+    engine.set_span_collector(spans.clone());
     let already_done = if opts.resume {
         // Recover before reading *or* appending: a torn trailing line from a killed
         // run is truncated away here, so it can neither shadow a job id nor have
@@ -203,6 +234,7 @@ pub fn run_batch_with(
             // Workers hold the guard: job-internal loops stay serial (see module docs).
             enter_outer_parallelism,
             |_guard, spec| {
+                let job_started = Instant::now();
                 // Per-job deadline from the spec, enforced cooperatively inside the
                 // optimizer drivers.  The deadline also bounds retries: a transient
                 // failure is never re-attempted into a dead deadline.
@@ -214,13 +246,17 @@ pub fn run_batch_with(
                 // panicking job becomes a structured "failed" line (after the
                 // policy's retries) instead of unwinding into rayon and aborting
                 // the whole batch.
-                let outcome = match engine.run_job_with_retry(spec, &control, &opts.retry) {
-                    Ok(result) => match serde_json::to_string(&result) {
-                        Ok(line) if append_with_retry(&spec.id, &line) => 0usize,
-                        // A result that could not be recorded is a failure for
-                        // resume purposes: the job must run again.
-                        _ => 1usize,
-                    },
+                let (outcome, status) = match engine.run_job_with_retry(spec, &control, &opts.retry)
+                {
+                    Ok(result) => {
+                        let status = result.status.clone();
+                        match serde_json::to_string(&result) {
+                            Ok(line) if append_with_retry(&spec.id, &line) => (0usize, status),
+                            // A result that could not be recorded is a failure for
+                            // resume purposes: the job must run again.
+                            _ => (1usize, status),
+                        }
+                    }
                     Err(err) => {
                         let line = FailedLine {
                             id: spec.id.clone(),
@@ -230,9 +266,28 @@ pub fn run_batch_with(
                         if let Ok(line) = serde_json::to_string(&line) {
                             let _ = append_with_retry(&spec.id, &line);
                         }
-                        1usize
+                        (1usize, "failed".to_string())
                     }
                 };
+                // Close the job's root span (its id is the trace id, so the
+                // engine's per-stage children already point at it).  A spec
+                // whose instance cannot be realised has no trace id — its
+                // structured failure line is the record.
+                if let Ok(trace) = spec.trace_id() {
+                    let dur_ms = job_started.elapsed().as_secs_f64() * 1e3;
+                    spans.record(Span {
+                        trace,
+                        id: trace.root_span(),
+                        parent: None,
+                        name: "job".to_string(),
+                        start_ms: (spans.now_ms() - dur_ms).max(0.0),
+                        duration_ms: dur_ms,
+                        attrs: vec![
+                            ("job".to_string(), spec.id.clone()),
+                            ("status".to_string(), status),
+                        ],
+                    });
+                }
                 // Process-level chaos hook: an installed kill-after-k-jobs fault
                 // aborts this batch process here, after the k-th journalled job —
                 // exactly the crash window shard supervision must survive.
@@ -244,6 +299,25 @@ pub fn run_batch_with(
 
     let elapsed = started.elapsed().as_secs_f64();
     let executed = pending.len();
+    // When a sharded parent spawned this process it passed its own trace
+    // identity in the environment; close a shard-level span under it, so the
+    // parent's merged journal shows this child's whole run as one segment.
+    if let Some((trace, parent)) = std::env::var(TRACE_PARENT_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_trace_parent)
+    {
+        spans.record_closed(
+            trace,
+            Some(parent),
+            "batch_shard",
+            elapsed * 1e3,
+            vec![
+                ("executed".to_string(), executed.to_string()),
+                ("failed".to_string(), failures.to_string()),
+            ],
+        );
+    }
     Ok(BatchSummary {
         total: jobs.len(),
         executed,
@@ -268,6 +342,13 @@ struct ShardChild {
     out_path: std::path::PathBuf,
     child: std::process::Child,
     restarts: usize,
+    /// The `"<trace>:<span>"` value handed to the child via the environment.
+    trace_parent: String,
+    /// The child's own `--trace-out` journal, when the parent has one.
+    trace_out: Option<std::path::PathBuf>,
+    /// This shard's span id under the batch root (stable across restarts).
+    span: SpanId,
+    started: Instant,
 }
 
 /// Spawns one shard's `qaoa-service batch` child.  Children inherit the
@@ -279,6 +360,8 @@ fn spawn_shard(
     out_path: &Path,
     opts: &BatchOptions,
     cache: usize,
+    trace_parent: Option<&str>,
+    trace_out: Option<&Path>,
 ) -> Result<std::process::Child, ServiceError> {
     let mut cmd = std::process::Command::new(exe);
     cmd.arg("batch")
@@ -293,6 +376,14 @@ fn spawn_shard(
         .stderr(std::process::Stdio::null());
     if opts.fsync == FsyncPolicy::EveryLine {
         cmd.arg("--fsync").arg("every-line");
+    }
+    // Cross-process trace propagation: the child parents its shard-level span
+    // under the batch trace carried by this variable.
+    if let Some(parent) = trace_parent {
+        cmd.env(TRACE_PARENT_ENV, parent);
+    }
+    if let Some(path) = trace_out {
+        cmd.arg("--trace-out").arg(path);
     }
     cmd.spawn()
         .map_err(|e| ServiceError::Io(format!("spawning shard child {}: {e}", exe.display())))
@@ -339,6 +430,17 @@ pub fn run_batch_sharded(
         .filter(|j| !already_done.contains(&j.id))
         .collect();
     let skipped = jobs.len() - pending.len();
+    let spans = batch_span_collector(opts.trace_path.as_deref())?;
+    // The batch-level trace id: a fold of the per-job trace ids — a pure
+    // function of the job set, identical at any shard count.  Specs whose
+    // instance cannot be realised contribute nothing (their shard records the
+    // structured failure instead).
+    let batch_trace = TraceId::from_raw(fold_bits(
+        pending
+            .iter()
+            .filter_map(|spec| spec.trace_id().ok())
+            .map(|t| t.raw()),
+    ));
 
     // Partition by instance affinity.  A spec whose instance cannot even be
     // realised goes to shard 0, whose child records the structured failure.
@@ -372,7 +474,24 @@ pub fn run_batch_sharded(
             .map_err(|e| ServiceError::Io(format!("encoding shard {k} jobs: {e}")))?;
         std::fs::write(&job_path, text)
             .map_err(|e| ServiceError::Io(format!("writing {}: {e}", job_path.display())))?;
-        let child = spawn_shard(exe, &job_path, &shard_out, opts, cache)?;
+        // The shard's span id is allocated up front and carried to the child in
+        // the environment; the child closes its own "batch_shard" span under it.
+        let shard_span = spans.next_span_id();
+        let trace_parent = format_trace_parent(batch_trace, shard_span);
+        let trace_out = opts.trace_path.as_ref().map(|p| {
+            let mut os = p.as_os_str().to_os_string();
+            os.push(format!(".shard-{k}"));
+            std::path::PathBuf::from(os)
+        });
+        let child = spawn_shard(
+            exe,
+            &job_path,
+            &shard_out,
+            opts,
+            cache,
+            Some(&trace_parent),
+            trace_out.as_deref(),
+        )?;
         shard_outs.push(shard_out.clone());
         running.push(ShardChild {
             shard: k,
@@ -380,6 +499,10 @@ pub fn run_batch_sharded(
             out_path: shard_out,
             child,
             restarts: 0,
+            trace_parent,
+            trace_out,
+            span: shard_span,
+            started: Instant::now(),
         });
     }
 
@@ -397,15 +520,42 @@ pub fn run_batch_sharded(
                             entry.shard,
                             entry.restarts + 1
                         );
-                        entry.child =
-                            spawn_shard(exe, &entry.job_path, &entry.out_path, opts, cache)?;
+                        entry.child = spawn_shard(
+                            exe,
+                            &entry.job_path,
+                            &entry.out_path,
+                            opts,
+                            cache,
+                            Some(&entry.trace_parent),
+                            entry.trace_out.as_deref(),
+                        )?;
                         entry.restarts += 1;
                         still_running.push(entry);
-                    } else if crashed {
-                        eprintln!(
-                            "batch: shard {} crashed {MAX_SHARD_RESTARTS} times; giving up on it",
-                            entry.shard
-                        );
+                    } else {
+                        if crashed {
+                            eprintln!(
+                                "batch: shard {} crashed {MAX_SHARD_RESTARTS} times; giving up on it",
+                                entry.shard
+                            );
+                        }
+                        // The shard settled (cleanly or by giving up): close its
+                        // pre-allocated span under the batch root.  The id was
+                        // handed to the child via the environment, so the child's
+                        // "batch_shard" span parents here across restarts.
+                        let shard_ms = entry.started.elapsed().as_secs_f64() * 1e3;
+                        spans.record(Span {
+                            trace: batch_trace,
+                            id: entry.span,
+                            parent: Some(batch_trace.root_span()),
+                            name: "shard".to_string(),
+                            start_ms: (spans.now_ms() - shard_ms).max(0.0),
+                            duration_ms: shard_ms,
+                            attrs: vec![
+                                ("shard".to_string(), entry.shard.to_string()),
+                                ("restarts".to_string(), entry.restarts.to_string()),
+                                ("crashed".to_string(), crashed.to_string()),
+                            ],
+                        });
                     }
                 }
                 Ok(None) => still_running.push(entry),
@@ -473,6 +623,20 @@ pub fn run_batch_sharded(
 
     let elapsed = started.elapsed().as_secs_f64();
     let executed = order.len();
+    spans.record(Span {
+        trace: batch_trace,
+        id: batch_trace.root_span(),
+        parent: None,
+        name: "batch".to_string(),
+        start_ms: (spans.now_ms() - elapsed * 1e3).max(0.0),
+        duration_ms: elapsed * 1e3,
+        attrs: vec![
+            ("jobs".to_string(), jobs.len().to_string()),
+            ("shards".to_string(), shards.to_string()),
+            ("executed".to_string(), executed.to_string()),
+            ("failed".to_string(), failed.to_string()),
+        ],
+    });
     Ok(BatchSummary {
         total: jobs.len(),
         executed,
@@ -548,6 +712,38 @@ mod tests {
         assert_eq!(engine.stats().cache_misses, 2);
         assert_eq!(engine.stats().cache_hits, 4);
         let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn batch_trace_out_mirrors_per_job_root_spans() {
+        let out = temp_path("trace_batch");
+        let trace = temp_path("trace_batch_spans");
+        let jobs = tiny_jobs(3);
+        let engine = Engine::new(8);
+        let opts = BatchOptions {
+            resume: true,
+            trace_path: Some(trace.clone()),
+            ..Default::default()
+        };
+        let summary = run_batch_with(&engine, &jobs, &out, &opts).unwrap();
+        assert_eq!(summary.executed, 3);
+        let journal = std::fs::read_to_string(&trace).expect("trace journal written");
+        // Every job's deterministic trace id shows up on a root "job" span
+        // line, with the engine's stage spans alongside.
+        for spec in &jobs {
+            let hex = spec.trace_id().unwrap().to_hex();
+            assert!(
+                journal
+                    .lines()
+                    .any(|l| l.starts_with("{\"span\":\"job\"") && l.contains(&hex)),
+                "no root span for {} in:\n{journal}",
+                spec.id
+            );
+        }
+        assert!(journal.contains("{\"span\":\"prep\""), "{journal}");
+        assert!(journal.contains("{\"span\":\"optimize\""), "{journal}");
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

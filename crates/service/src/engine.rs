@@ -54,7 +54,7 @@ use juliqaoa_optim::{
 };
 use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClasses};
 use juliqaoa_sampling::{estimator, IndexMap};
-use juliqaoa_telemetry::Histogram;
+use juliqaoa_telemetry::{Histogram, SpanCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -370,6 +370,11 @@ pub struct Engine {
     sample_jobs: AtomicU64,
     shots_drawn: AtomicU64,
     telemetry: EngineTelemetry,
+    /// Optional span collector: when the serving or batch tier installs one, the
+    /// engine turns each job's timing stages (prep / optimize / sampling
+    /// readout) into real child spans under the job's deterministic trace id.
+    /// Observation-only — read once per job, never inside kernels.
+    spans: Mutex<Option<Arc<SpanCollector>>>,
 }
 
 /// The per-worker objective a job's optimizer drives: exact expectation for plain
@@ -470,7 +475,22 @@ impl Engine {
             sample_jobs: AtomicU64::new(0),
             shots_drawn: AtomicU64::new(0),
             telemetry: EngineTelemetry::new(),
+            spans: Mutex::new(None),
         }
+    }
+
+    /// Installs a span collector; subsequent jobs emit `prep`/`optimize`/
+    /// `sampling_readout` child spans under their trace's root span.
+    pub fn set_span_collector(&self, spans: Arc<SpanCollector>) {
+        *self.spans.lock().expect("span collector lock poisoned") = Some(spans);
+    }
+
+    /// The installed span collector, if any (cheap clone of an `Arc`).
+    fn span_collector(&self) -> Option<Arc<SpanCollector>> {
+        self.spans
+            .lock()
+            .expect("span collector lock poisoned")
+            .clone()
     }
 
     /// The engine's per-stage latency histograms (shared with the serving tier,
@@ -777,6 +797,12 @@ impl Engine {
         }
         let prep_started = Instant::now();
         let problem = spec.problem.build().map_err(ServiceError::Spec)?;
+        // The job's deterministic trace id: a pure function of the spec, so the
+        // same id lands in the result whether this engine runs under serve,
+        // batch or a routed backend.  Child spans parent against the trace's
+        // root span (id == trace id), which the serving tier emits.
+        let trace = crate::spec::derive_trace_id(problem.instance_id.raw(), spec);
+        let spans = self.span_collector();
         let (prepared, cache_hit) = self.prepare(&problem);
         // Hostile or degenerate instances (overflowing explicit weights) can realise
         // non-finite objective values; estimators and quality normalisation are
@@ -826,6 +852,18 @@ impl Engine {
         };
         let prep_ms = prep_started.elapsed().as_secs_f64() * 1e3;
         self.telemetry.prep_ms.observe(prep_ms);
+        if let Some(spans) = &spans {
+            spans.record_closed(
+                trace,
+                Some(trace.root_span()),
+                "prep",
+                prep_ms,
+                vec![
+                    ("job".into(), spec.id.clone()),
+                    ("cache_hit".into(), cache_hit.to_string()),
+                ],
+            );
+        }
 
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let dim = 2 * spec.p;
@@ -902,6 +940,18 @@ impl Engine {
 
         let optimize_ms = optimize_started.elapsed().as_secs_f64() * 1e3;
         self.telemetry.optimize_ms.observe(optimize_ms);
+        if let Some(spans) = &spans {
+            spans.record_closed(
+                trace,
+                Some(trace.root_span()),
+                "optimize",
+                optimize_ms,
+                vec![
+                    ("job".into(), spec.id.clone()),
+                    ("evals".into(), res.function_evals.to_string()),
+                ],
+            );
+        }
 
         // Deadline bookkeeping comes first: a job whose deadline expired before the
         // optimizer completed even one evaluation has no partial result to report —
@@ -983,6 +1033,15 @@ impl Engine {
         let sampling_readout_ms = if sample_report.is_some() {
             let ms = readout_started.elapsed().as_secs_f64() * 1e3;
             self.telemetry.sampling_readout_ms.observe(ms);
+            if let Some(spans) = &spans {
+                spans.record_closed(
+                    trace,
+                    Some(trace.root_span()),
+                    "sampling_readout",
+                    ms,
+                    vec![("job".into(), spec.id.clone())],
+                );
+            }
             ms
         } else {
             0.0
@@ -1049,6 +1108,7 @@ impl Engine {
         self.telemetry.total_ms.observe(total_ms);
         Ok(JobResult {
             id: spec.id.clone(),
+            trace: trace.to_hex(),
             status: status.to_string(),
             instance: problem.instance_id,
             problem: problem.kind.to_string(),

@@ -27,6 +27,9 @@ pub struct Request {
     pub method: String,
     /// Raw path, query string stripped.
     pub path: String,
+    /// The `X-Juliqaoa-Trace` header value, when present — the router's trace
+    /// propagation; other headers stay discarded (nothing else rides on them).
+    pub trace: Option<String>,
     /// The request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
 }
@@ -97,13 +100,17 @@ pub fn read_request_limited(
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut trace: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("x-juliqaoa-trace") {
+                trace = Some(value.trim().to_string());
             }
         }
     }
@@ -128,7 +135,12 @@ pub fn read_request_limited(
     }
     body.truncate(content_length);
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        trace,
+        body,
+    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -247,6 +259,20 @@ pub fn client_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    client_request_with_headers(addr, method, path, &[], body, timeout)
+}
+
+/// [`client_request`] with extra request headers — the router injects
+/// `X-Juliqaoa-Trace` into proxied submissions so the backend adopts the
+/// router's trace id instead of deriving its own.
+pub fn client_request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let timeout = timeout.max(Duration::from_millis(1));
     let sock_addr = addr
         .to_socket_addrs()?
@@ -256,9 +282,13 @@ pub fn client_request(
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let body = body.unwrap_or("");
+    let extra: String = headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()?;
@@ -313,6 +343,40 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn trace_header_is_captured_case_insensitively() {
+        let req = round_trip(
+            b"POST /jobs HTTP/1.1\r\nx-juliqaoa-trace: 00f00dcafe123456\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(req.trace.as_deref(), Some("00f00dcafe123456"));
+        let req = round_trip(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.trace.is_none());
+    }
+
+    #[test]
+    fn client_extra_headers_reach_the_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.trace.as_deref(), Some("deadbeef00000001"));
+            write_json(&mut stream, 200, "{}");
+        });
+        let resp = client_request_with_headers(
+            &addr.to_string(),
+            "POST",
+            "/jobs",
+            &[("X-Juliqaoa-Trace", "deadbeef00000001".to_string())],
+            Some("{}"),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod lru;
 pub mod retry;
 pub mod router;
 pub mod server;
+pub mod spans;
 pub mod spec;
 
 pub use batch::{
@@ -61,7 +62,8 @@ pub use lru::{LruCache, ShardedLru};
 pub use retry::RetryPolicy;
 pub use router::{Router, RouterConfig, RouterStatsBody};
 pub use server::{JobStatusBody, MetricsBody, Server, ServerConfig, TraceBody, TraceEvent};
+pub use spans::{DEFAULT_TRACE_CAPACITY, TRACE_CAP_ENV, TRACE_HEADER, TRACE_PARENT_ENV};
 pub use spec::{
-    BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, JobTimings, MixerSpec, OptimizerSpec,
-    ProblemSpec, SampleReport, SamplingSpec, MAX_QUBITS, MAX_SHOTS,
+    derive_trace_id, BuiltProblem, EstimatorSpec, JobFile, JobResult, JobSpec, JobTimings,
+    MixerSpec, OptimizerSpec, ProblemSpec, SampleReport, SamplingSpec, MAX_QUBITS, MAX_SHOTS,
 };

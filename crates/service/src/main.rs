@@ -4,16 +4,17 @@
 //! ```text
 //! qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
 //!                    [--retries N] [--fsync flush|every-line] [--shard-workers N]
+//!                    [--trace-out trace.jsonl]
 //! qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
 //!                    [--out results.jsonl] [--trace-out trace.jsonl]
-//!                    [--read-timeout-ms N] [--write-timeout-ms N]
+//!                    [--trace-ring-cap N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!                    [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
 //!                    [--drain-ms N] [--retries N] [--fsync flush|every-line]
 //!                    [--max-body-bytes N]
 //! qaoa-service route --backends host:port,host:port,... [--addr 127.0.0.1:7979]
 //!                    [--probe-interval-ms N] [--probe-timeout-ms N] [--trip-after N]
 //!                    [--backend-timeout-ms N] [--hedge-after-ms N] [--retries N]
-//!                    [--max-body-bytes N] [--trace-out trace.jsonl]
+//!                    [--max-body-bytes N] [--trace-out trace.jsonl] [--trace-ring-cap N]
 //! qaoa-service example-jobs <path> [--count N] [--n QUBITS]
 //! ```
 //!
@@ -62,16 +63,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   qaoa-service batch <jobs.json> [--out results.jsonl] [--no-resume] [--cache N]
                      [--retries N] [--fsync flush|every-line] [--shard-workers N]
+                     [--trace-out trace.jsonl]
   qaoa-service serve [--addr 127.0.0.1:7878] [--workers N] [--queue N] [--cache N]
                      [--out results.jsonl] [--trace-out trace.jsonl]
-                     [--read-timeout-ms N] [--write-timeout-ms N]
+                     [--trace-ring-cap N] [--read-timeout-ms N] [--write-timeout-ms N]
                      [--default-timeout-ms N] [--max-timeout-ms N] [--queue-wait-ms N]
                      [--drain-ms N] [--retries N] [--fsync flush|every-line]
                      [--max-body-bytes N]
   qaoa-service route --backends host:port,host:port,... [--addr 127.0.0.1:7979]
                      [--probe-interval-ms N] [--probe-timeout-ms N] [--trip-after N]
                      [--backend-timeout-ms N] [--hedge-after-ms N] [--retries N]
-                     [--max-body-bytes N] [--trace-out trace.jsonl]
+                     [--max-body-bytes N] [--trace-out trace.jsonl] [--trace-ring-cap N]
   qaoa-service example-jobs <path> [--count N] [--n QUBITS]";
 
 /// Pulls the value after a `--flag`, parsing it with `parse`.
@@ -138,6 +140,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     })?)
             }
             "--fsync" => opts.fsync = flag_value(args, &mut i, "--fsync", parse_fsync)?,
+            "--trace-out" => {
+                opts.trace_path = Some(flag_value(args, &mut i, "--trace-out", |s| {
+                    Some(PathBuf::from(s))
+                })?)
+            }
             "--shard-workers" => {
                 shard_workers = flag_value(args, &mut i, "--shard-workers", |s| s.parse().ok())?
             }
@@ -228,6 +235,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.trace_path = Some(flag_value(args, &mut i, "--trace-out", |s| {
                     Some(PathBuf::from(s))
                 })?)
+            }
+            "--trace-ring-cap" => {
+                config.trace_ring_cap =
+                    flag_value(args, &mut i, "--trace-ring-cap", |s| s.parse().ok())?
             }
             "--read-timeout-ms" => {
                 config.read_timeout_ms =
@@ -331,6 +342,10 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
                 config.trace_path = Some(flag_value(args, &mut i, "--trace-out", |s| {
                     Some(PathBuf::from(s))
                 })?)
+            }
+            "--trace-ring-cap" => {
+                config.trace_ring_cap =
+                    flag_value(args, &mut i, "--trace-ring-cap", |s| s.parse().ok())?
             }
             other => return Err(format!("unexpected argument {other:?}")),
         }

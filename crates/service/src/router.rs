@@ -34,13 +34,14 @@
 
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::http::{
-    client_request, read_request_limited, write_body, write_error, write_json, ClientResponse,
-    Request, DEFAULT_MAX_BODY_BYTES,
+    client_request, client_request_with_headers, read_request_limited, write_body, write_error,
+    write_json, ClientResponse, Request, DEFAULT_MAX_BODY_BYTES,
 };
 use crate::server::{TraceBody, TraceEvent};
-use crate::spec::JobSpec;
-use juliqaoa_telemetry::{encode, Histogram, PromWriter, TraceRing};
-use serde::{Deserialize, Serialize};
+use crate::spans::{default_trace_cap, span_from_value, trace_body, version_value, TRACE_HEADER};
+use crate::spec::{derive_trace_id, JobSpec};
+use juliqaoa_telemetry::{encode, Histogram, PromWriter, Span, SpanCollector, TraceId, TraceRing};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
@@ -49,8 +50,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Capacity of the router's lifecycle trace ring.
-const TRACE_CAPACITY: usize = 1024;
+/// The fixed trace id the router's operational spans (health probes) are
+/// recorded under — process-independent, so `GET /trace/:id` with this id
+/// always pulls the probe history.
+pub const OPS_TRACE: TraceId = TraceId::from_raw(0x00C0_FFEE_0B5E_70E5);
 
 /// Configuration for [`Router::bind`].
 #[derive(Clone, Debug)]
@@ -71,8 +74,11 @@ pub struct RouterConfig {
     pub hedge_after_ms: Option<u64>,
     /// Upper bound on request bodies (structured 413 beyond it).
     pub max_body_bytes: usize,
-    /// Optional JSONL file trace events are appended to.
+    /// Optional JSONL file trace events and spans are appended to.
     pub trace_path: Option<PathBuf>,
+    /// Capacity of the lifecycle trace ring *and* the span collector
+    /// (`--trace-ring-cap`, falling back to `JULIQAOA_TRACE_CAP`, then 1024).
+    pub trace_ring_cap: usize,
 }
 
 impl Default for RouterConfig {
@@ -86,6 +92,7 @@ impl Default for RouterConfig {
             hedge_after_ms: None,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             trace_path: None,
+            trace_ring_cap: default_trace_cap(),
         }
     }
 }
@@ -100,6 +107,8 @@ struct RoutedJob {
     backend: usize,
     /// The exact spec body submitted, re-sent verbatim on failover.
     spec_body: String,
+    /// The trace id assigned at routing time and propagated to the backend.
+    trace: TraceId,
 }
 
 /// Per-backend entry in the `GET /stats` body.
@@ -150,7 +159,13 @@ struct RouterState {
     read_ms: Histogram,
     trace: TraceRing<TraceEvent>,
     trace_seq: AtomicU64,
-    trace_out: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    trace_out: Option<Arc<Mutex<std::io::BufWriter<std::fs::File>>>>,
+    /// Routing-side spans (`route_submit`, `failover`, `hedge`, `probe`) for
+    /// `GET /trace/:id`; mirrored to `trace_out`.
+    spans: Arc<SpanCollector>,
+    /// Last `(trace hex, latency)` per route histogram — `/metrics` exemplars.
+    last_submit_exemplar: Mutex<Option<(String, f64)>>,
+    last_read_exemplar: Mutex<Option<(String, f64)>>,
 }
 
 impl RouterState {
@@ -201,11 +216,23 @@ impl Router {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let trace_out = match &config.trace_path {
-            Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
-                path,
-            )?))),
+            Some(path) => Some(Arc::new(Mutex::new(std::io::BufWriter::new(
+                std::fs::File::create(path)?,
+            )))),
             None => None,
         };
+        let spans = Arc::new(SpanCollector::new(
+            config.trace_ring_cap.max(1),
+            crate::spans::collector_salt(),
+        ));
+        if let Some(out) = &trace_out {
+            let out = out.clone();
+            spans.set_sink(Box::new(move |span: &Span| {
+                let mut w = out.lock().expect("trace out lock");
+                let _ = writeln!(w, "{}", span.to_json_line());
+                let _ = w.flush();
+            }));
+        }
         let state = Arc::new(RouterState {
             cluster: Cluster::new(config.cluster.clone()),
             jobs: Mutex::new(HashMap::new()),
@@ -218,9 +245,12 @@ impl Router {
             started: Instant::now(),
             submit_ms: Histogram::latency_ms(),
             read_ms: Histogram::latency_ms(),
-            trace: TraceRing::new(TRACE_CAPACITY),
+            trace: TraceRing::new(config.trace_ring_cap.max(1)),
             trace_seq: AtomicU64::new(0),
             trace_out,
+            spans,
+            last_submit_exemplar: Mutex::new(None),
+            last_read_exemplar: Mutex::new(None),
             config,
         });
         // Record the boot topology in the trace: every backend starts assumed
@@ -301,7 +331,21 @@ fn prober_loop(state: &RouterState, stop: &AtomicBool) {
             }
             let backend = state.cluster.backend(index);
             backend.probes.fetch_add(1, Ordering::Relaxed);
+            let probe_started = Instant::now();
             let outcome = client_request(&backend.addr, "GET", "/readyz", None, timeout);
+            let probe_ok = matches!(&outcome, Ok(resp) if resp.status == 200);
+            // Probe spans live under the fixed ops trace, not a job trace —
+            // `GET /trace/<OPS_TRACE>` is the probe history.
+            state.spans.record_closed(
+                OPS_TRACE,
+                None,
+                "probe",
+                probe_started.elapsed().as_secs_f64() * 1e3,
+                vec![
+                    ("backend".to_string(), backend.addr.clone()),
+                    ("ok".to_string(), probe_ok.to_string()),
+                ],
+            );
             match outcome {
                 Ok(resp) if resp.status == 200 => {
                     state.trace_transition(state.cluster.record_success(index));
@@ -352,6 +396,7 @@ fn route(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Request) {
         ("GET", "/metrics") => handle_prometheus(state, stream),
         ("GET", "/stats") => handle_stats(state, stream),
         ("GET", "/trace") => handle_trace(state, stream),
+        ("GET", "/version") => handle_version(stream),
         ("GET", "/healthz") => write_json(stream, 200, "{\"status\": \"ok\"}"),
         ("GET", "/readyz") => {
             // The router is ready exactly when it can place a job somewhere.
@@ -381,6 +426,11 @@ fn route(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Request) {
                     }
                     _ => write_error(stream, 405, "method not allowed"),
                 }
+            } else if let Some(trace_hex) = path.strip_prefix("/trace/") {
+                match method {
+                    "GET" => handle_trace_id(state, stream, trace_hex),
+                    _ => write_error(stream, 405, "method not allowed"),
+                }
             } else {
                 write_error(stream, 404, "no such endpoint");
             }
@@ -394,8 +444,10 @@ fn submit_with_failover(
     state: &RouterState,
     job_id: &str,
     key: u64,
+    trace: TraceId,
     body: &str,
 ) -> Result<(usize, ClientResponse), String> {
+    let started = Instant::now();
     let candidates = state.cluster.candidates(key);
     let mut attempt = 0u32;
     let mut last_error = String::from("no backends configured");
@@ -412,10 +464,13 @@ fn submit_with_failover(
             // (retry seed, job id, attempt), so chaos runs replay exactly.
             std::thread::sleep(state.cluster.config().retry.delay(job_id, attempt - 1));
         }
-        match client_request(
+        // Propagate the trace id so the backend adopts it instead of
+        // re-deriving — the routed edge and the executing edge share one trace.
+        match client_request_with_headers(
             &backend.addr,
             "POST",
             "/jobs",
+            &[(TRACE_HEADER, trace.to_hex())],
             Some(body),
             state.backend_timeout(),
         ) {
@@ -434,6 +489,17 @@ fn submit_with_failover(
                         ),
                     );
                 }
+                state.spans.record_closed(
+                    trace,
+                    Some(trace.root_span()),
+                    "route_submit",
+                    started.elapsed().as_secs_f64() * 1e3,
+                    vec![
+                        ("job".to_string(), job_id.to_string()),
+                        ("backend".to_string(), backend.addr.clone()),
+                        ("attempts".to_string(), (attempt + 1).to_string()),
+                    ],
+                );
                 return Ok((index, resp));
             }
             Ok(resp) => {
@@ -498,6 +564,10 @@ fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Req
             return;
         }
     };
+    // The trace id is a pure function of the spec, assigned here at the edge
+    // and propagated to the backend via the trace header — both tiers (and a
+    // batch run of the same spec) agree on it without coordination.
+    let trace = derive_trace_id(key, &spec);
     let spec_body = match serde_json::to_string(&spec) {
         Ok(json) => json,
         Err(_) => {
@@ -505,7 +575,7 @@ fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Req
             return;
         }
     };
-    match submit_with_failover(state, &spec.id, key, &spec_body) {
+    match submit_with_failover(state, &spec.id, key, trace, &spec_body) {
         Ok((index, resp)) => {
             if resp.is_success() || resp.status == 409 {
                 state.jobs.lock().expect("router jobs lock").insert(
@@ -514,13 +584,15 @@ fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Req
                         key,
                         backend: index,
                         spec_body,
+                        trace,
                     },
                 );
                 state.jobs_routed.fetch_add(1, Ordering::Relaxed);
             }
-            state
-                .submit_ms
-                .observe(started.elapsed().as_secs_f64() * 1e3);
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            state.submit_ms.observe(elapsed_ms);
+            *state.last_submit_exemplar.lock().expect("exemplar lock") =
+                Some((trace.to_hex(), elapsed_ms));
             write_json(stream, resp.status, &resp.body);
         }
         Err(why) => {
@@ -541,6 +613,7 @@ fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Req
 /// the same health states — placement from the ring, pacing from the seeded
 /// retry policy.
 fn failover_job(state: &RouterState, id: &str) -> Result<usize, String> {
+    let started = Instant::now();
     let job = state
         .jobs
         .lock()
@@ -562,10 +635,11 @@ fn failover_job(state: &RouterState, id: &str) -> Result<usize, String> {
         if attempt > 0 {
             std::thread::sleep(state.cluster.config().retry.delay(id, attempt - 1));
         }
-        match client_request(
+        match client_request_with_headers(
             &backend.addr,
             "POST",
             "/jobs",
+            &[(TRACE_HEADER, job.trace.to_hex())],
             Some(&job.spec_body),
             state.backend_timeout(),
         ) {
@@ -583,6 +657,17 @@ fn failover_job(state: &RouterState, id: &str) -> Result<usize, String> {
                         state.cluster.backend(dead).addr,
                         backend.addr
                     ),
+                );
+                state.spans.record_closed(
+                    job.trace,
+                    Some(job.trace.root_span()),
+                    "failover",
+                    started.elapsed().as_secs_f64() * 1e3,
+                    vec![
+                        ("job".to_string(), id.to_string()),
+                        ("from".to_string(), state.cluster.backend(dead).addr.clone()),
+                        ("backend".to_string(), backend.addr.clone()),
+                    ],
                 );
                 return Ok(index);
             }
@@ -609,6 +694,7 @@ fn failover_job(state: &RouterState, id: &str) -> Result<usize, String> {
 fn hedged_get(
     state: &Arc<RouterState>,
     owner: usize,
+    trace: TraceId,
     path: &str,
 ) -> std::io::Result<ClientResponse> {
     let timeout = state.backend_timeout();
@@ -653,6 +739,18 @@ fn hedged_get(
         "",
         format!("owner slow on {path}; duplicating to {successor_addr}"),
     );
+    // The hedge span records *that* the threshold fired and where the
+    // duplicate went; its duration is the wait that triggered it.
+    state.spans.record_closed(
+        trace,
+        Some(trace.root_span()),
+        "hedge",
+        hedge_after as f64,
+        vec![
+            ("path".to_string(), path.to_string()),
+            ("backend".to_string(), successor_addr.clone()),
+        ],
+    );
     {
         let path = path.to_string();
         std::thread::spawn(move || {
@@ -686,20 +784,23 @@ fn hedged_get(
 
 fn handle_proxied_read(state: &Arc<RouterState>, stream: &mut TcpStream, id: &str, path: &str) {
     let started = Instant::now();
-    let owner = {
+    let (owner, trace) = {
         let jobs = state.jobs.lock().expect("router jobs lock");
         match jobs.get(id) {
-            Some(job) => job.backend,
+            Some(job) => (job.backend, job.trace),
             None => {
                 write_error(stream, 404, &format!("unknown job {id:?}"));
                 return;
             }
         }
     };
-    match hedged_get(state, owner, path) {
+    match hedged_get(state, owner, trace, path) {
         Ok(resp) => {
             state.trace_transition(state.cluster.record_success(owner));
-            state.read_ms.observe(started.elapsed().as_secs_f64() * 1e3);
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            state.read_ms.observe(elapsed_ms);
+            *state.last_read_exemplar.lock().expect("exemplar lock") =
+                Some((trace.to_hex(), elapsed_ms));
             write_json(stream, resp.status, &resp.body);
         }
         Err(e) => {
@@ -866,16 +967,37 @@ fn handle_prometheus(state: &Arc<RouterState>, stream: &mut TcpStream) {
         "Lifecycle events evicted from the bounded trace ring.",
         state.trace.dropped(),
     );
+    w.counter(
+        "trace_spans_dropped",
+        "Completed spans evicted from the bounded span collector.",
+        state.spans.dropped(),
+    );
     w.histogram(
         "route_submit_ms",
         "Milliseconds to place a submission on a backend (failover included).",
         &state.submit_ms.snapshot(),
     );
+    if let Some((trace_hex, ms)) = state
+        .last_submit_exemplar
+        .lock()
+        .expect("exemplar lock")
+        .clone()
+    {
+        w.exemplar("route_submit_ms", &trace_hex, ms);
+    }
     w.histogram(
         "route_read_ms",
         "Milliseconds to answer a proxied status/result read (hedging included).",
         &state.read_ms.snapshot(),
     );
+    if let Some((trace_hex, ms)) = state
+        .last_read_exemplar
+        .lock()
+        .expect("exemplar lock")
+        .clone()
+    {
+        w.exemplar("route_read_ms", &trace_hex, ms);
+    }
     write_body(stream, 200, encode::CONTENT_TYPE, &[], &w.finish());
 }
 
@@ -909,9 +1031,62 @@ fn handle_stats(state: &Arc<RouterState>, stream: &mut TcpStream) {
 fn handle_trace(state: &Arc<RouterState>, stream: &mut TcpStream) {
     let body = TraceBody {
         dropped: state.trace.dropped(),
+        capacity: state.trace.capacity() as u64,
         events: state.trace.snapshot(),
     };
     match serde_json::to_string_pretty(&body) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+/// `GET /trace/:id` at the router: the router's own routing-side spans merged
+/// with every backend's spans for the same trace — one tree across processes.
+/// An unreachable backend degrades the tree (its spans are simply absent)
+/// rather than failing the request.
+fn handle_trace_id(state: &Arc<RouterState>, stream: &mut TcpStream, raw: &str) {
+    let Some(trace) = TraceId::parse(raw) else {
+        write_error(
+            stream,
+            400,
+            &format!("invalid trace id {raw:?} (want 16 hex digits)"),
+        );
+        return;
+    };
+    let mut spans = state.spans.for_trace(trace);
+    let path = format!("/trace/{}", trace.to_hex());
+    for backend in state.cluster.backends() {
+        let Ok(resp) = client_request(&backend.addr, "GET", &path, None, state.backend_timeout())
+        else {
+            continue;
+        };
+        if !resp.is_success() {
+            continue;
+        }
+        let Ok(body) = serde_json::from_str::<Value>(&resp.body) else {
+            continue;
+        };
+        if let Some(remote) = body.get_field("spans").and_then(Value::as_array) {
+            spans.extend(remote.iter().filter_map(span_from_value));
+        }
+    }
+    if spans.is_empty() {
+        write_error(
+            stream,
+            404,
+            &format!("no spans retained for trace {raw:?} on the router or any backend"),
+        );
+        return;
+    }
+    match serde_json::to_string_pretty(&trace_body(trace, spans)) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+/// `GET /version`: build identity, for correlating multi-process journals.
+fn handle_version(stream: &mut TcpStream) {
+    match serde_json::to_string_pretty(&version_value()) {
         Ok(json) => write_json(stream, 200, &json),
         Err(_) => write_error(stream, 500, "serialisation failed"),
     }

@@ -20,6 +20,8 @@
 //! | `GET /metrics`         | Prometheus text exposition (counters + histograms)     |
 //! | `GET /stats`           | The same counters as JSON ([`MetricsBody`])            |
 //! | `GET /trace`           | Recent lifecycle events from the bounded trace ring    |
+//! | `GET /trace/:id`       | The retained spans of one trace, flat + as a tree      |
+//! | `GET /version`         | Build identity (crate version, profile, git describe)  |
 //! | `GET /healthz`         | Liveness probe (200 whenever the process can answer)   |
 //! | `GET /readyz`          | Readiness probe (`503` while draining or before the    |
 //! |                        | worker pool is up) — what a router's prober should use |
@@ -41,10 +43,11 @@ use crate::http::{
 };
 use crate::journal::{FsyncPolicy, Journal};
 use crate::retry::RetryPolicy;
-use crate::spec::{JobResult, JobSpec};
+use crate::spans::{default_trace_cap, trace_body, version_value, TRACE_HEADER};
+use crate::spec::{JobResult, JobSpec, JobTimings};
 use juliqaoa_linalg::enter_outer_parallelism;
 use juliqaoa_optim::RunControl;
-use juliqaoa_telemetry::{encode, kernels, PromWriter, TraceRing};
+use juliqaoa_telemetry::{encode, kernels, PromWriter, Span, SpanCollector, TraceId, TraceRing};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
@@ -54,9 +57,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Capacity of the in-memory lifecycle trace ring served by `GET /trace`.
-const TRACE_CAPACITY: usize = 1024;
 
 /// Configuration for [`Server::bind`].
 #[derive(Clone, Debug)]
@@ -96,10 +96,14 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Durability policy for the results journal.
     pub fsync: FsyncPolicy,
-    /// Optional JSONL file every lifecycle trace event is also appended to
-    /// (plain lines, flushed per event — a debugging artifact, not the
-    /// checksummed results journal).
+    /// Optional JSONL file every lifecycle trace event *and* every completed
+    /// span is also appended to (plain lines, flushed per event — a debugging
+    /// artifact, not the checksummed results journal).  Span lines carry a
+    /// leading `"span"` key; event lines a `"seq"` key.
     pub trace_path: Option<PathBuf>,
+    /// Capacity of the lifecycle trace ring *and* the span collector
+    /// (`--trace-ring-cap`, falling back to `JULIQAOA_TRACE_CAP`, then 1024).
+    pub trace_ring_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +124,7 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             fsync: FsyncPolicy::default(),
             trace_path: None,
+            trace_ring_cap: default_trace_cap(),
         }
     }
 }
@@ -148,6 +153,8 @@ pub struct TraceEvent {
 pub struct TraceBody {
     /// Events evicted from the ring since start (oldest-first window follows).
     pub dropped: u64,
+    /// The ring's capacity (`--trace-ring-cap` / `JULIQAOA_TRACE_CAP`).
+    pub capacity: u64,
     /// The retained events, oldest first.
     pub events: Vec<TraceEvent>,
 }
@@ -181,6 +188,9 @@ impl JobState {
 /// Everything the service tracks about one submitted job.
 struct JobRecord {
     spec: JobSpec,
+    /// The job's trace id: adopted from the `X-Juliqaoa-Trace` header when a
+    /// router assigned one upstream, derived from the spec otherwise.
+    trace: TraceId,
     state: Mutex<JobState>,
     cancel: Arc<AtomicBool>,
     enqueued_at: Instant,
@@ -191,9 +201,10 @@ struct JobRecord {
 }
 
 impl JobRecord {
-    fn new(spec: JobSpec) -> Arc<Self> {
+    fn new(spec: JobSpec, trace: TraceId) -> Arc<Self> {
         Arc::new(JobRecord {
             spec,
+            trace,
             state: Mutex::new(JobState::Queued),
             cancel: Arc::new(AtomicBool::new(false)),
             enqueued_at: Instant::now(),
@@ -295,7 +306,21 @@ struct ServiceState {
     results: Option<Journal>,
     trace: TraceRing<TraceEvent>,
     trace_seq: AtomicU64,
-    trace_out: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    trace_out: Option<Arc<Mutex<std::io::BufWriter<std::fs::File>>>>,
+    /// Completed spans for `GET /trace/:id`; shared with the engine, which
+    /// records per-stage child spans, and mirrored to `trace_out`.
+    spans: Arc<SpanCollector>,
+    /// The last finished job's trace id and stage timings — attached to the
+    /// `/metrics` latency histograms as exemplar comment lines.
+    last_exemplar: Mutex<Option<LastExemplar>>,
+}
+
+/// Snapshot pairing a trace id with the stage latencies it exemplifies.
+#[derive(Clone)]
+struct LastExemplar {
+    trace_hex: String,
+    timings: JobTimings,
+    journal_write_ms: f64,
 }
 
 impl ServiceState {
@@ -326,6 +351,8 @@ impl ServiceState {
 pub struct JobStatusBody {
     /// The job id.
     pub id: String,
+    /// The job's trace id (16 hex digits) — feed it to `GET /trace/:id`.
+    pub trace: String,
     /// `queued` / `running` / `done` / `cancelled` / `timed_out` / `shed` /
     /// `failed`.
     pub status: String,
@@ -391,13 +418,31 @@ impl Server {
             None => None,
         };
         let trace_out = match &config.trace_path {
-            Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
-                path,
-            )?))),
+            Some(path) => Some(Arc::new(Mutex::new(std::io::BufWriter::new(
+                std::fs::File::create(path)?,
+            )))),
             None => None,
         };
+        let spans = Arc::new(SpanCollector::new(
+            config.trace_ring_cap.max(1),
+            crate::spans::collector_salt(),
+        ));
+        if let Some(out) = &trace_out {
+            // Mirror every span into the same JSONL journal the lifecycle
+            // events go to; span lines are distinguishable by their leading
+            // "span" key.  Write failures are swallowed — tracing must never
+            // fail a job.
+            let out = out.clone();
+            spans.set_sink(Box::new(move |span: &Span| {
+                let mut w = out.lock().expect("trace out lock");
+                let _ = writeln!(w, "{}", span.to_json_line());
+                let _ = w.flush();
+            }));
+        }
+        let engine = Engine::new(config.cache_capacity);
+        engine.set_span_collector(spans.clone());
         let state = Arc::new(ServiceState {
-            engine: Engine::new(config.cache_capacity),
+            engine,
             jobs: Mutex::new(HashMap::new()),
             queue: WorkQueue::new(config.queue_capacity),
             submitted: AtomicU64::new(0),
@@ -410,9 +455,11 @@ impl Server {
             stop_requested: AtomicBool::new(false),
             started: Instant::now(),
             results,
-            trace: TraceRing::new(TRACE_CAPACITY),
+            trace: TraceRing::new(config.trace_ring_cap.max(1)),
             trace_seq: AtomicU64::new(0),
             trace_out,
+            spans,
+            last_exemplar: Mutex::new(None),
             config,
         });
         let workers = (0..state.config.workers.max(1))
@@ -579,6 +626,13 @@ fn worker_loop(state: &ServiceState) {
             .telemetry()
             .queue_wait_ms
             .observe(queue_wait_ms);
+        state.spans.record_closed(
+            record.trace,
+            Some(record.trace.root_span()),
+            "queue_wait",
+            queue_wait_ms,
+            vec![("job".to_string(), record.spec.id.clone())],
+        );
         record.set_state(JobState::Running);
         let mut control = RunControl::with_cancel(record.cancel.clone()).on_progress({
             // The callback outlives this loop iteration, so it owns its own Arc.
@@ -621,6 +675,7 @@ fn worker_loop(state: &ServiceState) {
                     "timed_out" => JobState::TimedOut,
                     _ => JobState::Done,
                 };
+                let mut journal_write_ms = 0.0;
                 if let Some(journal) = &state.results {
                     if let Ok(line) = serde_json::to_string(&result) {
                         let write_started = Instant::now();
@@ -630,13 +685,26 @@ fn worker_loop(state: &ServiceState) {
                                 record.spec.id
                             );
                         }
+                        journal_write_ms = write_started.elapsed().as_secs_f64() * 1e3;
                         state
                             .engine
                             .telemetry()
                             .journal_write_ms
-                            .observe(write_started.elapsed().as_secs_f64() * 1e3);
+                            .observe(journal_write_ms);
+                        state.spans.record_closed(
+                            record.trace,
+                            Some(record.trace.root_span()),
+                            "journal_write",
+                            journal_write_ms,
+                            vec![],
+                        );
                     }
                 }
+                *state.last_exemplar.lock().expect("exemplar lock") = Some(LastExemplar {
+                    trace_hex: record.trace.to_hex(),
+                    timings: result.timings.clone(),
+                    journal_write_ms,
+                });
                 *record.result.lock().expect("result lock") = Some(result);
                 record.set_state(terminal);
                 if terminal == JobState::Done {
@@ -662,6 +730,22 @@ fn worker_loop(state: &ServiceState) {
                 state.trace_event(event, &record.spec.id, err.to_string());
             }
         }
+        // Close the trace's root span: submission to terminal state, wrapping
+        // the queue-wait and engine-stage children.  Its id *is* the trace id,
+        // so every child above already points at it.
+        let root_ms = record.enqueued_at.elapsed().as_secs_f64() * 1e3;
+        state.spans.record(Span {
+            trace: record.trace,
+            id: record.trace.root_span(),
+            parent: None,
+            name: "job".to_string(),
+            start_ms: (state.spans.now_ms() - root_ms).max(0.0),
+            duration_ms: root_ms,
+            attrs: vec![
+                ("job".to_string(), record.spec.id.clone()),
+                ("status".to_string(), record.state().as_str().to_string()),
+            ],
+        });
         // Chaos hook: with a kill-after-k-jobs fault installed, the k-th
         // finished job is the last thing this process does — the journal line
         // above is already durable, which is exactly the crash point failover
@@ -673,6 +757,7 @@ fn worker_loop(state: &ServiceState) {
 fn status_body(id: &str, record: &JobRecord) -> JobStatusBody {
     JobStatusBody {
         id: id.to_string(),
+        trace: record.trace.to_hex(),
         status: record.state().as_str().to_string(),
         progress_done: record.progress_done.load(Ordering::Relaxed),
         progress_total: record.progress_total.load(Ordering::Relaxed),
@@ -707,6 +792,7 @@ fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) {
         ("GET", "/metrics") => handle_prometheus(state, stream),
         ("GET", "/stats") => handle_stats(state, stream),
         ("GET", "/trace") => handle_trace(state, stream),
+        ("GET", "/version") => handle_version(stream),
         ("GET", "/healthz") => write_json(stream, 200, "{\"status\": \"ok\"}"),
         ("GET", "/readyz") => {
             // Readiness is liveness plus "safe to route jobs here": false
@@ -733,6 +819,11 @@ fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Request) {
                     ("GET", Some(id), _) => handle_result(state, stream, id),
                     ("POST", _, Some(id)) => handle_cancel(state, stream, id),
                     ("GET", None, None) => handle_status(state, stream, rest),
+                    _ => write_error(stream, 405, "method not allowed"),
+                }
+            } else if let Some(trace_hex) = path.strip_prefix("/trace/") {
+                match method {
+                    "GET" => handle_trace_id(state, stream, trace_hex),
                     _ => write_error(stream, 405, "method not allowed"),
                 }
             } else {
@@ -775,6 +866,30 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
         write_error(stream, 400, &format!("invalid job spec: {e}"));
         return;
     }
+    // The trace id: adopted from the router's header when present (the edge
+    // assignment is authoritative), derived from the spec otherwise.  The
+    // derivation builds the instance — graph generation and a hash, not the
+    // O(2ⁿ) objective realisation, so it is accept-loop-safe.
+    let trace = match &request.trace {
+        Some(raw) => match TraceId::parse(raw) {
+            Some(t) => t,
+            None => {
+                write_error(
+                    stream,
+                    400,
+                    &format!("invalid {TRACE_HEADER} header {raw:?} (want 16 hex digits)"),
+                );
+                return;
+            }
+        },
+        None => match spec.trace_id() {
+            Ok(t) => t,
+            Err(e) => {
+                write_error(stream, 400, &format!("invalid job spec: {e}"));
+                return;
+            }
+        },
+    };
     // Graceful degradation: when the job at the head of the queue has already
     // waited past the queue-wait deadline the server is overloaded — anything
     // accepted now would only be shed later, so reject up front with a
@@ -804,7 +919,7 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
             return;
         }
     }
-    let record = JobRecord::new(spec.clone());
+    let record = JobRecord::new(spec.clone(), trace);
     {
         let mut jobs = state.jobs.lock().expect("jobs lock");
         if jobs.contains_key(&spec.id) {
@@ -822,7 +937,7 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
         return;
     }
     state.submitted.fetch_add(1, Ordering::Relaxed);
-    state.trace_event("submit", &spec.id, "");
+    state.trace_event("submit", &spec.id, trace.to_hex());
     match serde_json::to_string(&status_body(&spec.id, &record)) {
         Ok(json) => write_json(stream, 202, &json),
         Err(_) => write_error(stream, 500, "serialisation failed"),
@@ -1017,6 +1132,11 @@ fn handle_prometheus(state: &Arc<ServiceState>, stream: &mut TcpStream) {
         "Lifecycle events evicted from the bounded trace ring.",
         state.trace.dropped(),
     );
+    w.counter(
+        "trace_spans_dropped",
+        "Completed spans evicted from the bounded span collector.",
+        state.spans.dropped(),
+    );
 
     w.counter(
         "engine_jobs_executed",
@@ -1135,36 +1255,62 @@ fn handle_prometheus(state: &Arc<ServiceState>, stream: &mut TcpStream) {
         k.objective_evals,
     );
 
+    // Each latency histogram carries the last finished job's trace id as an
+    // exemplar comment line — a ready-made `GET /trace/:id` target next to the
+    // latency it explains.  Comment lines are invisible to 0.0.4 parsers.
+    let exemplar = state.last_exemplar.lock().expect("exemplar lock").clone();
     w.histogram(
         "job_queue_wait_ms",
         "Milliseconds jobs spent queued before a worker picked them up.",
         &tel.queue_wait_ms.snapshot(),
     );
+    if let Some(ex) = &exemplar {
+        w.exemplar("job_queue_wait_ms", &ex.trace_hex, ex.timings.queue_wait_ms);
+    }
     w.histogram(
         "job_prep_ms",
         "Milliseconds spent realising the problem instance (cache misses included).",
         &tel.prep_ms.snapshot(),
     );
+    if let Some(ex) = &exemplar {
+        w.exemplar("job_prep_ms", &ex.trace_hex, ex.timings.prep_ms);
+    }
     w.histogram(
         "job_optimize_ms",
         "Milliseconds spent in the optimizer loop.",
         &tel.optimize_ms.snapshot(),
     );
+    if let Some(ex) = &exemplar {
+        w.exemplar("job_optimize_ms", &ex.trace_hex, ex.timings.optimize_ms);
+    }
     w.histogram(
         "job_sampling_readout_ms",
         "Milliseconds spent drawing shots and estimating sampled objectives.",
         &tel.sampling_readout_ms.snapshot(),
     );
+    if let Some(ex) = &exemplar {
+        w.exemplar(
+            "job_sampling_readout_ms",
+            &ex.trace_hex,
+            ex.timings.sampling_readout_ms,
+        );
+    }
     w.histogram(
         "job_journal_write_ms",
         "Milliseconds spent appending results to the journal.",
         &tel.journal_write_ms.snapshot(),
     );
+    if let Some(ex) = &exemplar {
+        w.exemplar("job_journal_write_ms", &ex.trace_hex, ex.journal_write_ms);
+    }
     w.histogram(
         "job_total_ms",
         "End-to-end milliseconds per job inside the engine.",
         &tel.total_ms.snapshot(),
     );
+    if let Some(ex) = &exemplar {
+        w.exemplar("job_total_ms", &ex.trace_hex, ex.timings.total_ms);
+    }
 
     write_body(stream, 200, encode::CONTENT_TYPE, &[], &w.finish());
 }
@@ -1172,9 +1318,39 @@ fn handle_prometheus(state: &Arc<ServiceState>, stream: &mut TcpStream) {
 fn handle_trace(state: &Arc<ServiceState>, stream: &mut TcpStream) {
     let body = TraceBody {
         dropped: state.trace.dropped(),
+        capacity: state.trace.capacity() as u64,
         events: state.trace.snapshot(),
     };
     match serde_json::to_string_pretty(&body) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+/// `GET /trace/:id`: the retained spans of one trace, flat and as a tree.
+fn handle_trace_id(state: &Arc<ServiceState>, stream: &mut TcpStream, raw: &str) {
+    let Some(trace) = TraceId::parse(raw) else {
+        write_error(
+            stream,
+            400,
+            &format!("invalid trace id {raw:?} (want 16 hex digits)"),
+        );
+        return;
+    };
+    let spans = state.spans.for_trace(trace);
+    if spans.is_empty() {
+        write_error(stream, 404, &format!("no spans retained for trace {raw:?}"));
+        return;
+    }
+    match serde_json::to_string_pretty(&trace_body(trace, spans)) {
+        Ok(json) => write_json(stream, 200, &json),
+        Err(_) => write_error(stream, 500, "serialisation failed"),
+    }
+}
+
+/// `GET /version`: build identity, for correlating multi-process journals.
+fn handle_version(stream: &mut TcpStream) {
+    match serde_json::to_string_pretty(&version_value()) {
         Ok(json) => write_json(stream, 200, &json),
         Err(_) => write_error(stream, 500, "serialisation failed"),
     }

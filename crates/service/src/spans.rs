@@ -1,0 +1,389 @@
+//! Service-side distributed-tracing plumbing over [`juliqaoa_telemetry::span`].
+//!
+//! The telemetry crate is dependency-free, so its spans only know how to render
+//! themselves as JSON lines.  This module supplies everything the service tiers
+//! layer on top:
+//!
+//! * [`span_to_value`] / [`span_from_value`] — spans as shim-serde [`Value`]s,
+//!   for the `GET /trace/:id` bodies and the router's cross-process merge;
+//! * [`trace_body`] — the `/trace/:id` response: the flat span list plus the
+//!   reconstructed span *tree* (children nested under parents, the root being
+//!   the span whose id equals the trace id);
+//! * the propagation constants: the [`TRACE_HEADER`] the router sends with
+//!   proxied submissions and the [`TRACE_PARENT_ENV`] a sharded batch parent
+//!   sets for its child processes;
+//! * [`version_value`] — the `GET /version` body, so multi-process trace
+//!   journals can be correlated to a build;
+//! * [`default_trace_cap`] — the `JULIQAOA_TRACE_CAP`-aware default capacity
+//!   shared by the serve and route tiers' trace rings and span collectors.
+
+use juliqaoa_telemetry::{Span, SpanId, TraceId};
+use serde::Value;
+use std::sync::OnceLock;
+
+/// Request header carrying the trace id on router→backend submissions.  The
+/// backend adopts the id instead of re-deriving it (they agree by construction;
+/// the header makes the edge assignment authoritative and observable).
+pub const TRACE_HEADER: &str = "X-Juliqaoa-Trace";
+
+/// Environment variable carrying `"<trace>:<span>"` (16 hex digits each) from a
+/// sharded batch parent to its child processes: the child parents its own
+/// shard-level span under the parent's, so the batch trace spans processes.
+pub const TRACE_PARENT_ENV: &str = "JULIQAOA_TRACE_PARENT";
+
+/// Environment variable overriding the default lifecycle-trace-ring and span
+/// collector capacity (the `--trace-ring-cap` flag wins over it).
+pub const TRACE_CAP_ENV: &str = "JULIQAOA_TRACE_CAP";
+
+/// The built-in trace-ring capacity when neither the flag nor the environment
+/// override it.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// The trace-ring/span-collector capacity: `JULIQAOA_TRACE_CAP` when set to a
+/// positive integer, [`DEFAULT_TRACE_CAPACITY`] otherwise.
+pub fn default_trace_cap() -> usize {
+    std::env::var(TRACE_CAP_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&cap| cap >= 1)
+        .unwrap_or(DEFAULT_TRACE_CAPACITY)
+}
+
+/// A fresh span-collector salt: FNV-mixed pid, wall-clock nanos and a
+/// process-global counter.  The pid alone is not enough — two collectors in one
+/// process (an in-process router-plus-backend test) or two hosts that happen to
+/// share a pid would mint colliding span ids, and the `/trace/:id` merge
+/// deduplicates by id, silently dropping the collision.
+pub fn collector_salt() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [
+        u64::from(std::process::id()),
+        nanos,
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+    ] {
+        h ^= word;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parses a `"<trace>:<span>"` propagation value (header or env form).
+pub fn parse_trace_parent(raw: &str) -> Option<(TraceId, SpanId)> {
+    let (trace, span) = raw.trim().split_once(':')?;
+    Some((TraceId::parse(trace)?, SpanId::parse(span)?))
+}
+
+/// Renders `"<trace>:<span>"` for [`TRACE_PARENT_ENV`].
+pub fn format_trace_parent(trace: TraceId, span: SpanId) -> String {
+    format!("{}:{}", trace.to_hex(), span.to_hex())
+}
+
+/// A span as a shim-serde [`Value`] object — the same shape as
+/// [`Span::to_json_line`], so journal lines and `/trace/:id` bodies agree.
+pub fn span_to_value(span: &Span) -> Value {
+    let mut fields = vec![
+        ("span".to_string(), Value::Str(span.name.clone())),
+        ("trace".to_string(), Value::Str(span.trace.to_hex())),
+        ("id".to_string(), Value::Str(span.id.to_hex())),
+    ];
+    if let Some(parent) = span.parent {
+        fields.push(("parent".to_string(), Value::Str(parent.to_hex())));
+    }
+    fields.push(("start_ms".to_string(), Value::Num(span.start_ms)));
+    fields.push(("duration_ms".to_string(), Value::Num(span.duration_ms)));
+    if !span.attrs.is_empty() {
+        fields.push((
+            "attrs".to_string(),
+            Value::Object(
+                span.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Parses a span object previously rendered by [`span_to_value`] (or a journal
+/// line) — used by the router to merge backend spans into one tree.  Returns
+/// `None` for objects of any other shape (e.g. lifecycle trace events).
+pub fn span_from_value(v: &Value) -> Option<Span> {
+    let name = v.get_field("span")?.as_str()?.to_string();
+    let trace = TraceId::parse(v.get_field("trace")?.as_str()?)?;
+    let id = SpanId::parse(v.get_field("id")?.as_str()?)?;
+    let parent = match v.get_field("parent") {
+        Some(p) => Some(SpanId::parse(p.as_str()?)?),
+        None => None,
+    };
+    let start_ms = v.get_field("start_ms")?.as_f64()?;
+    let duration_ms = v.get_field("duration_ms")?.as_f64()?;
+    let attrs = match v.get_field("attrs").and_then(Value::as_object) {
+        Some(fields) => fields
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+            .collect(),
+        None => Vec::new(),
+    };
+    Some(Span {
+        trace,
+        id,
+        parent,
+        name,
+        start_ms,
+        duration_ms,
+        attrs,
+    })
+}
+
+/// Builds the `GET /trace/:id` response body: the trace id, the flat span list
+/// (deduplicated by span id, insertion order preserved) and the reconstructed
+/// tree.  Spans whose parent is absent from the set surface as extra roots
+/// rather than disappearing, so a partial collection (ring eviction, an
+/// unreachable backend) still renders.
+pub fn trace_body(trace: TraceId, spans: Vec<Span>) -> Value {
+    let mut seen = std::collections::HashSet::new();
+    let spans: Vec<Span> = spans
+        .into_iter()
+        .filter(|s| seen.insert(s.id.raw()))
+        .collect();
+    let tree = span_tree(&spans);
+    Value::Object(vec![
+        ("trace".to_string(), Value::Str(trace.to_hex())),
+        (
+            "spans".to_string(),
+            Value::Array(spans.iter().map(span_to_value).collect()),
+        ),
+        ("tree".to_string(), tree),
+    ])
+}
+
+/// Nests spans under their parents: an array of root nodes, each
+/// `{name, id, start_ms, duration_ms, attrs?, children: [...]}`, children
+/// ordered by start time.  The root of a complete job trace is the span whose
+/// id equals the trace id.
+fn span_tree(spans: &[Span]) -> Value {
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id.raw()).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            // A self-parented or known-parent span nests; anything else roots.
+            Some(p) if p.raw() != span.id.raw() && ids.contains(&p.raw()) => {
+                let parent_idx = spans
+                    .iter()
+                    .position(|s| s.id.raw() == p.raw())
+                    .expect("parent id present");
+                children[parent_idx].push(i);
+            }
+            _ => roots.push(i),
+        }
+    }
+    let by_start = |a: &usize, b: &usize| {
+        spans[*a]
+            .start_ms
+            .partial_cmp(&spans[*b].start_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| spans[*a].name.cmp(&spans[*b].name))
+    };
+    for list in &mut children {
+        list.sort_by(by_start);
+    }
+    roots.sort_by(by_start);
+    fn render(i: usize, spans: &[Span], children: &[Vec<usize>], depth: usize) -> Value {
+        let span = &spans[i];
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(span.name.clone())),
+            ("id".to_string(), Value::Str(span.id.to_hex())),
+            ("start_ms".to_string(), Value::Num(span.start_ms)),
+            ("duration_ms".to_string(), Value::Num(span.duration_ms)),
+        ];
+        if !span.attrs.is_empty() {
+            fields.push((
+                "attrs".to_string(),
+                Value::Object(
+                    span.attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        // Span sets are trees by construction; the depth cap is a guard against
+        // pathological merged input, not an expected path.
+        let nested = if depth < 64 {
+            children[i]
+                .iter()
+                .map(|&c| render(c, spans, children, depth + 1))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        fields.push(("children".to_string(), Value::Array(nested)));
+        Value::Object(fields)
+    }
+    Value::Array(
+        roots
+            .iter()
+            .map(|&r| render(r, spans, &children, 0))
+            .collect(),
+    )
+}
+
+/// The `GET /version` body: crate version, build profile, git describe (when
+/// the binary runs inside a checkout) and the process id — enough to correlate
+/// a multi-process trace journal to a build and a process.
+pub fn version_value() -> Value {
+    static GIT: OnceLock<Option<String>> = OnceLock::new();
+    let git = GIT.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["describe", "--tags", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    });
+    Value::Object(vec![
+        (
+            "version".to_string(),
+            Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        (
+            "profile".to_string(),
+            Value::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "git".to_string(),
+            match git {
+                Some(describe) => Value::Str(describe.clone()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "pid".to_string(),
+            Value::UInt(u64::from(std::process::id())),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: Option<u64>, name: &str, start: f64) -> Span {
+        Span {
+            trace: TraceId::from_raw(trace),
+            id: SpanId::from_raw(id),
+            parent: parent.map(SpanId::from_raw),
+            name: name.into(),
+            start_ms: start,
+            duration_ms: 1.0,
+            attrs: vec![("job".into(), "j1".into())],
+        }
+    }
+
+    #[test]
+    fn value_round_trip_preserves_every_field() {
+        let s = span(7, 9, Some(7), "prep", 3.5);
+        let back = span_from_value(&span_to_value(&s)).expect("round trip");
+        assert_eq!(back, s);
+        // A journal line parses to the same span too.
+        let from_line: Value = serde_json::from_str(&s.to_json_line()).unwrap();
+        assert_eq!(span_from_value(&from_line), Some(s));
+        // Lifecycle events (no "span" key) are rejected, not mangled.
+        let event: Value =
+            serde_json::from_str(r#"{"seq":1,"ts_ms":2.0,"event":"submit","job":"x"}"#).unwrap();
+        assert_eq!(span_from_value(&event), None);
+    }
+
+    #[test]
+    fn tree_nests_children_under_the_trace_root() {
+        let trace = 0xABu64;
+        let spans = vec![
+            span(trace, 0x200, Some(trace), "optimize", 5.0),
+            span(trace, trace, None, "job", 0.0),
+            span(trace, 0x100, Some(trace), "prep", 1.0),
+            span(trace, 0x300, Some(0x999), "orphan", 9.0),
+        ];
+        let body = trace_body(TraceId::from_raw(trace), spans);
+        let tree = body.get_field("tree").unwrap().as_array().unwrap();
+        // Two roots: the job span and the orphan (whose parent was evicted).
+        assert_eq!(tree.len(), 2);
+        let root = &tree[0];
+        assert_eq!(root.get_field("name").unwrap().as_str(), Some("job"));
+        let children = root.get_field("children").unwrap().as_array().unwrap();
+        let names: Vec<&str> = children
+            .iter()
+            .map(|c| c.get_field("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["prep", "optimize"], "ordered by start time");
+        assert_eq!(tree[1].get_field("name").unwrap().as_str(), Some("orphan"));
+        // The flat list is intact alongside the tree.
+        assert_eq!(
+            body.get_field("spans").unwrap().as_array().unwrap().len(),
+            4
+        );
+    }
+
+    #[test]
+    fn duplicate_span_ids_are_deduplicated_in_the_merge() {
+        let spans = vec![
+            span(1, 1, None, "job", 0.0),
+            span(1, 1, None, "job", 0.0),
+            span(1, 2, Some(1), "prep", 1.0),
+        ];
+        let body = trace_body(TraceId::from_raw(1), spans);
+        assert_eq!(
+            body.get_field("spans").unwrap().as_array().unwrap().len(),
+            2
+        );
+        assert_eq!(body.get_field("tree").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn propagation_values_round_trip() {
+        let t = TraceId::from_raw(0xDEAD_BEEF);
+        let s = SpanId::from_raw(0xFACE);
+        let rendered = format_trace_parent(t, s);
+        assert_eq!(parse_trace_parent(&rendered), Some((t, s)));
+        assert_eq!(parse_trace_parent("garbage"), None);
+        assert_eq!(parse_trace_parent("00:11"), None, "ids must be 16 digits");
+    }
+
+    #[test]
+    fn version_body_names_the_build() {
+        let v = version_value();
+        assert_eq!(
+            v.get_field("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        let profile = v.get_field("profile").unwrap().as_str().unwrap();
+        assert!(profile == "debug" || profile == "release");
+        assert!(v.get_field("pid").unwrap().as_u64().unwrap() > 0);
+        assert!(v.get_field("git").is_some(), "git key always present");
+    }
+
+    #[test]
+    fn default_cap_ignores_garbage_env() {
+        // Not asserting the env-var path itself: mutating the environment in a
+        // threaded test harness is UB on glibc.  The parse contract is covered
+        // by construction; here we pin the default.
+        assert_eq!(DEFAULT_TRACE_CAPACITY, 1024);
+        assert!(default_trace_cap() >= 1);
+    }
+}

@@ -13,12 +13,36 @@
 //! written by hand against the shim's [`Value`] tree: each serialises as an object with
 //! a `"kind"` discriminant plus its parameters.
 
+use juliqaoa_combinatorics::seeding::{derive_stream_seed, fold_bits};
 use juliqaoa_graphs::Graph;
 use juliqaoa_problems::{
     paper_maxcut_instance, paper_sat_instance_with, CostFunction, DensestKSubgraph, InstanceId,
     KSat, MaxCut, MaxKVertexCover,
 };
+use juliqaoa_telemetry::TraceId;
 use serde::{Deserialize, Serialize, Value};
+
+/// Frozen domain tag for trace-id derivation — see [`derive_trace_id`].
+const TRACE_ID_DOMAIN: u64 = 0x7E1E_7ACE_5A9C_0DE5;
+
+/// Derives a job's deterministic [`TraceId`] from its canonical instance id and
+/// a byte fold of the spec's canonical JSON form.
+///
+/// The id is a pure function of the spec (including the job id), computed with
+/// the workspace's frozen seeding scheme — so the router, a backend serve
+/// process, a batch shard and the engine all derive the *same* id without
+/// exchanging any state, and determinism diffs over results stay byte-clean
+/// with tracing on.  The hand-written [`Serialize`] impls below make the JSON
+/// form canonical (fixed field order, absent optional fields omitted).
+pub fn derive_trace_id(instance_raw: u64, spec: &JobSpec) -> TraceId {
+    let json = serde_json::to_string(spec).expect("job specs always serialize");
+    let spec_fold = fold_bits(json.bytes().map(u64::from));
+    TraceId::from_raw(derive_stream_seed(
+        TRACE_ID_DOMAIN ^ instance_raw,
+        0,
+        spec_fold,
+    ))
+}
 
 /// A problem instance reference: explicit data or a seeded generator.
 #[derive(Clone, Debug, PartialEq)]
@@ -458,6 +482,18 @@ impl JobSpec {
             "exact"
         }
     }
+
+    /// The job's deterministic trace id (see [`derive_trace_id`]).
+    ///
+    /// Realises the problem to obtain the canonical instance id — graph/clause
+    /// generation and an FNV hash, no `2ⁿ` work — the same cost the router
+    /// already pays per submission for its consistent-hash routing key.
+    pub fn trace_id(&self) -> Result<TraceId, String> {
+        Ok(derive_trace_id(
+            self.problem.build()?.instance_id.raw(),
+            self,
+        ))
+    }
 }
 
 /// A batch of jobs, the top-level shape of a job file.
@@ -472,6 +508,11 @@ pub struct JobFile {
 pub struct JobResult {
     /// The job id from the spec.
     pub id: String,
+    /// The job's trace id, 16 lowercase hex digits — deterministic (see
+    /// [`derive_trace_id`]), so identical specs carry identical ids and
+    /// determinism diffs need no exclusion.  Feed it to `GET /trace/:id` for
+    /// the job's span tree.
+    pub trace: String,
     /// Terminal state: `"done"` (also the resume marker), `"cancelled"`, or
     /// `"timed_out"` (deadline expired mid-run; the result carries the best
     /// angles found before the deadline).
@@ -911,6 +952,40 @@ mod tests {
                 timeout_ms: None,
             },
         ]
+    }
+
+    #[test]
+    fn trace_ids_are_pure_functions_of_the_spec() {
+        let jobs = sample_jobs();
+        // Stable across calls, 16 hex digits, and distinct per spec.
+        for spec in &jobs {
+            assert_eq!(spec.trace_id().unwrap(), spec.trace_id().unwrap());
+            assert_eq!(spec.trace_id().unwrap().to_hex().len(), 16);
+        }
+        let distinct: std::collections::HashSet<u64> = jobs
+            .iter()
+            .map(|spec| spec.trace_id().unwrap().raw())
+            .collect();
+        assert_eq!(distinct.len(), jobs.len());
+        // Any spec change — even just the id string — re-derives the trace id,
+        // because the canonical JSON feeds the fold.
+        let base = &jobs[0];
+        let mut reseeded = base.clone();
+        reseeded.seed += 1;
+        assert_ne!(base.trace_id().unwrap(), reseeded.trace_id().unwrap());
+        let mut renamed = base.clone();
+        renamed.id = "mc-renamed".into();
+        assert_ne!(base.trace_id().unwrap(), renamed.trace_id().unwrap());
+    }
+
+    #[test]
+    fn trace_id_derivation_is_frozen() {
+        // Golden value: router, server and batch tiers derive trace ids
+        // independently and must agree across versions.  If this breaks, the
+        // wire-visible derivation changed — that is a compatibility break, not
+        // a refactor.
+        let spec = &sample_jobs()[0];
+        assert_eq!(spec.trace_id().unwrap().to_hex(), "b47200a07c2ae7d9");
     }
 
     #[test]

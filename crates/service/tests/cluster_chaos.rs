@@ -483,11 +483,14 @@ fn sharded_batch_survives_crash_looping_children_and_matches_unsharded_digest() 
     // child aborts after its 2nd journalled job and is restarted with resume.
     for shards in [1usize, 2, 3] {
         let out_path = temp_path(&format!("out{shards}")).with_extension("jsonl");
+        let trace_path = temp_path(&format!("trace{shards}")).with_extension("jsonl");
         let mut cmd = Command::new(EXE);
         cmd.arg("batch")
             .arg(&job_path)
             .arg("--out")
             .arg(&out_path)
+            .arg("--trace-out")
+            .arg(&trace_path)
             .arg("--shard-workers")
             .arg(shards.to_string());
         // shards == 1 executes in the parent process, where a kill fault would
@@ -509,7 +512,48 @@ fn sharded_batch_survives_crash_looping_children_and_matches_unsharded_digest() 
             reference,
             "[{shards} shards] digest diverged from the unsharded reference"
         );
+        if shards > 1 {
+            // The parent journal holds the batch root span and one "shard"
+            // span per child, all under one batch trace id; each child's own
+            // `.shard-k` journal closes a "batch_shard" span under the span id
+            // the parent handed it through the environment — even across the
+            // chaos restarts.
+            let parent = std::fs::read_to_string(&trace_path).expect("parent trace journal");
+            let batch_line = parent
+                .lines()
+                .find(|l| l.starts_with("{\"span\":\"batch\""))
+                .unwrap_or_else(|| panic!("[{shards} shards] no batch root span:\n{parent}"));
+            let batch_trace = batch_line
+                .split("\"trace\":\"")
+                .nth(1)
+                .and_then(|s| s.get(..16))
+                .expect("batch span has a trace id");
+            let shard_spans = parent
+                .lines()
+                .filter(|l| l.starts_with("{\"span\":\"shard\"") && l.contains(batch_trace))
+                .count();
+            assert_eq!(
+                shard_spans, shards,
+                "[{shards} shards] parent journal shard spans:\n{parent}"
+            );
+            for k in 0..shards {
+                let mut child_path = trace_path.as_os_str().to_os_string();
+                child_path.push(format!(".shard-{k}"));
+                let child = std::fs::read_to_string(&child_path)
+                    .unwrap_or_else(|e| panic!("[{shards} shards] child journal {k}: {e}"));
+                assert!(
+                    child
+                        .lines()
+                        .any(|l| l.starts_with("{\"span\":\"batch_shard\"")
+                            && l.contains(batch_trace)),
+                    "[{shards} shards] child {k} has no batch_shard span under \
+                     {batch_trace}:\n{child}"
+                );
+                let _ = std::fs::remove_file(&child_path);
+            }
+        }
         let _ = std::fs::remove_file(&out_path);
+        let _ = std::fs::remove_file(&trace_path);
     }
     let _ = std::fs::remove_file(&job_path);
     let _ = std::fs::remove_file(&ref_path);

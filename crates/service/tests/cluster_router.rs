@@ -277,6 +277,116 @@ fn router_fails_over_reads_when_a_backend_dies_and_serves_no_5xx() {
 }
 
 #[test]
+fn distributed_trace_spans_router_and_backend() {
+    // One backend and one router, both mirroring spans to `--trace-out`
+    // journals: a routed job must carry ONE trace id end to end — the header
+    // the router sends, the id the backend adopts, the line in both journals
+    // and the merged `/trace/:id` tree.
+    let tmp = std::env::temp_dir();
+    let backend_trace = tmp.join(format!(
+        "juliqaoa_cluster_backend_trace_{}.jsonl",
+        std::process::id()
+    ));
+    let router_trace = tmp.join(format!(
+        "juliqaoa_cluster_router_trace_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&backend_trace);
+    let _ = std::fs::remove_file(&router_trace);
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 8,
+        trace_path: Some(backend_trace.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let baddr = server.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let bhandle = {
+        let stop = stop.clone();
+        std::thread::spawn(move || server.run_until(&stop).unwrap())
+    };
+
+    let mut config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        trace_path: Some(router_trace.clone()),
+        ..RouterConfig::default()
+    };
+    config.cluster.backends = vec![baddr.to_string()];
+    config.cluster.probe_interval_ms = 50;
+    let router = Router::bind(config).expect("bind router");
+    let raddr = router.local_addr().unwrap();
+    let rhandle = std::thread::spawn(move || router.run().unwrap());
+
+    let s = spec("trace-1", 0);
+    let expected = s.trace_id().unwrap().to_hex();
+    let json = serde_json::to_string(&s).unwrap();
+    let (status, body) = request(raddr, "POST", "/jobs", Some(&json));
+    assert_eq!(status, 202, "{body}");
+    let final_status = poll_until_done(raddr, "trace-1");
+    assert_eq!(final_status.status, "done");
+    assert_eq!(
+        final_status.trace, expected,
+        "the backend must adopt the trace id from the router's header"
+    );
+
+    // The router's `/trace/:id` merges its own route_submit span with the
+    // backend's job tree.  The backend records its root span a beat after the
+    // status flips, so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let tree = loop {
+        let (status, body) = request(raddr, "GET", &format!("/trace/{expected}"), None);
+        if status == 200
+            && body.contains("\"span\": \"job\"")
+            && body.contains("\"span\": \"route_submit\"")
+        {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "merged trace never materialised: {status} {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    for name in ["queue_wait", "prep", "optimize"] {
+        assert!(
+            tree.contains(&format!("\"span\": \"{name}\"")),
+            "missing backend span {name} in merged tree: {tree}"
+        );
+    }
+    assert!(tree.contains(&format!("\"trace\": \"{expected}\"")));
+
+    // The route tier answers /version like the serve tier does.
+    let (status, version) = request(raddr, "GET", "/version", None);
+    assert_eq!(status, 200);
+    assert!(version.contains("\"profile\""), "{version}");
+
+    let (status, _) = request(raddr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    rhandle.join().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    bhandle.join().unwrap();
+
+    // Both processes mirrored spans carrying the SAME trace id to their own
+    // journals — the cross-process correlation the CI smoke greps for.
+    let router_journal = std::fs::read_to_string(&router_trace).expect("router journal");
+    let backend_journal = std::fs::read_to_string(&backend_trace).expect("backend journal");
+    for (tier, journal) in [("router", &router_journal), ("backend", &backend_journal)] {
+        assert!(
+            journal
+                .lines()
+                .any(|l| l.starts_with("{\"span\":") && l.contains(&expected)),
+            "{tier} journal must hold a span with trace {expected}:\n{journal}"
+        );
+    }
+    let _ = std::fs::remove_file(&backend_trace);
+    let _ = std::fs::remove_file(&router_trace);
+}
+
+#[test]
 fn router_readyz_requires_a_live_backend() {
     // A router whose only backend does not exist: /healthz is alive, /readyz
     // refuses until a backend is routable (which never happens here).

@@ -299,6 +299,7 @@ fn prometheus_exposition_and_trace_ring_over_http() {
         queue_capacity: 16,
         cache_capacity: 8,
         trace_path: Some(trace_path.clone()),
+        trace_ring_cap: 512,
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -308,7 +309,18 @@ fn prometheus_exposition_and_trace_ring_over_http() {
     let spec_json = serde_json::to_string(&sample_spec("e2e-prom")).unwrap();
     let (status, _) = request(addr, "POST", "/jobs", Some(&spec_json));
     assert_eq!(status, 202);
-    poll_until_done(addr, "e2e-prom");
+    let final_status = poll_until_done(addr, "e2e-prom");
+    // The status body carries the job's deterministic trace id.
+    assert_eq!(final_status.trace.len(), 16, "{}", final_status.trace);
+    assert!(final_status
+        .trace
+        .chars()
+        .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    assert_eq!(
+        final_status.trace,
+        sample_spec("e2e-prom").trace_id().unwrap().to_hex(),
+        "served trace id must match the client-side derivation"
+    );
 
     // Prometheus text exposition: right content type, HELP/TYPE headers, the
     // jobs_completed counter reflecting the finished job, cumulative histogram
@@ -330,6 +342,14 @@ fn prometheus_exposition_and_trace_ring_over_http() {
     assert!(body.contains("# TYPE job_prep_ms histogram"));
     assert!(body.contains("# TYPE kernel_wht_passes counter"));
     assert!(body.contains("# TYPE engine_cache_misses counter"));
+    assert!(body.contains("# TYPE trace_spans_dropped counter"));
+    // Exemplar comment lines link the latency histograms to the last job's
+    // trace id (16 hex digits), invisible to 0.0.4 parsers.
+    assert!(
+        body.contains("# EXEMPLAR job_total_ms{trace_id=\""),
+        "missing job_total_ms exemplar"
+    );
+    assert!(body.contains("# EXEMPLAR job_queue_wait_ms{trace_id=\""));
     // Every non-comment line is `name{labels}? value`, the shape the CI smoke
     // greps for.
     for line in body
@@ -370,23 +390,79 @@ fn prometheus_exposition_and_trace_ring_over_http() {
     for pair in trace.events.windows(2) {
         assert!(pair[0].seq < pair[1].seq);
     }
+    // The ring reports its configured capacity (the --trace-ring-cap knob).
+    assert_eq!(trace.capacity, 512);
+
+    // `GET /trace/:id` reconstructs the span tree for the finished job.  The
+    // root span is recorded a beat after the status flips to done, so poll.
+    let trace_hex = &final_status.trace;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let tree_body = loop {
+        let (status, body) = request(addr, "GET", &format!("/trace/{trace_hex}"), None);
+        if status == 200 && body.contains("\"span\": \"job\"") {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "span tree never materialised: {status} {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(tree_body.contains(&format!("\"trace\": \"{trace_hex}\"")));
+    // The engine stages hang under the root job span in the tree.
+    for child in ["queue_wait", "prep", "optimize"] {
+        assert!(
+            tree_body.contains(&format!("\"span\": \"{child}\"")),
+            "missing {child} span: {tree_body}"
+        );
+    }
+    // Unknown and malformed ids are clean errors.
+    let (status, _) = request(addr, "GET", "/trace/ffffffffffffffff", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/trace/not-hex", None);
+    assert_eq!(status, 400);
+
+    // `GET /version` names the crate version and build profile.
+    let (status, version) = request(addr, "GET", "/version", None);
+    assert_eq!(status, 200);
+    assert!(
+        version.contains(env!("CARGO_PKG_VERSION")),
+        "version body: {version}"
+    );
+    assert!(version.contains("\"profile\""), "version body: {version}");
 
     let (status, _) = request(addr, "POST", "/shutdown", None);
     assert_eq!(status, 200);
     handle.join().expect("server thread");
 
     // `--trace-out` mirrored the same events as JSONL, one parseable line each.
+    // The file interleaves lifecycle events with span records; span lines open
+    // with a `"span"` key, everything else must parse as a TraceEvent.
     let mirrored = std::fs::read_to_string(&trace_path).expect("trace file written");
     let lines: Vec<&str> = mirrored.lines().filter(|l| !l.trim().is_empty()).collect();
     assert!(
         lines.len() >= trace.events.len(),
         "trace file must hold at least the ring's events"
     );
+    let mut span_lines = 0usize;
     for line in &lines {
+        if line.starts_with("{\"span\":") {
+            span_lines += 1;
+            continue;
+        }
         let event: juliqaoa_service::TraceEvent =
             serde_json::from_str(line).expect("trace line parses");
         assert!(!event.event.is_empty());
     }
+    // At minimum the job's root span plus its queue_wait child were mirrored.
+    assert!(
+        span_lines >= 2,
+        "expected span records in the trace file, got {span_lines}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("{\"span\":\"job\"")),
+        "root job span must be mirrored to the trace file"
+    );
     // The drain event lands in the file on shutdown even though the ring
     // snapshot above was taken before it.
     assert!(

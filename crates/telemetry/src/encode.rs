@@ -102,6 +102,26 @@ impl PromWriter {
         let _ = writeln!(self.out, "{name}_count {}", snap.count);
     }
 
+    /// A last-seen trace-id exemplar for the preceding histogram family,
+    /// rendered as a comment line so classic 0.0.4 parsers (and the tier-1
+    /// line-shape checks) skip it while humans and scrapers that understand
+    /// the convention can jump from a latency family straight to a trace:
+    ///
+    /// ```text
+    /// # EXEMPLAR job_total_ms{trace_id="00f3b2..."} 4.2
+    /// ```
+    pub fn exemplar(&mut self, name: &str, trace_hex: &str, value: f64) {
+        debug_assert!(
+            trace_hex.chars().all(|c| c.is_ascii_hexdigit()),
+            "trace ids are hex: {trace_hex}"
+        );
+        let _ = writeln!(
+            self.out,
+            "# EXEMPLAR {name}{{trace_id=\"{trace_hex}\"}} {}",
+            fmt_f64(value)
+        );
+    }
+
     /// The accumulated payload.
     pub fn finish(self) -> String {
         self.out
@@ -227,6 +247,25 @@ mod tests {
                 value.parse::<f64>().is_ok(),
                 "unparseable value in {line:?}"
             );
+        }
+    }
+
+    #[test]
+    fn exemplars_are_comment_lines_that_parsers_skip() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        let mut w = PromWriter::new();
+        w.histogram("job_total_ms", "End-to-end job latency.", &h.snapshot());
+        w.exemplar("job_total_ms", "00000000000000ff", 0.5);
+        let text = w.finish();
+        assert!(
+            text.ends_with("# EXEMPLAR job_total_ms{trace_id=\"00000000000000ff\"} 0.5\n"),
+            "{text}"
+        );
+        // Exemplars never change the sample lines a scraper sees.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "{line:?}");
         }
     }
 

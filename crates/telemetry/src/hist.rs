@@ -223,6 +223,45 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_an_empty_snapshot_is_zero_at_every_q() {
+        let s = Histogram::latency_ms().snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0.0);
+        }
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn all_mass_in_one_bucket_pins_every_quantile_inside_it() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..1000 {
+            h.observe(5.0); // everything lands in the (1, 10] bucket
+        }
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.95, 0.999, 1.0] {
+            let v = s.quantile(q);
+            assert!(
+                (1.0..=10.0).contains(&v),
+                "q={q} escaped the loaded bucket: {v}"
+            );
+        }
+        // Quantiles are monotone across the bucket interior.
+        assert!(s.quantile(0.25) <= s.quantile(0.75));
+    }
+
+    #[test]
+    fn nan_routes_to_the_inf_bucket_not_the_first() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0, 1], "NaN must land in +Inf");
+        assert_eq!(s.sum, 0.0, "NaN contributes nothing to the sum");
+        // A +Inf-only histogram reports the largest finite bound.
+        assert_eq!(s.quantile(0.5), 2.0);
+    }
+
+    #[test]
     fn delta_isolates_the_observations_in_between() {
         let h = Histogram::latency_ms();
         h.observe(3.0);

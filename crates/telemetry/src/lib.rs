@@ -18,15 +18,20 @@
 //!   core (phase-table applications, WHT passes, dense fallbacks, prefix
 //!   checkpoint reuse, shots drawn);
 //! * [`trace`] — a bounded ring buffer of structured lifecycle events backing the
-//!   service's `GET /trace` endpoint and `--trace-out` journal.
+//!   service's `GET /trace` endpoint and `--trace-out` journal;
+//! * [`span`] — distributed-tracing spans (trace/span ids, parent links, a
+//!   bounded [`span::SpanCollector`]) behind the service's `GET /trace/:id`
+//!   span trees and cross-process trace propagation.
 
 pub mod encode;
 pub mod hist;
 pub mod kernels;
+pub mod span;
 pub mod trace;
 
 pub use encode::PromWriter;
 pub use hist::{Histogram, HistogramSnapshot};
+pub use span::{Span, SpanCollector, SpanId, TraceId};
 pub use trace::TraceRing;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -89,6 +89,35 @@ mod tests {
     }
 
     #[test]
+    fn seq_gaps_at_the_ring_head_equal_the_dropped_count() {
+        // The service stamps events with a monotonically increasing `seq`
+        // before pushing; consumers detect loss by comparing the first
+        // retained seq against `dropped`.  Model that contract here: after
+        // overflow, the gap below the oldest retained seq is exactly the
+        // number of evictions.
+        let ring = TraceRing::new(4);
+        for seq in 0u64..11 {
+            ring.push(seq);
+        }
+        let snapshot = ring.snapshot();
+        assert_eq!(snapshot, vec![7, 8, 9, 10]);
+        assert_eq!(
+            snapshot[0],
+            ring.dropped(),
+            "first retained seq must equal the evicted count"
+        );
+        // Retained seqs are gap-free: every gap sits before the ring head.
+        for pair in snapshot.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+        // Before any eviction there is no gap at all.
+        let fresh = TraceRing::new(4);
+        fresh.push(0u64);
+        fresh.push(1u64);
+        assert_eq!(fresh.snapshot()[0], fresh.dropped());
+    }
+
+    #[test]
     fn concurrent_pushes_lose_nothing_beyond_capacity() {
         let ring = std::sync::Arc::new(TraceRing::new(64));
         let threads: Vec<_> = (0..4)
