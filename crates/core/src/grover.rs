@@ -55,7 +55,7 @@ impl CompressedGroverSimulator {
     /// Panics if the table is empty or contains non-positive degeneracies.
     pub fn from_entries(mut entries: Vec<(f64, f64)>) -> Self {
         assert!(!entries.is_empty(), "degeneracy table is empty");
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut values = Vec::with_capacity(entries.len());
         let mut degeneracies = Vec::with_capacity(entries.len());
         for (v, d) in entries {

@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_token() -> u64 {
+    // relaxed: uniqueness counter; fetch_add is atomic regardless of ordering and the
+    // token value synchronizes with nothing.
     NEXT_TOKEN.fetch_add(1, Ordering::Relaxed)
 }
 

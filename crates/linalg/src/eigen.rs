@@ -338,7 +338,7 @@ mod tests {
         let m = RealMatrix::from_fn(4, 4, |i, j| if i == j { diag[i] } else { 0.0 });
         let eig = symmetric_eigen(&m);
         let mut sorted = diag.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let diffs: Vec<f64> = eig
             .eigenvalues
             .iter()
@@ -457,7 +457,7 @@ mod tests {
         let mut expected: Vec<f64> = (1..=n)
             .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
             .collect();
-        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.sort_by(|a, b| a.total_cmp(b));
         for (got, want) in eig.eigenvalues.iter().zip(expected.iter()) {
             assert!((got - want).abs() < 1e-9);
         }

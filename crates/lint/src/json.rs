@@ -1,0 +1,79 @@
+//! Hand-rendered JSON output for `qaoa-lint --json`.
+//!
+//! The schema is frozen by a golden test (`tests/json_golden.rs`): tooling that
+//! parses lint output in CI must never be broken by a formatting change.
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "findings": [
+//!     { "file": "crates/x/src/y.rs", "line": 12, "rule": "R2", "message": "..." }
+//!   ],
+//!   "summary": { "files_scanned": 3, "findings": 1, "suppressed": 2 }
+//! }
+//! ```
+
+use crate::rules::Finding;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report (schema version 1).
+pub fn render(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\" }}",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{ \"files_scanned\": {}, \"findings\": {}, \"suppressed\": {} }}\n}}\n",
+        files_scanned,
+        findings.len(),
+        suppressed
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_bytes() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_report_renders_an_empty_array() {
+        let s = render(&[], 0, 0);
+        assert!(s.contains("\"findings\": []"));
+        assert!(s.contains("\"files_scanned\": 0"));
+    }
+}

@@ -1,0 +1,54 @@
+//! R1 — no wall-clock or ambient randomness in determinism-critical crates.
+//!
+//! Results are bit-identical across thread counts, topologies and crash/resume
+//! cycles *because* nothing in the math reads a clock or an OS entropy source.
+//! The only sanctioned exception is the cooperative-deadline machinery in
+//! `optim::control`, which compares `Instant`s but never feeds them into a
+//! computation — those sites carry explicit `lint:allow(R1, …)` suppressions.
+
+use super::{FileCtx, Finding};
+use crate::tokens::{is_ident, match_seq};
+
+/// Crates whose outputs must be pure functions of their seeded inputs.
+pub const DETERMINISM_CRATES: [&str; 6] = [
+    "core",
+    "linalg",
+    "optim",
+    "sampling",
+    "problems",
+    "combinatorics",
+];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !DETERMINISM_CRATES.iter().any(|c| ctx.in_crate(c)) {
+        return;
+    }
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let hit = if match_seq(sc, toks, i, &["SystemTime", ":", ":", "now"])
+            || match_seq(sc, toks, i, &["Instant", ":", ":", "now"])
+        {
+            Some("wall-clock read")
+        } else if is_ident(sc, toks, i, "thread_rng")
+            || is_ident(sc, toks, i, "from_entropy")
+            || match_seq(sc, toks, i, &["rand", ":", ":", "random"])
+        {
+            Some("ambient OS randomness")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(ctx.finding(
+                toks[i].line,
+                "R1",
+                format!(
+                    "{what} in determinism-critical crate `{}` — results must be pure \
+                     functions of seeded inputs (derive streams via combinatorics::seeding; \
+                     deadline comparisons belong in optim::control)",
+                    ctx.crate_name.unwrap_or("?")
+                ),
+            ));
+        }
+    }
+}

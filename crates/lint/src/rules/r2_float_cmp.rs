@@ -1,0 +1,41 @@
+//! R2 — float ordering must go through `total_cmp`, never
+//! `partial_cmp(..).unwrap()`.
+//!
+//! A NaN reaching a `partial_cmp(..).unwrap()` comparator panics mid-sort (the
+//! PR 5 CVaR incident), and the `unwrap_or(Equal)` dodge silently degrades to
+//! an inconsistent comparator — both break the repo's bit-identical-results
+//! contract the moment an objective goes non-finite.  `f64::total_cmp` is a
+//! total order, costs the same, and is what every sort in this workspace uses.
+
+use super::{FileCtx, Finding};
+use crate::tokens::{is_ident, is_punct, matching_tok};
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !is_ident(sc, toks, i, "partial_cmp") || !is_punct(toks, i + 1, b'(') {
+            continue;
+        }
+        let Some(close) = matching_tok(toks, i + 1, b'(', b')') else {
+            continue;
+        };
+        if !is_punct(toks, close + 1, b'.') {
+            continue;
+        }
+        let next_unwraps = ["unwrap", "expect", "unwrap_or", "unwrap_or_else"]
+            .iter()
+            .any(|m| is_ident(sc, toks, close + 2, m));
+        if next_unwraps {
+            out.push(
+                ctx.finding(
+                    toks[i].line,
+                    "R2",
+                    "float ordering via partial_cmp(..).unwrap()/unwrap_or(..) — a NaN panics \
+                 or degrades to an inconsistent comparator; use f64::total_cmp"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}

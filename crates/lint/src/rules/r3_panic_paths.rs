@@ -1,0 +1,74 @@
+//! R3 — no unannotated panics in `crates/service` request/serving paths.
+//!
+//! A panic in a worker is survivable (workers are `catch_unwind`-isolated since
+//! PR 5) but it still kills the job, skews retry accounting and erases a
+//! response a client was owed.  Serving code therefore returns structured
+//! errors; the only unguarded panics allowed are:
+//!
+//! * **poisoning propagation** — `.lock()`, Condvar `.wait(..)` and thread
+//!   `.join()` results, where the `Err` arm already means "another thread
+//!   panicked" and cascading is the designed policy;
+//! * sites annotated `// lint:allow(R3, reason)` whose reason argues
+//!   infallibility (e.g. serializing our own types) or intent (fault hooks).
+
+use super::{FileCtx, Finding};
+use crate::strip::Scrubbed;
+use crate::tokens::{is_punct, matching_back, text, Tok, TokKind};
+
+/// Methods whose `Result` is a poisoning signal; unwrapping them *is* the
+/// panic-cascade policy, not a new panic path.
+const POISON_SOURCES: [&str; 3] = ["lock", "wait", "join"];
+
+fn poison_exempt(sc: &Scrubbed, toks: &[Tok], dot: usize) -> bool {
+    // toks[dot] is the `.` before unwrap/expect; the receiver must end with a
+    // call `name(...)` where name is a poison source.
+    if dot == 0 || toks[dot - 1].kind != TokKind::Punct(b')') {
+        return false;
+    }
+    let Some(open) = matching_back(toks, dot - 1, b'(', b')') else {
+        return false;
+    };
+    open >= 1
+        && toks[open - 1].kind == TokKind::Ident
+        && POISON_SOURCES.contains(&text(sc, &toks[open - 1]))
+}
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.in_crate("service") {
+        return;
+    }
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = text(sc, &toks[i]);
+        let problem = match name {
+            "unwrap" | "expect" => {
+                if i == 0 || !is_punct(toks, i - 1, b'.') || !is_punct(toks, i + 1, b'(') {
+                    continue;
+                }
+                if poison_exempt(sc, toks, i - 1) {
+                    continue;
+                }
+                format!(".{name}()")
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                if !is_punct(toks, i + 1, b'!') {
+                    continue;
+                }
+                format!("{name}!")
+            }
+            _ => continue,
+        };
+        out.push(ctx.finding(
+            toks[i].line,
+            "R3",
+            format!(
+                "{problem} in a serving path — return a structured error (4xx/5xx) or \
+                 annotate provable infallibility with // lint:allow(R3, reason)"
+            ),
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! R4 — every `Ordering::Relaxed` carries a written justification.
+//!
+//! Relaxed atomics are correct here *only* for commutative accumulation
+//! (counters, monotone ticks) and advisory reads — never for publishing state
+//! another thread then dereferences.  That distinction lives in the author's
+//! head unless it is written down, so each `Ordering::Relaxed` site must carry
+//! a `// relaxed:` comment (same line or up to three lines above) saying why
+//! relaxed suffices.  Statements touching the process-global
+//! `kernels::KERNELS` counters are exempt: their contract is documented once,
+//! on the statics themselves.
+
+use super::{FileCtx, Finding};
+use crate::rules::relaxed_justified_lines;
+use crate::tokens::match_seq;
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+    let justified = relaxed_justified_lines(sc);
+    for i in 0..toks.len() {
+        if !match_seq(sc, toks, i, &["Ordering", ":", ":", "Relaxed"]) {
+            continue;
+        }
+        let line = toks[i].line;
+        // KERNELS counter traffic is covered by the statics' own docs.
+        let near_kernels =
+            (line.saturating_sub(2)..=line).any(|l| sc.line_text(l).contains("KERNELS"));
+        if near_kernels {
+            continue;
+        }
+        let has_reason = (line.saturating_sub(3)..=line).any(|l| justified.contains(&l));
+        if !has_reason {
+            out.push(
+                ctx.finding(
+                    line,
+                    "R4",
+                    "Ordering::Relaxed without a `// relaxed:` justification — say why \
+                 commutative/advisory semantics are enough, or upgrade the ordering"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! R6 — Prometheus metric-name legality, checked statically.
+//!
+//! `PromWriter` `debug_assert`s that metric names contain no digits (a digit
+//! would silently truncate the exposition line-shape the CI smoke greps for),
+//! but debug asserts vanish in release builds — the builds that actually
+//! serve `/metrics`.  This rule checks every string literal passed as the
+//! name argument of a `PromWriter` emission call against `[a-z_]+` at lint
+//! time, so an illegal name can never reach an exposition.
+
+use super::{FileCtx, Finding};
+use crate::tokens::{is_punct, text, TokKind};
+
+/// `PromWriter` methods whose first argument is a metric name.
+const NAME_SINKS: [&str; 8] = [
+    "counter",
+    "gauge",
+    "gauge_f64",
+    "counter_family",
+    "gauge_family",
+    "histogram",
+    "exemplar",
+    "write_histogram",
+];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        // Method-call shape: `.name("literal"` — the receiver keeps plain
+        // function calls (and unrelated `histogram(` locals) out of scope.
+        if toks[i].kind != TokKind::Ident
+            || i == 0
+            || !is_punct(toks, i - 1, b'.')
+            || !is_punct(toks, i + 1, b'(')
+        {
+            continue;
+        }
+        if !NAME_SINKS.contains(&text(sc, &toks[i])) {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if arg.kind != TokKind::Str {
+            continue;
+        }
+        let Some(lit) = sc.strings.iter().find(|s| s.start == arg.start) else {
+            continue;
+        };
+        let legal = !lit.content.is_empty()
+            && lit
+                .content
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_');
+        if !legal {
+            out.push(ctx.finding(
+                arg.line,
+                "R6",
+                format!(
+                    "metric name {:?} violates the frozen exposition contract [a-z_]+ \
+                     (no digits, no uppercase — CI greps the 0.0.4 line shape)",
+                    lit.content
+                ),
+            ));
+        }
+    }
+}

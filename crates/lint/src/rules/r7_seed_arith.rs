@@ -1,0 +1,49 @@
+//! R7 — seed derivation happens in `combinatorics::seeding`, nowhere else.
+//!
+//! The stream-seed formula is frozen (changing it silently regenerates every
+//! "paper" instance and invalidates every cache keyed by instance id), and the
+//! way it stays frozen is that there is exactly one implementation.  Ad-hoc
+//! `seed ^ SALT` / `seed.wrapping_mul(...)` arithmetic scattered through other
+//! crates is how a second, subtly different scheme sneaks in.  This rule flags
+//! any line that both mentions a seed-named identifier and performs xor /
+//! wrapping-multiply mixing, outside `combinatorics/src/seeding.rs` itself.
+
+use super::{FileCtx, Finding};
+use crate::tokens::{text, TokKind};
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.rel_path.ends_with("combinatorics/src/seeding.rs") {
+        return;
+    }
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let line = toks[i].line;
+        let mut end = i;
+        while end < toks.len() && toks[end].line == line {
+            end += 1;
+        }
+        let line_toks = &toks[i..end];
+        let mentions_seed = line_toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && text(sc, t).to_ascii_lowercase().contains("seed"));
+        let mixes = line_toks.iter().any(|t| {
+            t.kind == TokKind::Punct(b'^')
+                || (t.kind == TokKind::Ident && text(sc, t) == "wrapping_mul")
+        });
+        if mentions_seed && mixes {
+            out.push(
+                ctx.finding(
+                    line,
+                    "R7",
+                    "ad-hoc seed arithmetic outside combinatorics::seeding — derive \
+                 substreams with derive_stream_seed/fold_bits so the frozen scheme \
+                 stays the only scheme"
+                        .to_string(),
+                ),
+            );
+        }
+        i = end;
+    }
+}

@@ -1,0 +1,74 @@
+//! R8 — HTTP responses go through the shared `write_json*`/`write_body`
+//! helpers in `service::http`, never raw socket writes.
+//!
+//! The helpers are where the cross-cutting response contracts live: the
+//! `Connection: close` discipline, content-type headers, `Content-Length`
+//! framing, and the errors-are-ignored-the-client-is-gone policy.  A handler
+//! hand-rolling `HTTP/1.1 ...` onto a stream bypasses all of them (PR 8's
+//! `--max-body-bytes` cap and PR 6's 503 + Retry-After both had to touch only
+//! one module *because* this rule held informally).  `http.rs` itself is the
+//! sanctioned home of raw writes.
+
+use super::{FileCtx, Finding};
+use crate::tokens::{is_punct, receiver_ident, text, TokKind};
+
+/// Receiver names that lexically identify a client/server socket.
+const SOCKET_NAMES: [&str; 3] = ["stream", "socket", "conn"];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.in_crate("service") || ctx.file_name() == "http.rs" {
+        return;
+    }
+    let sc = ctx.sc;
+    let toks = ctx.toks;
+
+    // (a) A status-line literal anywhere outside http.rs is hand-rolled HTTP.
+    for lit in &sc.strings {
+        if lit.content.contains("HTTP/1.1") {
+            out.push(
+                ctx.finding(
+                    lit.line,
+                    "R8",
+                    "hand-rolled HTTP response/request line — route responses through \
+                 http::write_json*/write_body (body caps, content-type, Connection: close)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    // (b) Raw writes on a socket-named receiver: `stream.write_all(..)` or
+    //     `write!(stream, ..)` / `writeln!(stream, ..)`.
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = text(sc, &toks[i]);
+        let hit = match name {
+            "write_all" | "write_fmt" => {
+                i > 0
+                    && is_punct(toks, i - 1, b'.')
+                    && is_punct(toks, i + 1, b'(')
+                    && receiver_ident(sc, toks, i - 1).is_some_and(|r| SOCKET_NAMES.contains(&r))
+            }
+            "write" | "writeln" => {
+                is_punct(toks, i + 1, b'!')
+                    && is_punct(toks, i + 2, b'(')
+                    && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+                    && SOCKET_NAMES.contains(&text(sc, &toks[i + 3]))
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(
+                ctx.finding(
+                    toks[i].line,
+                    "R8",
+                    "raw socket write in a handler — use http::write_json*/write_body so \
+                 response framing and caps stay in one module"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! A flat token stream over scrubbed source.
+//!
+//! After [`crate::strip::scrub`] has blanked comments, string contents and
+//! test items, the remaining code tokenizes with a trivial scanner: identifier
+//! runs, number runs, string slots (a pair of `"` delimiters around blanks),
+//! and single-byte punctuation.  That is all the precision the rules need —
+//! `::` arrives as two `:` tokens and is matched as such.
+
+use crate::strip::Scrubbed;
+
+/// Token kinds the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// `[A-Za-z_][A-Za-z0-9_]*`
+    Ident,
+    /// `[0-9][A-Za-z0-9_]*` (suffixes and hex digits ride along)
+    Num,
+    /// A string-literal slot; content lives in [`Scrubbed::strings`].
+    Str,
+    /// Any other single byte.
+    Punct(u8),
+}
+
+/// One token, with byte extent and 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+/// Tokenizes scrubbed code.
+pub fn tokenize(sc: &Scrubbed) -> Vec<Tok> {
+    let b = sc.code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = if c.is_ascii_alphabetic() || c == b'_' {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            TokKind::Num
+        } else if c == b'"' {
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            TokKind::Str
+        } else {
+            i += 1;
+            TokKind::Punct(c)
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: i,
+            line: sc.line_of(start),
+        });
+    }
+    toks
+}
+
+/// The text of a token (delimiters included for `Str` slots).
+pub fn text<'a>(sc: &'a Scrubbed, t: &Tok) -> &'a str {
+    &sc.code[t.start..t.end]
+}
+
+/// Whether the token at `i` is the identifier `name`.
+pub fn is_ident(sc: &Scrubbed, toks: &[Tok], i: usize, name: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && text(sc, t) == name)
+}
+
+/// Whether the token at `i` is the punctuation byte `p`.
+pub fn is_punct(toks: &[Tok], i: usize, p: u8) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct(p))
+}
+
+/// Matches a sequence of identifiers and single-byte puncts starting at `i`.
+/// Each pattern element is either a 1-byte punctuation string or an identifier.
+pub fn match_seq(sc: &Scrubbed, toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| {
+        if p.len() == 1 && !p.as_bytes()[0].is_ascii_alphabetic() && p.as_bytes()[0] != b'_' {
+            is_punct(toks, i + k, p.as_bytes()[0])
+        } else {
+            is_ident(sc, toks, i + k, p)
+        }
+    })
+}
+
+/// Index of the token matching the opening delimiter at `open` (e.g. `(` / `)`),
+/// or `None` when unbalanced.
+pub fn matching_tok(toks: &[Tok], open: usize, lhs: u8, rhs: u8) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct(lhs) {
+            depth += 1;
+        } else if t.kind == TokKind::Punct(rhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Walks backwards from `i` (exclusive) over one postfix-expression step to
+/// find the receiver identifier of a method call: skips a balanced `[...]` or
+/// `(...)` group, then chains of `.ident`, returning the nearest field/variable
+/// identifier.  `self.shards[idx].lock()` resolves to `shards`.
+pub fn receiver_ident<'a>(sc: &'a Scrubbed, toks: &[Tok], i: usize) -> Option<&'a str> {
+    let mut k = i;
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        match toks[k].kind {
+            TokKind::Punct(b']') => k = matching_back(toks, k, b'[', b']')?,
+            TokKind::Punct(b')') => k = matching_back(toks, k, b'(', b')')?,
+            TokKind::Ident => return Some(text(sc, &toks[k])),
+            _ => return None,
+        }
+    }
+}
+
+/// Index of the opening delimiter matching the closing one at `close`.
+pub fn matching_back(toks: &[Tok], close: usize, lhs: u8, rhs: u8) -> Option<usize> {
+    let mut depth = 0i64;
+    for k in (0..=close).rev() {
+        if toks[k].kind == TokKind::Punct(rhs) {
+            depth += 1;
+        } else if toks[k].kind == TokKind::Punct(lhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::scrub;
+
+    #[test]
+    fn tokenizes_idents_puncts_and_string_slots() {
+        let sc = scrub("a.b(\"x\") :: c1;\n");
+        let toks = tokenize(&sc);
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Punct(b'.'),
+                TokKind::Ident,
+                TokKind::Punct(b'('),
+                TokKind::Str,
+                TokKind::Punct(b')'),
+                TokKind::Punct(b':'),
+                TokKind::Punct(b':'),
+                TokKind::Ident,
+                TokKind::Punct(b';'),
+            ]
+        );
+        assert!(is_ident(&sc, &toks, 2, "b"));
+        assert!(match_seq(&sc, &toks, 6, &[":", ":", "c1"]));
+    }
+
+    #[test]
+    fn receiver_resolution_skips_index_and_call_groups() {
+        let sc = scrub("self.shards[self.index(key)].lock();\n");
+        let toks = tokenize(&sc);
+        let lock_at = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident && text(&sc, t) == "lock")
+            .unwrap();
+        // Receiver search starts before the `.` of `.lock`.
+        assert_eq!(receiver_ident(&sc, &toks, lock_at - 1), Some("shards"));
+    }
+}

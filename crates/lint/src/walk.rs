@@ -1,0 +1,76 @@
+//! Workspace file discovery.
+//!
+//! The lint's scope is production source: the root facade `src/` and every
+//! `crates/*/src/` tree.  Integration tests, benches, examples, `vendor/`
+//! shims and `target/` are out of scope by construction — tests legitimately
+//! use clocks, unwraps and ad-hoc seeds, and vendored shims answer to their
+//! upstream's contracts, not ours.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All `.rs` files under `dir`, recursively, sorted for deterministic output.
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Every in-scope source file of the workspace at `root`, sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    rust_files_under(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        crates.sort();
+        for krate in crates {
+            rust_files_under(&krate.join("src"), &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — the root the findings' relative paths are anchored to.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// `path` relative to `root`, with `/` separators regardless of platform.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,21 @@
+// R1 fixture — posed as crates/core/src/fixture.rs by the driver test.
+// Wall-clock and ambient-randomness reads in a determinism crate must fire.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_clock() -> u64 {
+    let t = Instant::now(); // fires: wall-clock read
+    let _ = SystemTime::now(); // fires: wall-clock read
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn bad_entropy() -> u64 {
+    let mut rng = rand::thread_rng(); // fires: ambient OS randomness
+    rng.next_u64()
+}
+
+pub fn tolerated() -> u64 {
+    // lint:allow(R1, fixture demonstrating an annotated wall-clock read)
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

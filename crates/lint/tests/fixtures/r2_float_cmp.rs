@@ -1,0 +1,21 @@
+// R2 fixture — float orderings through partial_cmp(..).unwrap() must fire;
+// total_cmp is the sanctioned spelling.
+
+pub fn bad_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // fires: NaN panics this sort
+}
+
+pub fn bad_max(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite")) // fires
+}
+
+pub fn good_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b)); // clean: NaN-total ordering
+}
+
+pub fn tolerated(a: f64, b: f64) -> std::cmp::Ordering {
+    // lint:allow(R2, fixture - inputs validated finite by the caller)
+    a.partial_cmp(&b).unwrap()
+}

@@ -1,0 +1,22 @@
+// R3 fixture — posed as crates/service/src/fixture.rs by the driver test.
+// Unannotated unwrap/panic in serving paths fire; the lock-poisoning policy
+// (.lock().unwrap() et al) is exempt by design.
+
+pub fn bad_unwrap(input: &str) -> u32 {
+    input.parse().unwrap() // fires: client input can be anything
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("handler blew up"); // fires
+    }
+}
+
+pub fn poison_policy(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // exempt: poisoning cascade is the crash policy
+}
+
+pub fn tolerated() -> u32 {
+    // lint:allow(R3, fixture - the literal below always parses)
+    "7".parse::<u32>().unwrap()
+}

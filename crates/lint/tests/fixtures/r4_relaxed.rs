@@ -1,0 +1,19 @@
+// R4 fixture — a bare Ordering::Relaxed fires; a `// relaxed:` justification
+// within three lines or a same-window KERNELS mention silences it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bad() -> u64 {
+    COUNT.load(Ordering::Relaxed) // fires: no justification
+}
+
+pub fn justified() -> u64 {
+    // relaxed: fixture counter; commutative adds, advisory reads.
+    COUNT.load(Ordering::Relaxed)
+}
+
+pub fn kernels_exempt() -> u64 {
+    KERNELS.statevector_rounds.load(Ordering::Relaxed)
+}

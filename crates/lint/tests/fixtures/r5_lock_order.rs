@@ -1,0 +1,21 @@
+// R5 fixture — the same file acquires `a` then `b` in one function and `b`
+// then `a` in another: a lexical lock-order cycle, both edges flagged.
+
+pub struct Pair {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap(); // fires: a held while acquiring b
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap(); // fires: b held while acquiring a
+        *ga - *gb
+    }
+}

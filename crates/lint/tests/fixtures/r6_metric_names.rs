@@ -1,0 +1,10 @@
+// R6 fixture — metric-name literals passed to PromWriter sinks must match
+// [a-z_]+ (the frozen exposition contract CI greps).
+
+pub fn emit(w: &mut PromWriter) {
+    w.counter("jobs_executed_total", "Jobs executed.", 1); // clean
+    w.counter("jobs2_total", "Illegal digit.", 1); // fires
+    w.gauge("Queue-Depth", "Illegal caps and dash.", 0); // fires
+    // lint:allow(R6, fixture demonstrating a suppressed illegal name)
+    w.gauge_f64("uptime_s2", "Illegal digit, suppressed.", 0.0);
+}

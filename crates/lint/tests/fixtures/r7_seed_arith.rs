@@ -1,0 +1,20 @@
+// R7 fixture — posed as crates/core/src/fixture.rs by the driver test.
+// Lines mixing a seed-named identifier with xor / wrapping-multiply fire
+// anywhere outside combinatorics/src/seeding.rs.
+
+pub fn bad_mix(seed: u64, index: u64) -> u64 {
+    seed ^ index.wrapping_mul(0x9E37_79B9) // fires: shadow seeding scheme
+}
+
+pub fn bad_salt(job_seed: u64) -> u64 {
+    job_seed ^ 0xDEAD_BEEF // fires
+}
+
+pub fn fine(seed: u64) -> u64 {
+    seed + 1 // clean: no mixing operator
+}
+
+pub fn tolerated(seed: u64) -> u64 {
+    // lint:allow(R7, fixture - display-only mixing that never feeds an RNG)
+    seed ^ 0x5555
+}

@@ -1,0 +1,18 @@
+// R8 fixture — posed as crates/service/src/fixture.rs by the driver test.
+// Hand-rolled status lines and raw socket writes outside http.rs fire.
+
+use std::io::Write;
+
+pub fn bad_line() -> String {
+    "HTTP/1.1 418 TEAPOT\r\n".to_string() // fires: hand-rolled status line
+}
+
+pub fn bad_write(stream: &mut std::net::TcpStream, body: &str) {
+    let _ = write!(stream, "{body}"); // fires: raw socket write
+    let _ = stream.write_all(body.as_bytes()); // fires: raw socket write
+}
+
+pub fn tolerated(conn: &mut std::net::TcpStream) {
+    // lint:allow(R8, fixture - raw probe write that is not an HTTP response)
+    let _ = conn.write_all(b"ping");
+}

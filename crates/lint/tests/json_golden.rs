@@ -1,0 +1,58 @@
+//! Golden test freezing the `qaoa-lint --json` schema (version 1).
+//!
+//! CI tooling greps and parses this output; any byte-level change to the
+//! rendering is a breaking change and must bump `"version"` deliberately.
+
+use juliqaoa_lint::{Finding, Report};
+
+#[test]
+fn json_schema_version_1_is_frozen() {
+    let report = Report {
+        findings: vec![
+            Finding {
+                file: "crates/core/src/x.rs".into(),
+                line: 7,
+                rule: "R2",
+                message: "float sort via partial_cmp".into(),
+            },
+            Finding {
+                file: "crates/service/src/y.rs".into(),
+                line: 41,
+                rule: "R8",
+                message: "raw \"status\" line\nsecond line".into(),
+            },
+        ],
+        suppressed: 3,
+        files_scanned: 12,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"version\": 1,\n",
+        "  \"findings\": [\n",
+        "    { \"file\": \"crates/core/src/x.rs\", \"line\": 7, \"rule\": \"R2\", ",
+        "\"message\": \"float sort via partial_cmp\" },\n",
+        "    { \"file\": \"crates/service/src/y.rs\", \"line\": 41, \"rule\": \"R8\", ",
+        "\"message\": \"raw \\\"status\\\" line\\nsecond line\" }\n",
+        "  ],\n",
+        "  \"summary\": { \"files_scanned\": 12, \"findings\": 2, \"suppressed\": 3 }\n",
+        "}\n",
+    );
+    assert_eq!(report.render_json(), expected);
+}
+
+#[test]
+fn empty_report_is_frozen_too() {
+    let report = Report {
+        findings: vec![],
+        suppressed: 0,
+        files_scanned: 123,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"version\": 1,\n",
+        "  \"findings\": [],\n",
+        "  \"summary\": { \"files_scanned\": 123, \"findings\": 0, \"suppressed\": 0 }\n",
+        "}\n",
+    );
+    assert_eq!(report.render_json(), expected);
+}

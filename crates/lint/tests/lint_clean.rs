@@ -1,0 +1,21 @@
+//! Tier-1 gate: the workspace itself must be lint-clean.
+//!
+//! This is the test that turns the determinism/panic-safety/atomics contracts
+//! from review lore into something `cargo test -q` enforces: a PR that
+//! reintroduces a `partial_cmp(..).unwrap()` sort, an unjustified `Relaxed`,
+//! or a wall-clock read in a kernel crate fails here with the exact
+//! `file:line: rule[RN]: message` lines `qaoa-lint` would print.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = juliqaoa_lint::analyze_workspace(&root).expect("scan workspace sources");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — workspace root detection broke",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{}", report.render_text());
+}

@@ -60,6 +60,7 @@ impl RunControl {
 
     /// Attaches a deadline `timeout` from now.
     pub fn deadline_in(self, timeout: Duration) -> Self {
+        // lint:allow(R1, deadline anchor only - the Instant bounds wall-clock, it never enters a computed result)
         self.with_deadline(Instant::now() + timeout)
     }
 
@@ -76,12 +77,15 @@ impl RunControl {
     pub fn is_cancelled(&self) -> bool {
         self.cancel
             .as_ref()
+            // relaxed: advisory stop flag polled at unit boundaries; a stale read only
+            // delays the stop by one unit and orders against no other data.
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(false)
     }
 
     /// Whether the deadline (if any) has passed.
     pub fn is_timed_out(&self) -> bool {
+        // lint:allow(R1, deadline comparison only - affects when we stop, never what we compute)
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
@@ -96,6 +100,7 @@ impl RunControl {
     /// `Some(0)` once it has passed).
     pub fn time_remaining(&self) -> Option<Duration> {
         self.deadline
+            // lint:allow(R1, deadline countdown only - reported to callers, never fed into the math)
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 

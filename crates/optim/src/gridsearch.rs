@@ -251,6 +251,7 @@ where
                         let end = (block + 1) * total / blocks;
                         let out = scan_block(objective, start, end, grid, control);
                         control.report(
+                            // relaxed: progress tally; commutative adds, value is advisory.
                             progress.fetch_add(out.2 as u64, Ordering::Relaxed) + out.2 as u64,
                             total as u64,
                         );

@@ -22,7 +22,7 @@ pub fn median_angles(angle_sets: &[Vec<f64>]) -> Vec<f64> {
     (0..dim)
         .map(|i| {
             let mut column: Vec<f64> = angle_sets.iter().map(|s| s[i]).collect();
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            column.sort_by(|a, b| a.total_cmp(b));
             let m = column.len();
             if m % 2 == 1 {
                 column[m / 2]

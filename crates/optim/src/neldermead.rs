@@ -75,7 +75,7 @@ pub fn nelder_mead<O: Objective + ?Sized>(
         iterations = iter + 1;
         // Order the simplex by value.
         let mut order: Vec<usize> = (0..=d).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let best = order[0];
         let worst = order[d];
         let second_worst = order[d - 1];
@@ -171,7 +171,7 @@ pub fn nelder_mead<O: Objective + ?Sized>(
     let (best_idx, &best_value) = values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("simplex is non-empty");
     OptimizeResult {
         x: simplex[best_idx].clone(),
@@ -211,6 +211,30 @@ mod tests {
             },
         );
         assert!(res.value < 1e-6, "value {}", res.value);
+    }
+
+    #[test]
+    fn nan_objective_values_do_not_panic_the_simplex_ordering() {
+        // Regression for the PR 5 class of bug: ordering simplex vertices with
+        // partial_cmp(..).unwrap() panicked the moment an objective went NaN
+        // (e.g. 0/0 in a user-defined ratio).  total_cmp sorts NaN after +inf,
+        // so NaN vertices are treated as worst and the search still converges
+        // to the finite minimum.
+        let mut obj = FnObjective::new(2, |x: &[f64]| {
+            if x[0] < -2.0 {
+                f64::NAN
+            } else {
+                (x[0] - 1.0).powi(2) + x[1].powi(2)
+            }
+        });
+        let res = nelder_mead(&mut obj, &[-1.8, 0.5], &NelderMeadOptions::default());
+        assert!(res.value.is_finite(), "value {}", res.value);
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "x {:?}", res.x);
+
+        // Even an everywhere-NaN objective must terminate rather than panic.
+        let mut all_nan = FnObjective::new(1, |_: &[f64]| f64::NAN);
+        let res = nelder_mead(&mut all_nan, &[0.0], &NelderMeadOptions::default());
+        assert!(res.value.is_nan());
     }
 
     #[test]

@@ -102,6 +102,7 @@ where
             return None;
         }
         let res = bfgs(objective, x0, &opts.bfgs);
+        // relaxed: progress tally; commutative adds, value is advisory.
         control.report(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
         Some(res)
     };

@@ -156,6 +156,7 @@ impl<'a> SampledObjective<'a> {
             self.eval_seed(x),
         );
         if let Some(tally) = self.shot_tally {
+            // relaxed: shot-count statistic; commutative add read only for reporting.
             tally.fetch_add(self.shots, Ordering::Relaxed);
         }
         sampler.sample_counts(self.shots)

@@ -31,7 +31,7 @@ impl DegeneracyTable {
             e.1 += d;
         }
         let mut entries: Vec<(f64, u64)> = map.into_values().collect();
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         DegeneracyTable { entries }
     }
 
@@ -149,7 +149,7 @@ fn merge_degeneracy_maps(maps: Vec<HashMap<u64, (f64, u64)>>) -> DegeneracyTable
         }
     }
     let mut entries: Vec<(f64, u64)> = merged.into_values().collect();
-    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0));
     DegeneracyTable { entries }
 }
 

@@ -25,7 +25,7 @@
 
 use crate::retry::RetryPolicy;
 use juliqaoa_problems::Fnv64;
-use std::sync::atomic::{AtomicU64, Ordering};
+use juliqaoa_telemetry::Counter;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -164,11 +164,11 @@ pub struct Backend {
     pub addr: String,
     health: Mutex<Health>,
     /// Health probes attempted.
-    pub probes: AtomicU64,
+    pub probes: Counter,
     /// Health probes that failed (timeout, refusal, non-200).
-    pub probe_failures: AtomicU64,
+    pub probe_failures: Counter,
     /// Times the circuit breaker tripped this backend Down.
-    pub trips_total: AtomicU64,
+    pub trips_total: Counter,
 }
 
 impl Backend {
@@ -182,9 +182,9 @@ impl Backend {
                 down_since: None,
                 half_open_inflight: false,
             }),
-            probes: AtomicU64::new(0),
-            probe_failures: AtomicU64::new(0),
-            trips_total: AtomicU64::new(0),
+            probes: Counter::new(),
+            probe_failures: Counter::new(),
+            trips_total: Counter::new(),
         }
     }
 
@@ -337,7 +337,7 @@ impl Cluster {
             h.trips = h.trips.saturating_add(1);
             h.down_since = Some(Instant::now());
             h.half_open_inflight = false;
-            backend.trips_total.fetch_add(1, Ordering::Relaxed);
+            backend.trips_total.inc();
             Some((
                 "backend_tripped",
                 format!(
@@ -493,7 +493,7 @@ mod tests {
         assert_eq!(cluster.backend(0).state(), BackendState::Down);
         assert!(!cluster.backend(0).is_live());
         assert_eq!(cluster.live_count(), 1);
-        assert_eq!(cluster.backend(0).trips_total.load(Ordering::Relaxed), 1);
+        assert_eq!(cluster.backend(0).trips_total.get(), 1);
 
         // Zero cooldown: the half-open slot opens at once, but only one probe at
         // a time may use it.

@@ -54,7 +54,7 @@ use juliqaoa_optim::{
 };
 use juliqaoa_problems::{precompute_dicke, precompute_full, InstanceId, PhaseClasses};
 use juliqaoa_sampling::{estimator, IndexMap};
-use juliqaoa_telemetry::{Histogram, SpanCollector};
+use juliqaoa_telemetry::{Counter, Histogram, SpanCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -355,20 +355,20 @@ pub struct Engine {
     /// happens outside it.
     inflight: Mutex<HashMap<InstanceId, Arc<PrepFlight>>>,
     sims: SimSlotCache,
-    jobs_executed: AtomicU64,
-    jobs_failed: AtomicU64,
-    jobs_panicked: AtomicU64,
-    jobs_timed_out: AtomicU64,
-    jobs_retried: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    instance_builds: AtomicU64,
-    prep_coalesced: AtomicU64,
-    prefix_hits: AtomicU64,
-    prefix_misses: AtomicU64,
-    prefix_rounds_saved: AtomicU64,
-    sample_jobs: AtomicU64,
-    shots_drawn: AtomicU64,
+    jobs_executed: Counter,
+    jobs_failed: Counter,
+    jobs_panicked: Counter,
+    jobs_timed_out: Counter,
+    jobs_retried: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    instance_builds: Counter,
+    prep_coalesced: Counter,
+    prefix_hits: Counter,
+    prefix_misses: Counter,
+    prefix_rounds_saved: Counter,
+    sample_jobs: Counter,
+    shots_drawn: Counter,
     telemetry: EngineTelemetry,
     /// Optional span collector: when the serving or batch tier installs one, the
     /// engine turns each job's timing stages (prep / optimize / sampling
@@ -460,20 +460,20 @@ impl Engine {
                 cache_capacity.max(1),
                 Some(DEFAULT_CACHE_BYTES),
             ),
-            jobs_executed: AtomicU64::new(0),
-            jobs_failed: AtomicU64::new(0),
-            jobs_panicked: AtomicU64::new(0),
-            jobs_timed_out: AtomicU64::new(0),
-            jobs_retried: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            instance_builds: AtomicU64::new(0),
-            prep_coalesced: AtomicU64::new(0),
-            prefix_hits: AtomicU64::new(0),
-            prefix_misses: AtomicU64::new(0),
-            prefix_rounds_saved: AtomicU64::new(0),
-            sample_jobs: AtomicU64::new(0),
-            shots_drawn: AtomicU64::new(0),
+            jobs_executed: Counter::new(),
+            jobs_failed: Counter::new(),
+            jobs_panicked: Counter::new(),
+            jobs_timed_out: Counter::new(),
+            jobs_retried: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            instance_builds: Counter::new(),
+            prep_coalesced: Counter::new(),
+            prefix_hits: Counter::new(),
+            prefix_misses: Counter::new(),
+            prefix_rounds_saved: Counter::new(),
+            sample_jobs: Counter::new(),
+            shots_drawn: Counter::new(),
             telemetry: EngineTelemetry::new(),
             spans: Mutex::new(None),
         }
@@ -567,7 +567,7 @@ impl Engine {
     pub fn prepare(&self, problem: &BuiltProblem) -> (Arc<PreparedObjective>, bool) {
         loop {
             if let Some(found) = self.cache.get(&problem.instance_id) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.inc();
                 return (found, true);
             }
             // Miss: join the in-flight build for this instance, or start one.
@@ -583,7 +583,7 @@ impl Engine {
                         // here would duplicate its 2ⁿ build.  Lock order is always
                         // inflight → cache shard, so this cannot deadlock.
                         if let Some(found) = self.cache.get(&problem.instance_id) {
-                            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            self.cache_hits.inc();
                             return (found, true);
                         }
                         let flight = Arc::new(PrepFlight::new());
@@ -593,12 +593,12 @@ impl Engine {
                 }
             };
             if !this_worker_builds {
-                self.prep_coalesced.fetch_add(1, Ordering::Relaxed);
+                self.prep_coalesced.inc();
                 match flight.wait() {
                     Some(prepared) => {
                         // A coalesced miss is a hit for accounting: this worker paid
                         // a wait, not a build.
-                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.cache_hits.inc();
                         return (prepared, true);
                     }
                     // The builder panicked; retry (the flight entry is gone, so some
@@ -609,8 +609,8 @@ impl Engine {
             // This worker builds, outside every lock, so a slow pre-computation
             // never serialises the pool.  Prepared data is a pure function of the
             // instance, so whoever builds, everyone reads the same values.
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            self.instance_builds.fetch_add(1, Ordering::Relaxed);
+            self.cache_misses.inc();
+            self.instance_builds.inc();
             // Chaos hook: an installed fault plan may stall the build here, widening
             // the coalescing window for single-flight and queue-deadline tests.
             crate::fault::delay_prep();
@@ -652,20 +652,20 @@ impl Engine {
     /// A snapshot of the engine counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
-            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
-            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
-            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
-            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            instance_builds: self.instance_builds.load(Ordering::Relaxed),
-            prep_coalesced: self.prep_coalesced.load(Ordering::Relaxed),
-            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
-            prefix_misses: self.prefix_misses.load(Ordering::Relaxed),
-            prefix_rounds_saved: self.prefix_rounds_saved.load(Ordering::Relaxed),
-            sample_jobs: self.sample_jobs.load(Ordering::Relaxed),
-            shots_drawn: self.shots_drawn.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.get(),
+            jobs_failed: self.jobs_failed.get(),
+            jobs_panicked: self.jobs_panicked.get(),
+            jobs_timed_out: self.jobs_timed_out.get(),
+            jobs_retried: self.jobs_retried.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            instance_builds: self.instance_builds.get(),
+            prep_coalesced: self.prep_coalesced.get(),
+            prefix_hits: self.prefix_hits.get(),
+            prefix_misses: self.prefix_misses.get(),
+            prefix_rounds_saved: self.prefix_rounds_saved.get(),
+            sample_jobs: self.sample_jobs.get(),
+            shots_drawn: self.shots_drawn.get(),
         }
     }
 
@@ -693,15 +693,15 @@ impl Engine {
     /// `run_job` never returned, so its own failure accounting did not run.  Keeps
     /// `jobs_failed` covering every job that entered the engine.
     pub fn record_panicked_job(&self) {
-        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
-        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+        self.jobs_failed.inc();
+        self.jobs_panicked.inc();
     }
 
     /// Records a transient-failure re-attempt performed *outside*
     /// [`Engine::run_job_with_retry`] — e.g. the batch journal retrying a failed
     /// append — so `jobs_retried` covers every retry the service performs.
     pub fn record_retry(&self) {
-        self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+        self.jobs_retried.inc();
     }
 
     /// [`Engine::run_job`] with panic isolation: a job that panics mid-run returns
@@ -757,7 +757,7 @@ impl Engine {
                         && attempt < policy.max_retries
                         && !control.should_stop() =>
                 {
-                    self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                    self.jobs_retried.inc();
                     on_retry(attempt, &e);
                     std::thread::sleep(policy.delay(&spec.id, attempt));
                     attempt += 1;
@@ -775,8 +775,8 @@ impl Engine {
         let started = Instant::now();
         let out = self.run_job_inner(spec, control, started);
         match &out {
-            Ok(_) => self.jobs_executed.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.jobs_failed.fetch_add(1, Ordering::Relaxed),
+            Ok(_) => self.jobs_executed.inc(),
+            Err(_) => self.jobs_failed.inc(),
         };
         out
     }
@@ -820,9 +820,11 @@ impl Engine {
         // budgets its panics per attempt, so retry tests can watch a job fail
         // deterministically `times` times and then succeed.
         if test_panic_job_id_matches(&spec.id) {
+            // lint:allow(R3, intentional fault-injection hook - the panic is the feature under test)
             panic!("test hook: job {:?} panicked mid-run", spec.id);
         }
         if crate::fault::job_should_panic(&spec.id) {
+            // lint:allow(R3, intentional fault-injection hook - the panic is the feature under test)
             panic!("fault injection: job {:?} panicked mid-run", spec.id);
         }
         let slot_key = (problem.instance_id, spec.mixer);
@@ -961,7 +963,7 @@ impl Engine {
         // angles below.
         let timed_out = control.is_timed_out();
         if timed_out {
-            self.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+            self.jobs_timed_out.inc();
             if !res.value.is_finite() {
                 return Err(ServiceError::TimedOut(format!(
                     "deadline expired before job {:?} completed any evaluation",
@@ -1006,9 +1008,11 @@ impl Engine {
                     EstimatorSpec::CVaR { alpha } => (Some(alpha), None),
                     EstimatorSpec::Gibbs { eta } => (None, Some(eta)),
                 };
+                // relaxed: the tally's writers finished with the objective drop above;
+                // the count is a reporting statistic either way.
                 let shots_total = shot_tally.load(Ordering::Relaxed);
-                self.sample_jobs.fetch_add(1, Ordering::Relaxed);
-                self.shots_drawn.fetch_add(shots_total, Ordering::Relaxed);
+                self.sample_jobs.inc();
+                self.shots_drawn.add(shots_total);
                 Some(SampleReport {
                     shots: s.shots,
                     sample_seed: s.seed,
@@ -1051,11 +1055,9 @@ impl Engine {
         // counters into the engine and park the (possibly warmed) cache for the
         // next job on this slot.
         let pstats = home.stats();
-        self.prefix_hits.fetch_add(pstats.hits, Ordering::Relaxed);
-        self.prefix_misses
-            .fetch_add(pstats.misses, Ordering::Relaxed);
-        self.prefix_rounds_saved
-            .fetch_add(pstats.rounds_saved, Ordering::Relaxed);
+        self.prefix_hits.add(pstats.hits);
+        self.prefix_misses.add(pstats.misses);
+        self.prefix_rounds_saved.add(pstats.rounds_saved);
         if let Some(cache) = home.into_cache() {
             // Park only caches within the per-cache allowance; an oversized cache
             // (very deep p) is dropped rather than pinning unbounded statevector

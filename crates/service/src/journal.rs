@@ -121,9 +121,10 @@ pub fn verify_line(line: &str) -> LineCheck {
 pub fn strip_frame(line: &str) -> Option<String> {
     match verify_line(line) {
         LineCheck::Valid => {
-            let idx = line
-                .rfind(CHECKSUM_MARKER)
-                .expect("valid line has a marker");
+            // A Valid verdict implies the marker is present; flowing the Option
+            // through anyway means a logic drift degrades to "skip line", never
+            // a panic in the recovery path.
+            let idx = line.rfind(CHECKSUM_MARKER)?;
             Some(format!("{}}}", &line[..idx]))
         }
         LineCheck::Legacy => Some(line.to_string()),

@@ -249,9 +249,11 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         use std::sync::atomic::Ordering;
         if after >= before {
             self.total_weight
+                // relaxed: deltas commute; the budget check tolerates transient skew.
                 .fetch_add(after - before, Ordering::Relaxed);
         } else {
             self.total_weight
+                // relaxed: deltas commute; the budget check tolerates transient skew.
                 .fetch_sub(before - after, Ordering::Relaxed);
         }
     }
@@ -267,6 +269,8 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
             return;
         };
         let n = self.shards.len();
+        // relaxed: advisory budget check; per-shard mutation is under the shard lock,
+        // and a stale total at worst delays or over-runs eviction by one entry.
         while self.total_weight.load(Ordering::Relaxed) > budget {
             if self.len() <= 1 {
                 // The lone survivor may legitimately exceed the budget on its own.
@@ -274,6 +278,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
             }
             let mut evicted_any = false;
             for offset in 0..n {
+                // relaxed: same advisory budget check as the loop condition above.
                 if self.total_weight.load(Ordering::Relaxed) <= budget {
                     return;
                 }
@@ -285,6 +290,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
                     continue;
                 }
                 if let Some(freed) = shard.pop_lru() {
+                    // relaxed: commutative delta; see apply_weight_delta.
                     self.total_weight.fetch_sub(freed, Ordering::Relaxed);
                     evicted_any = true;
                 }
@@ -365,6 +371,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
 
     /// Sum of entry weights across all shards (the globally budgeted total).
     pub fn total_weight(&self) -> u64 {
+        // relaxed: monitoring read; may lag concurrent inserts/evictions.
         self.total_weight.load(std::sync::atomic::Ordering::Relaxed)
     }
 

@@ -40,7 +40,9 @@ use crate::http::{
 use crate::server::{TraceBody, TraceEvent};
 use crate::spans::{default_trace_cap, span_from_value, trace_body, version_value, TRACE_HEADER};
 use crate::spec::{derive_trace_id, JobSpec};
-use juliqaoa_telemetry::{encode, Histogram, PromWriter, Span, SpanCollector, TraceId, TraceRing};
+use juliqaoa_telemetry::{
+    encode, Counter, Histogram, PromWriter, Span, SpanCollector, TraceId, TraceRing,
+};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -149,10 +151,10 @@ struct RouterState {
     config: RouterConfig,
     jobs: Mutex<HashMap<String, RoutedJob>>,
     auto_id: AtomicU64,
-    jobs_routed: AtomicU64,
-    failovers: AtomicU64,
-    hedged_reads: AtomicU64,
-    hedge_wins: AtomicU64,
+    jobs_routed: Counter,
+    failovers: Counter,
+    hedged_reads: Counter,
+    hedge_wins: Counter,
     stop_requested: AtomicBool,
     started: Instant,
     submit_ms: Histogram,
@@ -172,6 +174,7 @@ impl RouterState {
     /// Records a lifecycle event into the trace ring (and `--trace-out`).
     fn trace_event(&self, event: &str, job: &str, detail: impl Into<String>) {
         let entry = TraceEvent {
+            // relaxed: sequence allocator; fetch_add is atomic regardless of ordering.
             seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
             ts_ms: self.started.elapsed().as_secs_f64() * 1e3,
             event: event.to_string(),
@@ -237,10 +240,10 @@ impl Router {
             cluster: Cluster::new(config.cluster.clone()),
             jobs: Mutex::new(HashMap::new()),
             auto_id: AtomicU64::new(0),
-            jobs_routed: AtomicU64::new(0),
-            failovers: AtomicU64::new(0),
-            hedged_reads: AtomicU64::new(0),
-            hedge_wins: AtomicU64::new(0),
+            jobs_routed: Counter::new(),
+            failovers: Counter::new(),
+            hedged_reads: Counter::new(),
+            hedge_wins: Counter::new(),
             stop_requested: AtomicBool::new(false),
             started: Instant::now(),
             submit_ms: Histogram::latency_ms(),
@@ -285,8 +288,7 @@ impl Router {
             let stop = prober_stop.clone();
             std::thread::Builder::new()
                 .name("qaoa-router-prober".into())
-                .spawn(move || prober_loop(&state, &stop))
-                .expect("spawn prober")
+                .spawn(move || prober_loop(&state, &stop))?
         };
         loop {
             if stop.load(Ordering::SeqCst) || self.state.stop_requested.load(Ordering::SeqCst) {
@@ -330,7 +332,7 @@ fn prober_loop(state: &RouterState, stop: &AtomicBool) {
                 continue;
             }
             let backend = state.cluster.backend(index);
-            backend.probes.fetch_add(1, Ordering::Relaxed);
+            backend.probes.inc();
             let probe_started = Instant::now();
             let outcome = client_request(&backend.addr, "GET", "/readyz", None, timeout);
             let probe_ok = matches!(&outcome, Ok(resp) if resp.status == 200);
@@ -351,7 +353,7 @@ fn prober_loop(state: &RouterState, stop: &AtomicBool) {
                     state.trace_transition(state.cluster.record_success(index));
                 }
                 Ok(resp) => {
-                    backend.probe_failures.fetch_add(1, Ordering::Relaxed);
+                    backend.probe_failures.inc();
                     state.trace_transition(
                         state
                             .cluster
@@ -359,7 +361,7 @@ fn prober_loop(state: &RouterState, stop: &AtomicBool) {
                     );
                 }
                 Err(e) => {
-                    backend.probe_failures.fetch_add(1, Ordering::Relaxed);
+                    backend.probe_failures.inc();
                     state.trace_transition(
                         state
                             .cluster
@@ -479,7 +481,7 @@ fn submit_with_failover(
             Ok(resp) if resp.status < 500 => {
                 state.trace_transition(state.cluster.record_success(index));
                 if attempt > 0 {
-                    state.failovers.fetch_add(1, Ordering::Relaxed);
+                    state.failovers.inc();
                     state.trace_event(
                         "failover",
                         job_id,
@@ -528,6 +530,7 @@ fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Req
         }
     };
     if spec.id.is_empty() {
+        // relaxed: id allocator; uniqueness needs atomicity, not ordering.
         spec.id = format!("job-{}", state.auto_id.fetch_add(1, Ordering::Relaxed));
     }
     // The same cheap shape checks serve mode runs at submission: reject bad
@@ -587,7 +590,7 @@ fn handle_submit(state: &Arc<RouterState>, stream: &mut TcpStream, request: &Req
                         trace,
                     },
                 );
-                state.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                state.jobs_routed.inc();
             }
             let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
             state.submit_ms.observe(elapsed_ms);
@@ -648,7 +651,7 @@ fn failover_job(state: &RouterState, id: &str) -> Result<usize, String> {
                 if let Some(entry) = state.jobs.lock().expect("router jobs lock").get_mut(id) {
                     entry.backend = index;
                 }
-                state.failovers.fetch_add(1, Ordering::Relaxed);
+                state.failovers.inc();
                 state.trace_event(
                     "failover",
                     id,
@@ -732,7 +735,7 @@ fn hedged_get(
         return outcome;
     }
 
-    state.hedged_reads.fetch_add(1, Ordering::Relaxed);
+    state.hedged_reads.inc();
     let successor_addr = state.cluster.backend(successor).addr.clone();
     state.trace_event(
         "hedge",
@@ -771,7 +774,7 @@ fn hedged_get(
                     }
                 } else if let Ok(resp) = outcome {
                     if resp.status < 400 {
-                        state.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        state.hedge_wins.inc();
                         return Ok(resp);
                     }
                 }
@@ -888,22 +891,22 @@ fn handle_prometheus(state: &Arc<RouterState>, stream: &mut TcpStream) {
     w.counter(
         "cluster_jobs_routed",
         "Jobs accepted and placed on a backend.",
-        state.jobs_routed.load(Ordering::Relaxed),
+        state.jobs_routed.get(),
     );
     w.counter(
         "cluster_failovers_total",
         "Jobs re-routed to another backend after a failure.",
-        state.failovers.load(Ordering::Relaxed),
+        state.failovers.get(),
     );
     w.counter(
         "cluster_hedged_reads_total",
         "Idempotent reads duplicated to a successor after the hedge threshold.",
-        state.hedged_reads.load(Ordering::Relaxed),
+        state.hedged_reads.get(),
     );
     w.counter(
         "cluster_hedge_wins_total",
         "Hedged reads won by the successor's response.",
-        state.hedge_wins.load(Ordering::Relaxed),
+        state.hedge_wins.get(),
     );
 
     let backends = state.cluster.backends();
@@ -927,7 +930,7 @@ fn handle_prometheus(state: &Arc<RouterState>, stream: &mut TcpStream) {
     );
     let probes: Vec<(String, u64)> = backends
         .iter()
-        .map(|b| (backend_label(&b.addr), b.probes.load(Ordering::Relaxed)))
+        .map(|b| (backend_label(&b.addr), b.probes.get()))
         .collect();
     w.counter_family(
         "cluster_probes_total",
@@ -936,12 +939,7 @@ fn handle_prometheus(state: &Arc<RouterState>, stream: &mut TcpStream) {
     );
     let probe_failures: Vec<(String, u64)> = backends
         .iter()
-        .map(|b| {
-            (
-                backend_label(&b.addr),
-                b.probe_failures.load(Ordering::Relaxed),
-            )
-        })
+        .map(|b| (backend_label(&b.addr), b.probe_failures.get()))
         .collect();
     w.counter_family(
         "cluster_probe_failures_total",
@@ -950,12 +948,7 @@ fn handle_prometheus(state: &Arc<RouterState>, stream: &mut TcpStream) {
     );
     let trips: Vec<(String, u64)> = backends
         .iter()
-        .map(|b| {
-            (
-                backend_label(&b.addr),
-                b.trips_total.load(Ordering::Relaxed),
-            )
-        })
+        .map(|b| (backend_label(&b.addr), b.trips_total.get()))
         .collect();
     w.counter_family(
         "cluster_backend_trips_total",
@@ -1010,15 +1003,15 @@ fn handle_stats(state: &Arc<RouterState>, stream: &mut TcpStream) {
             addr: b.addr.clone(),
             state: b.state().as_str().to_string(),
             consecutive_failures: b.consecutive_failures() as u64,
-            trips: b.trips_total.load(Ordering::Relaxed),
+            trips: b.trips_total.get(),
         })
         .collect();
     let body = RouterStatsBody {
         uptime_s: state.started.elapsed().as_secs_f64(),
-        jobs_routed: state.jobs_routed.load(Ordering::Relaxed),
-        failovers: state.failovers.load(Ordering::Relaxed),
-        hedged_reads: state.hedged_reads.load(Ordering::Relaxed),
-        hedge_wins: state.hedge_wins.load(Ordering::Relaxed),
+        jobs_routed: state.jobs_routed.get(),
+        failovers: state.failovers.get(),
+        hedged_reads: state.hedged_reads.get(),
+        hedge_wins: state.hedge_wins.get(),
         backends_live: state.cluster.live_count() as u64,
         backends,
     };

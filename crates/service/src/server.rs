@@ -47,7 +47,9 @@ use crate::spans::{default_trace_cap, trace_body, version_value, TRACE_HEADER};
 use crate::spec::{JobResult, JobSpec, JobTimings};
 use juliqaoa_linalg::enter_outer_parallelism;
 use juliqaoa_optim::RunControl;
-use juliqaoa_telemetry::{encode, kernels, PromWriter, Span, SpanCollector, TraceId, TraceRing};
+use juliqaoa_telemetry::{
+    encode, kernels, Counter, Gauge, PromWriter, Span, SpanCollector, TraceId, TraceRing,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
@@ -194,8 +196,8 @@ struct JobRecord {
     state: Mutex<JobState>,
     cancel: Arc<AtomicBool>,
     enqueued_at: Instant,
-    progress_done: AtomicU64,
-    progress_total: AtomicU64,
+    progress_done: Gauge,
+    progress_total: Gauge,
     result: Mutex<Option<JobResult>>,
     error: Mutex<Option<String>>,
 }
@@ -208,8 +210,8 @@ impl JobRecord {
             state: Mutex::new(JobState::Queued),
             cancel: Arc::new(AtomicBool::new(false)),
             enqueued_at: Instant::now(),
-            progress_done: AtomicU64::new(0),
-            progress_total: AtomicU64::new(0),
+            progress_done: Gauge::new(),
+            progress_total: Gauge::new(),
             result: Mutex::new(None),
             error: Mutex::new(None),
         })
@@ -290,10 +292,10 @@ struct ServiceState {
     config: ServerConfig,
     jobs: Mutex<HashMap<String, Arc<JobRecord>>>,
     queue: WorkQueue,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    shed: AtomicU64,
+    submitted: Counter,
+    completed: Counter,
+    rejected: Counter,
+    shed: Counter,
     auto_id: AtomicU64,
     /// True once the worker pool is up; `/readyz` is 503 until then.
     ready: AtomicBool,
@@ -329,6 +331,7 @@ impl ServiceState {
     /// file are swallowed so tracing can never fail a job.
     fn trace_event(&self, event: &str, job: &str, detail: impl Into<String>) {
         let entry = TraceEvent {
+            // relaxed: sequence allocator; fetch_add is atomic regardless of ordering.
             seq: self.trace_seq.fetch_add(1, Ordering::Relaxed),
             ts_ms: self.started.elapsed().as_secs_f64() * 1e3,
             event: event.to_string(),
@@ -445,10 +448,10 @@ impl Server {
             engine,
             jobs: Mutex::new(HashMap::new()),
             queue: WorkQueue::new(config.queue_capacity),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            submitted: Counter::new(),
+            completed: Counter::new(),
+            rejected: Counter::new(),
+            shed: Counter::new(),
             auto_id: AtomicU64::new(0),
             ready: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -468,9 +471,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("qaoa-worker-{i}"))
                     .spawn(move || worker_loop(&state))
-                    .expect("spawn worker")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         // Readiness flips only after every worker thread is spawned: a prober
         // that sees 200 on `/readyz` can rely on submitted jobs making progress.
         state.ready.store(true, Ordering::SeqCst);
@@ -609,7 +611,7 @@ fn worker_loop(state: &ServiceState) {
                 *record.error.lock().expect("error lock") =
                     Some(format!("shed after waiting more than {limit} ms in queue"));
                 record.set_state(JobState::Shed);
-                state.shed.fetch_add(1, Ordering::Relaxed);
+                state.shed.inc();
                 state.trace_event(
                     "shed",
                     &record.spec.id,
@@ -638,8 +640,8 @@ fn worker_loop(state: &ServiceState) {
             // The callback outlives this loop iteration, so it owns its own Arc.
             let record = record.clone();
             move |done, total| {
-                record.progress_done.store(done, Ordering::Relaxed);
-                record.progress_total.store(total, Ordering::Relaxed);
+                record.progress_done.set(done);
+                record.progress_total.set(total);
             }
         });
         if let Some(ms) = effective_timeout_ms(&record.spec, &state.config) {
@@ -708,7 +710,7 @@ fn worker_loop(state: &ServiceState) {
                 *record.result.lock().expect("result lock") = Some(result);
                 record.set_state(terminal);
                 if terminal == JobState::Done {
-                    state.completed.fetch_add(1, Ordering::Relaxed);
+                    state.completed.inc();
                 }
                 state.trace_event(terminal.as_str(), &record.spec.id, "");
             }
@@ -759,8 +761,8 @@ fn status_body(id: &str, record: &JobRecord) -> JobStatusBody {
         id: id.to_string(),
         trace: record.trace.to_hex(),
         status: record.state().as_str().to_string(),
-        progress_done: record.progress_done.load(Ordering::Relaxed),
-        progress_total: record.progress_total.load(Ordering::Relaxed),
+        progress_done: record.progress_done.get(),
+        progress_total: record.progress_total.get(),
     }
 }
 
@@ -847,6 +849,7 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
         }
     };
     if spec.id.is_empty() {
+        // relaxed: id allocator; uniqueness needs atomicity, not ordering.
         spec.id = format!("job-{}", state.auto_id.fetch_add(1, Ordering::Relaxed));
     }
     // Reject oversized/incompatible specs at submission time with the cheap shape
@@ -900,7 +903,7 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
             .head_wait()
             .is_some_and(|w| w > Duration::from_millis(limit_ms));
         if stale {
-            state.shed.fetch_add(1, Ordering::Relaxed);
+            state.shed.inc();
             state.trace_event(
                 "shed",
                 &spec.id,
@@ -931,12 +934,12 @@ fn handle_submit(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &Re
     }
     if !state.queue.try_push(record.clone()) {
         state.jobs.lock().expect("jobs lock").remove(&spec.id);
-        state.rejected.fetch_add(1, Ordering::Relaxed);
+        state.rejected.inc();
         state.trace_event("reject", &spec.id, "queue full");
         write_error(stream, 429, "job queue is full, retry later");
         return;
     }
-    state.submitted.fetch_add(1, Ordering::Relaxed);
+    state.submitted.inc();
     state.trace_event("submit", &spec.id, trace.to_hex());
     match serde_json::to_string(&status_body(&spec.id, &record)) {
         Ok(json) => write_json(stream, 202, &json),
@@ -1043,14 +1046,14 @@ fn handle_stats(state: &Arc<ServiceState>, stream: &mut TcpStream) {
     let (running, done, cancelled, timed_out, failed) = job_state_counts(state);
     let body = MetricsBody {
         uptime_s: state.started.elapsed().as_secs_f64(),
-        jobs_submitted: state.submitted.load(Ordering::Relaxed),
-        jobs_rejected: state.rejected.load(Ordering::Relaxed),
+        jobs_submitted: state.submitted.get(),
+        jobs_rejected: state.rejected.get(),
         queue_depth: state.queue.len() as u64,
         running,
         done,
         cancelled,
         timed_out,
-        jobs_shed: state.shed.load(Ordering::Relaxed),
+        jobs_shed: state.shed.get(),
         failed,
         cached_instances: state.engine.cached_instances() as u64,
         engine: state.engine.stats(),
@@ -1079,22 +1082,22 @@ fn handle_prometheus(state: &Arc<ServiceState>, stream: &mut TcpStream) {
     w.counter(
         "jobs_submitted",
         "Jobs accepted onto the queue since start.",
-        state.submitted.load(Ordering::Relaxed),
+        state.submitted.get(),
     );
     w.counter(
         "jobs_completed",
         "Jobs that reached the terminal done state.",
-        state.completed.load(Ordering::Relaxed),
+        state.completed.get(),
     );
     w.counter(
         "jobs_rejected",
         "Submissions rejected because the queue was full.",
-        state.rejected.load(Ordering::Relaxed),
+        state.rejected.get(),
     );
     w.counter(
         "jobs_shed",
         "Jobs shed by admission control (stale queued jobs plus saturated-queue rejections).",
-        state.shed.load(Ordering::Relaxed),
+        state.shed.get(),
     );
     w.gauge(
         "queue_depth",

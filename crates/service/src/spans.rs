@@ -65,6 +65,7 @@ pub fn collector_salt() -> u64 {
     for word in [
         u64::from(std::process::id()),
         nanos,
+        // relaxed: uniqueness counter folded into the id hash; orders against nothing.
         COUNTER.fetch_add(1, Ordering::Relaxed),
     ] {
         h ^= word;
@@ -176,11 +177,13 @@ fn span_tree(spans: &[Span]) -> Value {
         match span.parent {
             // A self-parented or known-parent span nests; anything else roots.
             Some(p) if p.raw() != span.id.raw() && ids.contains(&p.raw()) => {
-                let parent_idx = spans
-                    .iter()
-                    .position(|s| s.id.raw() == p.raw())
-                    .expect("parent id present");
-                children[parent_idx].push(i);
+                // `ids` was built from this same immutable slice, so the parent
+                // is always found — but an orphan degrades to a root rather
+                // than panicking a serving thread.
+                match spans.iter().position(|s| s.id.raw() == p.raw()) {
+                    Some(parent_idx) => children[parent_idx].push(i),
+                    None => roots.push(i),
+                }
             }
             _ => roots.push(i),
         }
@@ -188,8 +191,7 @@ fn span_tree(spans: &[Span]) -> Value {
     let by_start = |a: &usize, b: &usize| {
         spans[*a]
             .start_ms
-            .partial_cmp(&spans[*b].start_ms)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&spans[*b].start_ms)
             .then_with(|| spans[*a].name.cmp(&spans[*b].name))
     };
     for list in &mut children {

@@ -35,6 +35,7 @@ const TRACE_ID_DOMAIN: u64 = 0x7E1E_7ACE_5A9C_0DE5;
 /// with tracing on.  The hand-written [`Serialize`] impls below make the JSON
 /// form canonical (fixed field order, absent optional fields omitted).
 pub fn derive_trace_id(instance_raw: u64, spec: &JobSpec) -> TraceId {
+    // lint:allow(R3, the hand-written Serialize impls below are infallible - no maps with non-string keys or fallible serializers)
     let json = serde_json::to_string(spec).expect("job specs always serialize");
     let spec_fold = fold_bits(json.bytes().map(u64::from));
     TraceId::from_raw(derive_stream_seed(
@@ -321,6 +322,7 @@ impl MixerSpec {
             (MixerSpec::Grover, Some(k)) => Mixer::grover_dicke(problem.n, k),
             (MixerSpec::Clique, Some(k)) => Mixer::clique(problem.n, k),
             (MixerSpec::Ring, Some(k)) => Mixer::ring(problem.n, k),
+            // lint:allow(R3, check_compatible above already rejected subspace mixers without k)
             (MixerSpec::Clique | MixerSpec::Ring, None) => unreachable!("checked above"),
         })
     }

@@ -69,9 +69,12 @@ impl Histogram {
                 .partition_point(|&bound| bound < v)
                 .min(self.bounds.len())
         };
+        // relaxed: per-bucket tallies are independent commutative adds; Prometheus
+        // scrapes tolerate a momentarily torn bucket/sum view.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         if v.is_finite() && v > 0.0 {
             self.sum_scaled
+                // relaxed: same scrape-tolerant statistic as the bucket add above.
                 .fetch_add((v * SUM_SCALE).round() as u64, Ordering::Relaxed);
         }
     }
@@ -83,6 +86,7 @@ impl Histogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // relaxed: monitoring snapshot; counts may lag in-flight observes.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = counts.iter().sum();
@@ -90,6 +94,7 @@ impl Histogram {
             bounds: self.bounds.clone(),
             counts,
             count,
+            // relaxed: monitoring snapshot; the sum may lag in-flight observes.
             sum: self.sum_scaled.load(Ordering::Relaxed) as f64 / SUM_SCALE,
         }
     }

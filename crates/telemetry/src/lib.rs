@@ -50,6 +50,7 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // relaxed: monotone metric counter; adds commute and readers only report.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -57,12 +58,14 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if n != 0 {
+            // relaxed: monotone metric counter; adds commute and readers only report.
             self.0.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
+        // relaxed: monitoring read; may lag concurrent increments by design.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -80,11 +83,13 @@ impl Gauge {
     /// Replaces the value.
     #[inline]
     pub fn set(&self, v: u64) {
+        // relaxed: last-writer-wins gauge; scrapes need no ordering with other data.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
+        // relaxed: monitoring read; may observe any recent set, which is fine.
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -239,6 +239,7 @@ impl SpanCollector {
     /// Allocates a fresh non-root span id: a process-salted counter, so spans
     /// from different processes merge without collisions.
     pub fn next_span_id(&self) -> SpanId {
+        // relaxed: id allocator; fetch_add is atomic regardless of ordering.
         let seq = self.next.fetch_add(1, Ordering::Relaxed);
         SpanId((self.salt << 32) ^ seq.rotate_left(1) ^ 1)
     }
